@@ -1,0 +1,48 @@
+// Command figure1 regenerates the data behind Figure 1 of the paper:
+// normalized total-storage lower and upper bounds against the number of
+// active write operations.
+//
+// Usage:
+//
+//	figure1 [-n 21] [-f 10] [-maxnu 16] [-csv]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	shmem "repro"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "figure1:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	n := flag.Int("n", 21, "number of servers N")
+	f := flag.Int("f", 10, "tolerated server failures f")
+	maxNu := flag.Int("maxnu", 16, "largest number of active writes to tabulate")
+	csv := flag.Bool("csv", false, "emit CSV instead of an aligned table")
+	flag.Parse()
+
+	p := shmem.Params{N: *n, F: *f}
+	rows, err := shmem.Figure1(p, *maxNu)
+	if err != nil {
+		return err
+	}
+	if *csv {
+		fmt.Println("nu,thm_b1,thm_51,thm_65,abd,erasure_upper")
+		for _, r := range rows {
+			fmt.Printf("%d,%.6f,%.6f,%.6f,%.6f,%.6f\n",
+				r.Nu, r.TheoremB1, r.Theorem51, r.Theorem65, r.ABD, r.Erasure)
+		}
+		return nil
+	}
+	fmt.Print(shmem.Figure1Table(p, rows))
+	fmt.Printf("\nreplication/erasure crossover: nu = %d\n", shmem.ReplicationCrossoverNu(p))
+	return nil
+}

@@ -1,0 +1,66 @@
+// Command lowerbounds evaluates the paper's storage lower bounds for a
+// given configuration, in exact (finite log2|V|) and normalized form, and
+// optionally the Section 7 feasibility summary for a hypothetical algorithm.
+//
+// Usage:
+//
+//	lowerbounds [-n 21] [-f 10] [-nu 4] [-log2v 1024]
+//	lowerbounds -n 21 -f 10 -nu 8 -summary 4.0
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	shmem "repro"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "lowerbounds:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	n := flag.Int("n", 21, "number of servers N")
+	f := flag.Int("f", 10, "tolerated server failures f")
+	nu := flag.Int("nu", 4, "number of active write operations (Theorem 6.5)")
+	log2v := flag.Float64("log2v", 1024, "log2 |V| in bits")
+	summary := flag.Float64("summary", -1, "normalized cost g to evaluate against the Section 7 summary (negative = skip)")
+	flag.Parse()
+
+	p := shmem.Params{N: *n, F: *f}
+	if err := p.Validate(); err != nil {
+		return err
+	}
+	fmt.Printf("configuration: N=%d f=%d nu=%d log2|V|=%.0f bits\n\n", *n, *f, *nu, *log2v)
+	fmt.Printf("%-34s %16s %14s\n", "bound (TotalStorage)", "exact bits", "normalized")
+	rows := []struct {
+		name  string
+		exact float64
+	}{
+		{"Theorem B.1  N/(N-f)", shmem.SingletonTotalBits(p, *log2v)},
+		{"Theorem 4.1  2N/(N-f+1) [no gossip]", shmem.Theorem41TotalBits(p, *log2v)},
+		{"Theorem 5.1  2N/(N-f+2) [universal]", shmem.Theorem51TotalBits(p, *log2v)},
+		{fmt.Sprintf("Theorem 6.5  nu*N/(N-f+nu*-1) nu=%d", *nu), shmem.Theorem65TotalBits(p, *nu, *log2v)},
+	}
+	for _, r := range rows {
+		fmt.Printf("%-34s %16.1f %14.4f\n", r.name, r.exact, r.exact / *log2v)
+	}
+	fmt.Printf("\nupper bounds for comparison: ABD/replication = %d, erasure = %.4f (at nu=%d)\n",
+		*f+1, float64(*nu)*float64(*n)/float64(*n-*f), *nu)
+
+	if *summary >= 0 {
+		fmt.Printf("\nSection 7 summary for g = %.3f at nu = %d:\n", *summary, *nu)
+		c := shmem.Section7Summary(p, *nu, *summary)
+		if !c.Feasible {
+			fmt.Println("  INFEASIBLE:")
+		}
+		for _, s := range c.Statements {
+			fmt.Println("  -", s)
+		}
+	}
+	return nil
+}

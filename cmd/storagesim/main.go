@@ -1,0 +1,99 @@
+// Command storagesim runs a register-emulation algorithm under a seeded
+// workload with a target write concurrency, meters its storage, checks the
+// history's consistency, and compares the measured cost against every
+// applicable lower bound.
+//
+// Usage:
+//
+//	storagesim -alg casgc -n 9 -f 2 -nu 3 -writes 15 -valuebytes 1024
+//	storagesim -alg abd -n 5 -f 2 -nu 2
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	shmem "repro"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "storagesim:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	alg := flag.String("alg", "casgc", "algorithm: abd | abd-mwmr | cas | casgc | twoversion | twoversion-gossip | solo")
+	n := flag.Int("n", 9, "number of servers N")
+	f := flag.Int("f", 2, "tolerated server failures f")
+	nu := flag.Int("nu", 2, "target concurrent writes")
+	writes := flag.Int("writes", 10, "total writes")
+	reads := flag.Int("reads", 4, "total reads")
+	valueBytes := flag.Int("valuebytes", 1024, "bytes per written value")
+	seed := flag.Int64("seed", 1, "workload seed")
+	crashes := flag.Int("crashes", 0, "random server crashes during the run")
+	flag.Parse()
+
+	cl, cond, err := deploy(*alg, *n, *f, *nu)
+	if err != nil {
+		return err
+	}
+	res, err := shmem.RunWorkload(cl, shmem.WorkloadSpec{
+		Seed: *seed, Writes: *writes, Reads: *reads, TargetNu: *nu,
+		ValueBytes: *valueBytes, Crashes: *crashes,
+	})
+	if err != nil {
+		return err
+	}
+	if err := res.CheckConsistency(cond); err != nil {
+		return fmt.Errorf("consistency check (%s) FAILED: %w", cond, err)
+	}
+	p := shmem.Params{N: *n, F: *f}
+	log2V := res.Log2V
+	fmt.Printf("algorithm        : %s (write profile: %d phases)\n", cl.Name, len(cl.Profile.Phases))
+	fmt.Printf("configuration    : N=%d f=%d target-nu=%d log2|V|=%.0f\n", *n, *f, *nu, log2V)
+	fmt.Printf("operations       : %d (peak active writes %d)\n", len(res.History.Ops), res.PeakActiveWrites)
+	fmt.Printf("consistency      : %s OK\n", cond)
+	fmt.Printf("max total storage: %d bits (normalized %.4f)\n", res.Storage.MaxTotalBits, res.NormalizedTotal)
+	fmt.Printf("max server       : %d bits\n", res.Storage.MaxServerBits)
+	fmt.Println("\nlower bounds (normalized):")
+	fmt.Printf("  Theorem B.1: %8.4f\n", shmem.SingletonTotalBits(p, log2V)/log2V)
+	fmt.Printf("  Theorem 5.1: %8.4f\n", shmem.Theorem51TotalBits(p, log2V)/log2V)
+	if err := cl.Profile.Theorem65Applies(); err == nil {
+		fmt.Printf("  Theorem 6.5: %8.4f (at measured nu=%d; applies: single value-dependent phase)\n",
+			shmem.Theorem65TotalBits(p, res.PeakActiveWrites, log2V)/log2V, res.PeakActiveWrites)
+	} else {
+		fmt.Printf("  Theorem 6.5: not applicable: %v\n", err)
+	}
+	return nil
+}
+
+func deploy(alg string, n, f, nu int) (*shmem.Cluster, string, error) {
+	switch alg {
+	case "abd":
+		cl, err := shmem.DeployABD(n, f, 1, 2, false)
+		return cl, "atomic", err
+	case "abd-mwmr":
+		cl, err := shmem.DeployABD(n, f, max(nu, 1), 2, true)
+		return cl, "atomic", err
+	case "cas":
+		cl, err := shmem.DeployCAS(n, f, -1, max(nu, 1), 2)
+		return cl, "atomic", err
+	case "casgc":
+		cl, err := shmem.DeployCAS(n, f, 0, max(nu, 1), 2)
+		return cl, "atomic", err
+	case "twoversion":
+		cl, err := shmem.DeployTwoVersion(n, f, 1)
+		return cl, "regular", err
+	case "twoversion-gossip":
+		cl, err := shmem.DeployTwoVersionGossip(n, f, 1)
+		return cl, "regular", err
+	case "solo":
+		cl, err := shmem.DeploySolo(n, f, 1)
+		return cl, "regular", err
+	default:
+		return nil, "", fmt.Errorf("unknown algorithm %q", alg)
+	}
+}

@@ -1,0 +1,49 @@
+// Boundsexplorer walks through the paper's quantitative landscape: it
+// regenerates Figure 1, sweeps the bounds across (N, f) configurations, and
+// evaluates the Section 7 feasibility summary for hypothetical algorithms.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	shmem "repro"
+)
+
+func main() {
+	// 1. The paper's Figure 1 (N=21, f=10).
+	p := shmem.Params{N: 21, F: 10}
+	rows, err := shmem.Figure1(p, 16)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(shmem.Figure1Table(p, rows))
+
+	// 2. How the universal bound scales when f is a constant fraction of N:
+	// Theorem 5.1 approaches 2N/(N-f), i.e., twice the Singleton bound —
+	// the "factor two" contribution of the paper.
+	fmt.Println("\nscaling at f = N/2 - 1 (normalized):")
+	fmt.Printf("%6s %6s %12s %12s %10s\n", "N", "f", "Thm_B.1", "Thm_5.1", "ratio")
+	for _, n := range []int{5, 9, 21, 51, 101} {
+		f := n/2 - 1
+		q := shmem.Params{N: n, F: f}
+		b1 := float64(n) / float64(n-f)
+		t51 := 2 * float64(n) / float64(n-f+2)
+		fmt.Printf("%6d %6d %12.4f %12.4f %10.4f\n", n, f, b1, t51, t51/b1)
+		_ = q
+	}
+
+	// 3. Section 7 feasibility summary for three hypothetical algorithms.
+	fmt.Println("\nSection 7 feasibility (N=21, f=10):")
+	for _, g := range []float64{2.0, 4.0, 12.0} {
+		c := shmem.Section7Summary(p, 8, g)
+		status := "feasible"
+		if !c.Feasible {
+			status = "IMPOSSIBLE"
+		}
+		fmt.Printf("  g=%5.2f at nu=8: %s\n", g, status)
+		for _, s := range c.Statements {
+			fmt.Printf("      %s\n", s)
+		}
+	}
+}

@@ -1,0 +1,68 @@
+package abd
+
+import (
+	"fmt"
+
+	"repro/internal/cluster"
+	"repro/internal/ioa"
+)
+
+// Options configures an ABD deployment.
+type Options struct {
+	Servers     int
+	F           int
+	Writers     int
+	Readers     int
+	MultiWriter bool
+}
+
+// Deploy builds an ABD register cluster with the conventional node-id
+// layout.
+func Deploy(opts Options) (*cluster.Cluster, error) {
+	if opts.Writers < 1 || opts.Readers < 0 {
+		return nil, fmt.Errorf("abd: need at least one writer (writers=%d readers=%d)", opts.Writers, opts.Readers)
+	}
+	if !opts.MultiWriter && opts.Writers > 1 {
+		return nil, fmt.Errorf("abd: SWMR mode admits exactly one writer, got %d", opts.Writers)
+	}
+	serverIDs := cluster.ServerIDs(opts.Servers)
+	cfg := Config{Servers: serverIDs, F: opts.F, MultiWriter: opts.MultiWriter}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	sys := ioa.NewSystem()
+	for _, id := range serverIDs {
+		if err := sys.AddServer(NewServer(id)); err != nil {
+			return nil, err
+		}
+	}
+	writers := cluster.WriterIDs(opts.Writers)
+	for _, id := range writers {
+		c, err := NewClient(id, RoleWriter, cfg)
+		if err != nil {
+			return nil, err
+		}
+		if err := sys.AddClient(c); err != nil {
+			return nil, err
+		}
+	}
+	readers := cluster.ReaderIDs(opts.Readers)
+	for _, id := range readers {
+		c, err := NewClient(id, RoleReader, cfg)
+		if err != nil {
+			return nil, err
+		}
+		if err := sys.AddClient(c); err != nil {
+			return nil, err
+		}
+	}
+	return &cluster.Cluster{
+		Name:    Profile(cfg).Algorithm,
+		Sys:     sys,
+		Servers: serverIDs,
+		Writers: writers,
+		Readers: readers,
+		F:       opts.F,
+		Profile: Profile(cfg),
+	}, nil
+}

@@ -1,0 +1,282 @@
+// Package adversary makes the paper's lower-bound proofs executable: it
+// constructs, against a real algorithm implementation running on the ioa
+// kernel, the exact execution families the proofs of Appendix B, Theorem 4.1
+// and Theorem 6.5 reason about, and checks the structural facts those proofs
+// rely on (valency of points, critical pairs, the one-changed-server lemma,
+// and the injectivity of the value->server-state mappings that yields the
+// counting bounds).
+//
+// Valency here is witness-based: the paper's "k-valent" is existential over
+// extensions, which is not directly computable for an arbitrary algorithm;
+// the probes in this package build one concrete fair extension (silencing
+// the writer, exactly as Definition 4.3 prescribes) and observe what a read
+// returns. A probe returning v is a sound witness that the point IS v-valent;
+// the critical-pair scan only needs such witnesses plus the regularity
+// guarantee that probes return v1 or v2 (Lemma 4.5), which the experiments
+// additionally assert.
+package adversary
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+
+	"repro/internal/cluster"
+	"repro/internal/ioa"
+)
+
+// Config parameterizes the execution constructions.
+type Config struct {
+	// Build constructs a fresh deterministic deployment.
+	Build cluster.Builder
+	// FailServers gives the indices (into cluster.Servers) of the servers
+	// crashed at the beginning of every constructed execution, as in the
+	// proofs ("the f servers in {1..N}-N fail at the beginning").
+	FailServers []int
+	// Gossip selects the Theorem 5.1 flavor of the valency probe: before
+	// the read starts, all server-to-server channels deliver their
+	// messages (Definition 5.3). Without it the probe follows Definition
+	// 4.3 (Theorem 4.1, no-gossip algorithms).
+	Gossip bool
+	// MaxSteps bounds every scheduler run (default 200000).
+	MaxSteps int
+}
+
+func (c Config) maxSteps() int {
+	if c.MaxSteps > 0 {
+		return c.MaxSteps
+	}
+	return 200000
+}
+
+// build constructs the cluster and applies the initial failures.
+func (c Config) buildFailed() (*cluster.Cluster, error) {
+	cl, err := c.Build()
+	if err != nil {
+		return nil, fmt.Errorf("adversary: build: %w", err)
+	}
+	if err := cl.Validate(); err != nil {
+		return nil, fmt.Errorf("adversary: %w", err)
+	}
+	if len(c.FailServers) > cl.F {
+		return nil, fmt.Errorf("adversary: %d initial failures exceed f=%d", len(c.FailServers), cl.F)
+	}
+	for _, idx := range c.FailServers {
+		if idx < 0 || idx >= len(cl.Servers) {
+			return nil, fmt.Errorf("adversary: fail index %d out of range", idx)
+		}
+		cl.Sys.Crash(cl.Servers[idx])
+	}
+	return cl, nil
+}
+
+// liveServers returns the cluster's non-crashed servers in ascending order.
+func liveServers(cl *cluster.Cluster) []ioa.NodeID {
+	out := make([]ioa.NodeID, 0, len(cl.Servers))
+	for _, id := range cl.Servers {
+		if !cl.Sys.Crashed(id) {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// serverDigests returns the StateDigest of each given server.
+func serverDigests(sys *ioa.System, ids []ioa.NodeID) ([]string, error) {
+	out := make([]string, len(ids))
+	for i, id := range ids {
+		n, err := sys.Node(id)
+		if err != nil {
+			return nil, err
+		}
+		d, ok := n.(ioa.Digester)
+		if !ok {
+			return nil, fmt.Errorf("adversary: server %d does not implement ioa.Digester", id)
+		}
+		out[i] = d.StateDigest()
+	}
+	return out, nil
+}
+
+// TwoWritePoints is the execution alpha^(v1,v2) of Sections 4/5: the f
+// chosen servers fail, a write of v1 runs to completion, then a write of v2
+// runs to completion, with a snapshot taken at every point in between.
+// Points[0] is the point P_0 after pi_1 terminates and before pi_2 begins;
+// Points[len-1] is the point P_M after pi_2 terminates.
+type TwoWritePoints struct {
+	Cluster *cluster.Cluster
+	V1, V2  []byte
+	Points  []*ioa.Snapshot
+}
+
+// RunTwoWrites constructs alpha^(v1,v2).
+func (c Config) RunTwoWrites(v1, v2 []byte) (*TwoWritePoints, error) {
+	if bytes.Equal(v1, v2) {
+		return nil, fmt.Errorf("adversary: v1 and v2 must be distinct")
+	}
+	cl, err := c.buildFailed()
+	if err != nil {
+		return nil, err
+	}
+	sys := cl.Sys
+	writer := cl.Writers[0]
+	if _, err := sys.RunOp(writer, ioa.Invocation{Kind: ioa.OpWrite, Value: v1}, c.maxSteps()); err != nil {
+		return nil, fmt.Errorf("adversary: write pi1: %w", err)
+	}
+	pts := []*ioa.Snapshot{sys.Snapshot()} // P_0
+	op2, err := sys.Invoke(writer, ioa.Invocation{Kind: ioa.OpWrite, Value: v2})
+	if err != nil {
+		return nil, fmt.Errorf("adversary: invoke pi2: %w", err)
+	}
+	pts = append(pts, sys.Snapshot()) // point just after the invocation step
+	st := ioa.NewStepper(sys)
+	for steps := 0; ; steps++ {
+		if steps > c.maxSteps() {
+			return nil, fmt.Errorf("adversary: pi2 did not terminate within %d steps: %w", c.maxSteps(), ioa.ErrStepLimit)
+		}
+		op, err := sys.History().OpByID(op2)
+		if err != nil {
+			return nil, err
+		}
+		if !op.Pending() {
+			break
+		}
+		ok, err := st.Step()
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			return nil, fmt.Errorf("adversary: pi2 quiescent before termination: %w", ioa.ErrQuiescent)
+		}
+		pts = append(pts, sys.Snapshot())
+	}
+	return &TwoWritePoints{Cluster: cl, V1: v1, V2: v2, Points: pts}, nil
+}
+
+// ProbeRead is the valency probe of Definitions 4.3/5.3: restore the
+// snapshot, delay all messages from and to the writer indefinitely
+// (Silence), in gossip mode let the server-to-server channels deliver all
+// their messages, then run a read at the cluster's reader to completion
+// under a fair schedule and return its output.
+func (c Config) ProbeRead(tw *TwoWritePoints, point int) ([]byte, error) {
+	if point < 0 || point >= len(tw.Points) {
+		return nil, fmt.Errorf("adversary: point %d out of range [0,%d)", point, len(tw.Points))
+	}
+	sys := tw.Points[point].Restore()
+	for _, w := range tw.Cluster.Writers {
+		sys.Silence(w)
+	}
+	if c.Gossip {
+		if _, err := sys.DrainServerToServer(c.maxSteps()); err != nil {
+			return nil, fmt.Errorf("adversary: gossip drain: %w", err)
+		}
+	}
+	if len(tw.Cluster.Readers) == 0 {
+		return nil, fmt.Errorf("adversary: cluster has no reader for probes")
+	}
+	op, err := sys.RunOp(tw.Cluster.Readers[0], ioa.Invocation{Kind: ioa.OpRead}, c.maxSteps())
+	if err != nil {
+		return nil, fmt.Errorf("adversary: probe read at point %d: %w", point, err)
+	}
+	return op.Output, nil
+}
+
+// CriticalPair captures a pair of adjacent points (Q1, Q2) = (P_i, P_{i+1})
+// where the valency witness flips from v1 to v2 (Definition 4.7 / Lemma
+// 4.6), together with the server-state evidence used in the counting
+// argument of Section 4.3.3.
+type CriticalPair struct {
+	Index      int    // i: Q1 = P_i, Q2 = P_{i+1}
+	ProbeQ1    []byte // read value witnessed from Q1 (= v1)
+	ProbeQ2    []byte // read value witnessed from Q2
+	Live       []ioa.NodeID
+	DigestsQ1  []string // live-server digests at Q1
+	DigestsQ2  []string // live-server digests at Q2
+	NumChanged int      // how many live servers changed state Q1 -> Q2
+	ChangedIdx int      // index (into Live) of the changed server, -1 if none
+}
+
+// StateVector serializes the tuple S^(v1,v2) of the Theorem 4.1 proof: the
+// states of the N-f live servers at Q1, plus the identity and Q2-state of
+// the (at most one) server that changed.
+func (cp *CriticalPair) StateVector() string {
+	var b bytes.Buffer
+	for _, d := range cp.DigestsQ1 {
+		b.WriteString(d)
+		b.WriteByte(0)
+	}
+	fmt.Fprintf(&b, "|changed=%d|", cp.ChangedIdx)
+	if cp.ChangedIdx >= 0 {
+		b.WriteString(cp.DigestsQ2[cp.ChangedIdx])
+	}
+	return b.String()
+}
+
+// ErrNoCriticalPair is returned when no adjacent probe flip exists, which
+// would contradict Lemma 4.6.
+var ErrNoCriticalPair = errors.New("adversary: no critical pair found (contradicts Lemma 4.6)")
+
+// FindCriticalPair probes every point of the execution and locates the last
+// index i whose probe returns v1 while the probe of i+1 does not (Lemma 4.6
+// guarantees existence: P_0 is 1-valent and P_M is not). It also verifies
+// Lemma 4.5 — every probe returns v1 or v2 — and Lemma 4.8(b): at most one
+// live server changes state between Q1 and Q2.
+func (c Config) FindCriticalPair(tw *TwoWritePoints) (*CriticalPair, error) {
+	probes := make([][]byte, len(tw.Points))
+	for i := range tw.Points {
+		out, err := c.ProbeRead(tw, i)
+		if err != nil {
+			return nil, err
+		}
+		if !bytes.Equal(out, tw.V1) && !bytes.Equal(out, tw.V2) {
+			return nil, fmt.Errorf("adversary: probe at point %d returned %q, violating Lemma 4.5 (must be v1 or v2)", i, out)
+		}
+		probes[i] = out
+	}
+	if !bytes.Equal(probes[0], tw.V1) {
+		return nil, fmt.Errorf("adversary: P_0 probe returned %q, want v1 (Lemma 4.6(i))", probes[0])
+	}
+	if bytes.Equal(probes[len(probes)-1], tw.V1) {
+		return nil, fmt.Errorf("adversary: P_M probe returned v1, violating Lemma 4.6(ii)")
+	}
+	idx := -1
+	for i := len(probes) - 2; i >= 0; i-- {
+		if bytes.Equal(probes[i], tw.V1) && !bytes.Equal(probes[i+1], tw.V1) {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 {
+		return nil, ErrNoCriticalPair
+	}
+	sysQ1 := tw.Points[idx].Restore()
+	sysQ2 := tw.Points[idx+1].Restore()
+	live := liveServers(tw.Cluster)
+	d1, err := serverDigests(sysQ1, live)
+	if err != nil {
+		return nil, err
+	}
+	d2, err := serverDigests(sysQ2, live)
+	if err != nil {
+		return nil, err
+	}
+	cp := &CriticalPair{
+		Index:      idx,
+		ProbeQ1:    probes[idx],
+		ProbeQ2:    probes[idx+1],
+		Live:       live,
+		DigestsQ1:  d1,
+		DigestsQ2:  d2,
+		ChangedIdx: -1,
+	}
+	for i := range d1 {
+		if d1[i] != d2[i] {
+			cp.NumChanged++
+			cp.ChangedIdx = i
+		}
+	}
+	if cp.NumChanged > 1 {
+		return nil, fmt.Errorf("adversary: %d servers changed between critical points, violating Lemma 4.8(b)", cp.NumChanged)
+	}
+	return cp, nil
+}

@@ -1,0 +1,140 @@
+package adversary
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/ioa"
+)
+
+// Theorem41Result reports the outcome of the executable Theorem 4.1 proof.
+type Theorem41Result struct {
+	// Values is the size |V| of the value set exercised.
+	Values int
+	// Pairs is the number of ordered distinct pairs = |V|·(|V|-1).
+	Pairs int
+	// DistinctVectors counts distinct S^(v1,v2) state vectors observed. The
+	// theorem requires DistinctVectors == Pairs.
+	DistinctVectors int
+	// MaxChangedServers is the largest number of live servers that changed
+	// between critical points across all pairs (Lemma 4.8 requires <= 1).
+	MaxChangedServers int
+	// WitnessedBitsLowerBound is log2(Pairs): a lower bound on
+	// sum_{n in N} log2|S_n| + max_n log2|S_n| + log2(N-f) certified by the
+	// experiment, the left side of the Theorem 4.1 counting inequality.
+	WitnessedBitsLowerBound float64
+	// Injective reports whether the one-to-one mapping held.
+	Injective bool
+}
+
+// RunTheorem41 executes the proof of Theorem 4.1 against the algorithm: for
+// every ordered pair (v1, v2) of distinct values it constructs the execution
+// alpha^(v1,v2), finds a critical pair of points, extracts the state vector
+// S^(v1,v2), and finally checks that the mapping from value pairs to state
+// vectors is one-to-one — the counting step that yields
+//
+//	prod |S_n| · (N-f) · max|S_n|  >=  |V|·(|V|-1).
+func (c Config) RunTheorem41(values [][]byte) (*Theorem41Result, error) {
+	if len(values) < 2 {
+		return nil, fmt.Errorf("adversary: need at least two values, got %d", len(values))
+	}
+	res := &Theorem41Result{Values: len(values)}
+	vectors := make(map[string]string) // state vector -> "i,j" that produced it
+	for i, v1 := range values {
+		for j, v2 := range values {
+			if i == j {
+				continue
+			}
+			res.Pairs++
+			tw, err := c.RunTwoWrites(v1, v2)
+			if err != nil {
+				return nil, fmt.Errorf("pair (%d,%d): %w", i, j, err)
+			}
+			cp, err := c.FindCriticalPair(tw)
+			if err != nil {
+				return nil, fmt.Errorf("pair (%d,%d): %w", i, j, err)
+			}
+			if cp.NumChanged > res.MaxChangedServers {
+				res.MaxChangedServers = cp.NumChanged
+			}
+			key := cp.StateVector()
+			if prev, dup := vectors[key]; dup {
+				return nil, fmt.Errorf("adversary: state vector collision between pairs %s and (%d,%d): injectivity of Theorem 4.1 violated", prev, i, j)
+			}
+			vectors[key] = fmt.Sprintf("(%d,%d)", i, j)
+		}
+	}
+	res.DistinctVectors = len(vectors)
+	res.Injective = res.DistinctVectors == res.Pairs
+	res.WitnessedBitsLowerBound = math.Log2(float64(res.Pairs))
+	return res, nil
+}
+
+// AppendixBResult reports the outcome of the executable Theorem B.1 proof.
+type AppendixBResult struct {
+	Values          int
+	DistinctVectors int
+	// WitnessedBitsLowerBound is log2(Values): the certified lower bound on
+	// sum over the N-f live servers of log2|S_n|.
+	WitnessedBitsLowerBound float64
+	Injective               bool
+}
+
+// RunAppendixB executes the proof of Theorem B.1: for every value v, the f
+// chosen servers fail, v is written, all channels then deliver all their
+// messages (the point P(v) of the proof), and the states of the N-f live
+// servers are recorded. Distinct values must produce distinct state vectors
+// — otherwise a read after P(v) could not distinguish them, violating
+// regularity — which yields prod_{n in N} |S_n| >= |V|. The experiment also
+// runs that read and checks it returns v.
+func (c Config) RunAppendixB(values [][]byte) (*AppendixBResult, error) {
+	if len(values) < 2 {
+		return nil, fmt.Errorf("adversary: need at least two values, got %d", len(values))
+	}
+	res := &AppendixBResult{Values: len(values)}
+	vectors := make(map[string]int)
+	for i, v := range values {
+		cl, err := c.buildFailed()
+		if err != nil {
+			return nil, err
+		}
+		sys := cl.Sys
+		if _, err := sys.RunOp(cl.Writers[0], ioa.Invocation{Kind: ioa.OpWrite, Value: v}, c.maxSteps()); err != nil {
+			return nil, fmt.Errorf("value %d: write: %w", i, err)
+		}
+		// "At P~(v), all the channels in the system act, delivering all
+		// their messages."
+		if _, err := sys.DrainMatching(c.maxSteps(), func(from, to ioa.NodeID) bool { return true }); err != nil {
+			return nil, fmt.Errorf("value %d: drain: %w", i, err)
+		}
+		live := liveServers(cl)
+		digests, err := serverDigests(sys, live)
+		if err != nil {
+			return nil, err
+		}
+		key := ""
+		for _, d := range digests {
+			key += d + "\x00"
+		}
+		if prev, dup := vectors[key]; dup {
+			return nil, fmt.Errorf("adversary: values %d and %d left identical server states: Theorem B.1 injectivity violated", prev, i)
+		}
+		vectors[key] = i
+		// The write client fails at P(v); a read must still return v.
+		sys.Crash(cl.Writers[0])
+		if len(cl.Readers) == 0 {
+			return nil, fmt.Errorf("adversary: cluster has no reader")
+		}
+		op, err := sys.RunOp(cl.Readers[0], ioa.Invocation{Kind: ioa.OpRead}, c.maxSteps())
+		if err != nil {
+			return nil, fmt.Errorf("value %d: read: %w", i, err)
+		}
+		if string(op.Output) != string(v) {
+			return nil, fmt.Errorf("value %d: read returned %q, want the written value (regularity)", i, op.Output)
+		}
+	}
+	res.DistinctVectors = len(vectors)
+	res.Injective = res.DistinctVectors == res.Values
+	res.WitnessedBitsLowerBound = math.Log2(float64(res.Values))
+	return res, nil
+}

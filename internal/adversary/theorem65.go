@@ -1,0 +1,316 @@
+package adversary
+
+import (
+	"bytes"
+	"fmt"
+	"math"
+
+	"repro/internal/cluster"
+	"repro/internal/ioa"
+	"repro/internal/quorum"
+)
+
+// EmbargoPoint is the point P_0 of the Section 6.4 execution alpha^v_0: nu
+// write operations have each advanced to the phase in which their
+// value-dependent messages sit in the client-to-server channels, and no
+// value-dependent message has been delivered to any server.
+type EmbargoPoint struct {
+	Cluster *cluster.Cluster
+	Values  [][]byte // Values[i] is being written by Cluster.Writers[i]
+	Snap    *ioa.Snapshot
+}
+
+// RunEmbargoedWrites constructs alpha^v_0 for nu = len(values) writers: it
+// builds the cluster, applies the configured failures, invokes one write per
+// writer, and schedules every component EXCEPT that value-dependent
+// client-to-server messages are never delivered, until the system is
+// quiescent under that embargo. It verifies that each writer is then parked
+// in a value-dependent phase (Assumption 3(b): the one phase carrying value
+// information), which holds for every algorithm in the Theorem 6.5 class.
+func (c Config) RunEmbargoedWrites(values [][]byte) (*EmbargoPoint, error) {
+	nu := len(values)
+	if nu < 1 {
+		return nil, fmt.Errorf("adversary: need at least one value")
+	}
+	cl, err := c.buildFailed()
+	if err != nil {
+		return nil, err
+	}
+	if len(cl.Writers) < nu {
+		return nil, fmt.Errorf("adversary: cluster has %d writers, need %d", len(cl.Writers), nu)
+	}
+	sys := cl.Sys
+	for i := 0; i < nu; i++ {
+		if _, err := sys.Invoke(cl.Writers[i], ioa.Invocation{Kind: ioa.OpWrite, Value: values[i]}); err != nil {
+			return nil, fmt.Errorf("adversary: invoke write %d: %w", i, err)
+		}
+	}
+	if err := c.embargoRun(cl); err != nil {
+		return nil, err
+	}
+	// Every writer must now be parked in its value-dependent phase.
+	for i := 0; i < nu; i++ {
+		n, err := sys.Node(cl.Writers[i])
+		if err != nil {
+			return nil, err
+		}
+		pw, ok := n.(quorum.PhasedWriter)
+		if !ok {
+			return nil, fmt.Errorf("adversary: writer %d does not implement quorum.PhasedWriter", cl.Writers[i])
+		}
+		if _, vd := pw.WritePhase(); !vd {
+			return nil, fmt.Errorf("adversary: writer %d is not in a value-dependent phase at P_0; algorithm outside the Theorem 6.5 class?", cl.Writers[i])
+		}
+	}
+	return &EmbargoPoint{Cluster: cl, Values: values, Snap: sys.Snapshot()}, nil
+}
+
+// embargoRun schedules fairly but never delivers value-bearing messages,
+// until no non-value-bearing message is deliverable.
+func (c Config) embargoRun(cl *cluster.Cluster) error {
+	sys := cl.Sys
+	notValue := func(m ioa.Message) bool { return !ioa.BearsValue(m) }
+	for steps := 0; ; {
+		progressed := false
+		for _, k := range sys.DeliverableChannels() {
+			ok, err := sys.DeliverSelect(k.From, k.To, notValue)
+			if err != nil {
+				return fmt.Errorf("adversary: embargo run: %w", err)
+			}
+			if ok {
+				progressed = true
+				steps++
+				if steps > c.maxSteps() {
+					return fmt.Errorf("adversary: embargo run: %w", ioa.ErrStepLimit)
+				}
+			}
+		}
+		if !progressed {
+			return nil
+		}
+	}
+}
+
+// DeliverValuePrefix restores the embargo point and delivers every queued
+// value-dependent message from the first `writers` writers to the first
+// `prefix` LIVE servers (the "deliver all the value-dependent messages to
+// the first a servers" step of Section 6.4). Server replies (acks) are NOT
+// delivered, so writers learn nothing. It returns the resulting system.
+func (ep *EmbargoPoint) DeliverValuePrefix(cfg Config, writerSet []int, prefix int) (*ioa.System, error) {
+	sys := ep.Snap.Restore()
+	live := liveServers(ep.Cluster.WithSystem(sys))
+	if prefix < 0 || prefix > len(live) {
+		return nil, fmt.Errorf("adversary: prefix %d out of range [0,%d]", prefix, len(live))
+	}
+	isValue := func(m ioa.Message) bool { return ioa.BearsValue(m) }
+	for _, wi := range writerSet {
+		if wi < 0 || wi >= len(ep.Values) {
+			return nil, fmt.Errorf("adversary: writer index %d out of range", wi)
+		}
+		w := ep.Cluster.Writers[wi]
+		for _, s := range live[:prefix] {
+			for {
+				ok, err := sys.DeliverSelect(w, s, isValue)
+				if err != nil {
+					return nil, err
+				}
+				if !ok {
+					break
+				}
+			}
+		}
+	}
+	return sys, nil
+}
+
+// ProbeRecover checks whether value index `target` is recoverable from the
+// given system state with only value-INDEPENDENT help: all writers other
+// than the target are silenced outright, the target writer may act but its
+// remaining value-dependent messages are withheld (its channels deliver only
+// value-independent messages), and a read runs to completion. It returns the
+// read's output. This realizes the (j, C0)-valency probes of Section 6.4.2.
+func (ep *EmbargoPoint) ProbeRecover(cfg Config, sys *ioa.System, target int) ([]byte, error) {
+	fork := sys.Snapshot().Restore()
+	for i, w := range ep.Cluster.Writers[:len(ep.Values)] {
+		if i != target {
+			fork.Silence(w)
+		}
+	}
+	if len(ep.Cluster.Readers) == 0 {
+		return nil, fmt.Errorf("adversary: cluster has no reader")
+	}
+	// Only WRITE clients' value-dependent messages are embargoed
+	// (Definition 6.4 concerns the write protocol; a reader's write-back
+	// may carry values freely).
+	writerSet := make(map[ioa.NodeID]bool, len(ep.Values))
+	for _, w := range ep.Cluster.Writers[:len(ep.Values)] {
+		writerSet[w] = true
+	}
+	notValue := func(m ioa.Message) bool { return !ioa.BearsValue(m) }
+	embargoSweep := func() (bool, error) {
+		progressed := false
+		for _, k := range fork.DeliverableChannels() {
+			if writerSet[k.From] {
+				ok, err := fork.DeliverSelect(k.From, k.To, notValue)
+				if err != nil {
+					return false, err
+				}
+				progressed = progressed || ok
+				continue
+			}
+			if !fork.CanDeliver(k.From, k.To) {
+				continue
+			}
+			if err := fork.Deliver(k.From, k.To); err != nil {
+				return false, err
+			}
+			progressed = true
+		}
+		return progressed, nil
+	}
+	// First let the target writer settle under the embargo (the adversary
+	// may delay the read's messages arbitrarily, so scheduling the read
+	// after quiescence is a legitimate extension): the writer's remaining
+	// value-INDEPENDENT phases complete using the acks already earned.
+	for steps := 0; ; steps++ {
+		if steps > cfg.maxSteps() {
+			return nil, fmt.Errorf("adversary: recovery probe settle: %w", ioa.ErrStepLimit)
+		}
+		progressed, err := embargoSweep()
+		if err != nil {
+			return nil, err
+		}
+		if !progressed {
+			break
+		}
+	}
+	readID, err := fork.Invoke(ep.Cluster.Readers[0], ioa.Invocation{Kind: ioa.OpRead})
+	if err != nil {
+		return nil, err
+	}
+	for steps := 0; ; steps++ {
+		op, err := fork.History().OpByID(readID)
+		if err != nil {
+			return nil, err
+		}
+		if !op.Pending() {
+			return op.Output, nil
+		}
+		if steps > cfg.maxSteps() {
+			return nil, fmt.Errorf("adversary: recovery probe: %w", ioa.ErrStepLimit)
+		}
+		progressed, err := embargoSweep()
+		if err != nil {
+			return nil, err
+		}
+		if !progressed {
+			return nil, fmt.Errorf("adversary: recovery probe quiescent before the read terminated: %w", ioa.ErrQuiescent)
+		}
+	}
+}
+
+// Theorem65Result reports the outcome of the executable Theorem 6.5
+// experiment.
+type Theorem65Result struct {
+	// Nu is the number of concurrent writes.
+	Nu int
+	// PrefixServers is the number of live servers that received the
+	// value-dependent messages (the proof's first N-f+nu-1 servers).
+	PrefixServers int
+	// Recovered[i] reports whether value i was individually recoverable
+	// from the prefix state with only value-independent help.
+	Recovered []bool
+	// AllRecovered is true when every one of the nu values was recoverable
+	// — the "sufficient information of all nu values is contained in the
+	// prefix" conclusion that drives the counting bound.
+	AllRecovered bool
+	// VectorsDistinct counts distinct prefix-state digests across the value
+	// vectors exercised by RunTheorem65; equal to VectorsTried when the
+	// one-to-one mapping of Section 6.4.4 holds.
+	VectorsTried, VectorsDistinct int
+	// WitnessedBitsLowerBound is log2(VectorsTried) when injective: the
+	// certified lower bound on the summed storage of the prefix servers.
+	WitnessedBitsLowerBound float64
+}
+
+// RunTheorem65 executes the core of the Theorem 6.5 argument against a
+// coded algorithm for each value vector in vectors (each of length nu):
+//
+//  1. Construct the embargo point P_0 (queries done, value-dependent
+//     messages undelivered in the channels).
+//  2. Deliver every writer's value-dependent messages to the first
+//     min(N-f+nu-1, live) servers, without delivering any ack.
+//  3. For each value index j, probe that v_j is recoverable from that state
+//     using only value-independent actions (all other writers silenced):
+//     the "sufficient information" valency of Section 6.4.2.
+//  4. Digest the prefix servers' states; across value vectors the digests
+//     must be pairwise distinct — the one-to-one mapping of Section 6.4.4
+//     from value vectors to server states, which yields
+//     (nu!)·(N-f+nu-1)^nu · prod|S_n| >= C(|V|-1, nu)·nu! .
+//
+// Step 3 holds for erasure-coded algorithms (CAS): every value's coded
+// state coexists at the servers. For replication-style algorithms (ABD) the
+// uniform-prefix delivery overwrites older tags and only the maximum-tag
+// value remains recoverable; the paper's full staggered-prefix construction
+// (Lemma 6.10) covers those too, and the result reports per-value
+// recoverability so callers can observe the difference.
+func (c Config) RunTheorem65(vectors [][][]byte) (*Theorem65Result, error) {
+	if len(vectors) == 0 {
+		return nil, fmt.Errorf("adversary: no value vectors")
+	}
+	nu := len(vectors[0])
+	res := &Theorem65Result{Nu: nu, Recovered: make([]bool, nu), AllRecovered: true}
+	digests := make(map[string]int)
+	for vi, vals := range vectors {
+		if len(vals) != nu {
+			return nil, fmt.Errorf("adversary: vector %d has length %d, want %d", vi, len(vals), nu)
+		}
+		ep, err := c.RunEmbargoedWrites(vals)
+		if err != nil {
+			return nil, fmt.Errorf("vector %d: %w", vi, err)
+		}
+		sysLive := liveServers(ep.Cluster)
+		n := len(ep.Cluster.Servers)
+		f := ep.Cluster.F
+		prefix := n - f + nu - 1
+		if prefix > len(sysLive) {
+			prefix = len(sysLive)
+		}
+		res.PrefixServers = prefix
+		all := make([]int, nu)
+		for i := range all {
+			all[i] = i
+		}
+		sys, err := ep.DeliverValuePrefix(c, all, prefix)
+		if err != nil {
+			return nil, fmt.Errorf("vector %d: %w", vi, err)
+		}
+		for j := 0; j < nu; j++ {
+			out, err := ep.ProbeRecover(c, sys, j)
+			recovered := err == nil && bytes.Equal(out, vals[j])
+			if vi == 0 {
+				res.Recovered[j] = recovered
+			}
+			if !recovered {
+				res.AllRecovered = false
+			}
+		}
+		ds, err := serverDigests(sys, sysLive[:prefix])
+		if err != nil {
+			return nil, err
+		}
+		key := ""
+		for _, d := range ds {
+			key += d + "\x00"
+		}
+		if _, dup := digests[key]; !dup {
+			digests[key] = vi
+		}
+		res.VectorsTried++
+	}
+	res.VectorsDistinct = len(digests)
+	if res.VectorsDistinct == res.VectorsTried {
+		res.WitnessedBitsLowerBound = math.Log2(float64(res.VectorsTried))
+	}
+	return res, nil
+}

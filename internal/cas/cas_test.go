@@ -1,0 +1,310 @@
+package cas
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/consistency"
+	"repro/internal/ioa"
+	"repro/internal/register"
+)
+
+func TestConfigValidate(t *testing.T) {
+	mk := func(n int) []ioa.NodeID {
+		out := make([]ioa.NodeID, n)
+		for i := range out {
+			out[i] = ioa.NodeID(i + 1)
+		}
+		return out
+	}
+	tests := []struct {
+		n, f, k int
+		wantOK  bool
+		wantQ   int
+	}{
+		{5, 1, 0, true, 4},  // k defaults to 3, q = ceil(8/2)
+		{5, 2, 0, true, 3},  // k = 1
+		{9, 2, 5, true, 7},  // explicit k
+		{5, 2, 2, false, 0}, // k > N-2f
+		{4, 2, 0, false, 0}, // N-2f = 0
+		{0, 0, 0, false, 0},
+		{5, -1, 1, false, 0},
+	}
+	for _, tt := range tests {
+		cfg := Config{Servers: mk(tt.n), F: tt.f, K: tt.k}
+		err := cfg.Validate()
+		if (err == nil) != tt.wantOK {
+			t.Errorf("N=%d f=%d k=%d: err=%v wantOK=%v", tt.n, tt.f, tt.k, err, tt.wantOK)
+		}
+		if err == nil && cfg.QuorumSize() != tt.wantQ {
+			t.Errorf("N=%d f=%d k=%d: quorum=%d want %d", tt.n, tt.f, tt.k, cfg.QuorumSize(), tt.wantQ)
+		}
+	}
+}
+
+func TestQuorumIntersectionProperty(t *testing.T) {
+	// Two quorums of size ceil((N+k)/2) intersect in >= k servers.
+	for n := 3; n <= 15; n++ {
+		for f := 0; 2*f+1 <= n; f++ {
+			k := n - 2*f
+			if k < 1 {
+				continue
+			}
+			q := (n + k + 1) / 2
+			if inter := 2*q - n; inter < k {
+				t.Errorf("N=%d f=%d k=%d: quorum intersection %d < k", n, f, k, inter)
+			}
+			if q > n-f {
+				t.Errorf("N=%d f=%d k=%d: quorum %d not live under f crashes", n, f, k, q)
+			}
+		}
+	}
+}
+
+func deploy(t *testing.T, opts Options) (*ioa.System, []ioa.NodeID, []ioa.NodeID, []ioa.NodeID) {
+	t.Helper()
+	c, err := Deploy(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c.Sys, c.Servers, c.Writers, c.Readers
+}
+
+func TestWriteThenRead(t *testing.T) {
+	sys, _, writers, readers := deploy(t, Options{Servers: 7, F: 2, GCDepth: -1, Writers: 1, Readers: 1})
+	v := register.MakeValue(64, 1)
+	if _, err := sys.RunOp(writers[0], ioa.Invocation{Kind: ioa.OpWrite, Value: v}, 100000); err != nil {
+		t.Fatal(err)
+	}
+	op, err := sys.RunOp(readers[0], ioa.Invocation{Kind: ioa.OpRead}, 100000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(op.Output, v) {
+		t.Fatalf("read %q, want %q", op.Output, v)
+	}
+}
+
+func TestReadInitial(t *testing.T) {
+	sys, _, _, readers := deploy(t, Options{Servers: 5, F: 1, GCDepth: -1, Writers: 1, Readers: 1})
+	op, err := sys.RunOp(readers[0], ioa.Invocation{Kind: ioa.OpRead}, 100000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if op.Output != nil {
+		t.Fatalf("read %q, want nil", op.Output)
+	}
+}
+
+func TestLivenessUnderFFailures(t *testing.T) {
+	sys, servers, writers, readers := deploy(t, Options{Servers: 7, F: 2, GCDepth: -1, Writers: 1, Readers: 1})
+	sys.Crash(servers[1])
+	sys.Crash(servers[5])
+	v := register.MakeValue(64, 9)
+	if _, err := sys.RunOp(writers[0], ioa.Invocation{Kind: ioa.OpWrite, Value: v}, 100000); err != nil {
+		t.Fatalf("write under f crashes: %v", err)
+	}
+	op, err := sys.RunOp(readers[0], ioa.Invocation{Kind: ioa.OpRead}, 100000)
+	if err != nil {
+		t.Fatalf("read under f crashes: %v", err)
+	}
+	if !bytes.Equal(op.Output, v) {
+		t.Fatalf("read %q, want %q", op.Output, v)
+	}
+}
+
+func TestShardStorageFraction(t *testing.T) {
+	// After one write, each server stores ~ log2|V| / k bits of value data.
+	n, f := 9, 2
+	k := n - 2*f // 5
+	sys, servers, writers, _ := deploy(t, Options{Servers: n, F: f, GCDepth: -1, Writers: 1, Readers: 0})
+	valBytes := 1 << 12
+	v := register.MakeValue(valBytes, 1)
+	if _, err := sys.RunOp(writers[0], ioa.Invocation{Kind: ioa.OpWrite, Value: v}, 100000); err != nil {
+		t.Fatal(err)
+	}
+	rep := sys.Storage()
+	valueBits := 8 * valBytes
+	perServer := rep.PerServerMaxBits[servers[0]]
+	lo := valueBits/k - 64
+	hi := valueBits/k + 512 // metadata + padding allowance
+	if perServer < lo || perServer > hi {
+		t.Errorf("per-server bits = %d, want ~%d (log|V|/k)", perServer, valueBits/k)
+	}
+}
+
+// TestStorageGrowsWithNu is the paper's central empirical claim about
+// erasure-coded algorithms (Section 2.3): with ν writes concurrently in
+// flight, servers hold ~ν+1 coded versions.
+func TestStorageGrowsWithNu(t *testing.T) {
+	n, f := 9, 2
+	for _, nu := range []int{1, 2, 4} {
+		c, err := Deploy(Options{Servers: n, F: f, GCDepth: -1, Writers: nu, Readers: 0})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sys := c.Sys
+		// Start ν writes and stall them all after pre-write by running
+		// fairly but stopping before any finalize completes; simplest: run
+		// each writer's pre-write fully but never deliver finalize acks.
+		// Here we simply invoke all and fair-run to completion, then check
+		// peak concurrent versions: with no GC every version persists, so
+		// peak = nu (+0 since no prior writes).
+		for i := 0; i < nu; i++ {
+			v := register.MakeValue(256, uint64(i+1))
+			if _, err := sys.Invoke(c.Writers[i], ioa.Invocation{Kind: ioa.OpWrite, Value: v}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := sys.FairRun(1000000, ioa.AllOpsDone); err != nil {
+			t.Fatal(err)
+		}
+		srv, err := sys.Node(c.Servers[0])
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := srv.(*Server).VersionsStored()
+		if got != nu {
+			t.Errorf("nu=%d: server stores %d versions, want %d", nu, got, nu)
+		}
+	}
+}
+
+func TestGCBoundsVersions(t *testing.T) {
+	// With GC depth δ=0 and sequential writes, servers keep one finalized
+	// version (plus any in-flight pre-writes).
+	sys, servers, writers, readers := deploy(t, Options{Servers: 7, F: 2, GCDepth: 0, Writers: 1, Readers: 1})
+	var last []byte
+	for i := 0; i < 8; i++ {
+		last = register.MakeValue(128, uint64(i+1))
+		if _, err := sys.RunOp(writers[0], ioa.Invocation{Kind: ioa.OpWrite, Value: last}, 100000); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, id := range servers {
+		n, err := sys.Node(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := n.(*Server).VersionsStored(); got > 1 {
+			t.Errorf("server %d stores %d versions, want <= 1 with δ=0", id, got)
+		}
+	}
+	op, err := sys.RunOp(readers[0], ioa.Invocation{Kind: ioa.OpRead}, 100000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(op.Output, last) {
+		t.Fatalf("read %q, want %q", op.Output, last)
+	}
+}
+
+func TestConcurrentRandomScheduleAtomic(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		c, err := Deploy(Options{Servers: 7, F: 2, GCDepth: -1, Writers: 2, Readers: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sys := c.Sys
+		rng := rand.New(rand.NewSource(seed))
+		crashBudget := 2
+		nextVal := uint64(0)
+		for step := 0; step < 3000; step++ {
+			if rng.Intn(12) == 0 {
+				all := append(append([]ioa.NodeID(nil), c.Writers...), c.Readers...)
+				id := all[rng.Intn(len(all))]
+				n, err := sys.Node(id)
+				if err != nil {
+					t.Fatal(err)
+				}
+				cl := n.(ioa.Client)
+				if !cl.Busy() && !sys.Crashed(id) {
+					inv := ioa.Invocation{Kind: ioa.OpRead}
+					if id >= 101 && id < 200 {
+						nextVal++
+						inv = ioa.Invocation{Kind: ioa.OpWrite, Value: register.MakeValue(32, nextVal)}
+					}
+					if _, err := sys.Invoke(id, inv); err != nil {
+						t.Fatal(err)
+					}
+				}
+				continue
+			}
+			if crashBudget > 0 && rng.Intn(500) == 0 {
+				sys.Crash(c.Servers[rng.Intn(len(c.Servers))])
+				crashBudget--
+				continue
+			}
+			keys := sys.DeliverableChannels()
+			if len(keys) == 0 {
+				continue
+			}
+			k := keys[rng.Intn(len(keys))]
+			if err := sys.Deliver(k.From, k.To); err != nil {
+				t.Fatal(err)
+			}
+		}
+		_ = sys.FairRun(200000, ioa.AllOpsDone)
+		if err := consistency.CheckAtomic(sys.History(), nil); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if err := consistency.CheckWeaklyRegular(sys.History(), nil); err != nil {
+			t.Fatalf("seed %d (weak regularity): %v", seed, err)
+		}
+	}
+}
+
+func TestProfileSatisfiesTheorem65(t *testing.T) {
+	cfg := Config{Servers: cluster.ServerIDs(7), F: 2}
+	p := Profile(cfg)
+	if err := p.Theorem65Applies(); err != nil {
+		t.Errorf("CAS should satisfy Assumptions 1-3: %v", err)
+	}
+	if got := p.ValueDependentPhases(); got != 1 {
+		t.Errorf("%d value-dependent phases, want 1 (pre-write only)", got)
+	}
+	if len(p.Phases) != 3 {
+		t.Errorf("%d phases, want 3", len(p.Phases))
+	}
+}
+
+func TestWritePhaseIntrospection(t *testing.T) {
+	c, err := Deploy(Options{Servers: 5, F: 1, GCDepth: -1, Writers: 1, Readers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys := c.Sys
+	n, err := sys.Node(c.Writers[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := n.(*Client)
+	if ph, _ := w.WritePhase(); ph != 0 {
+		t.Errorf("idle: phase %d, want 0", ph)
+	}
+	if _, err := sys.Invoke(c.Writers[0], ioa.Invocation{Kind: ioa.OpWrite, Value: []byte("v")}); err != nil {
+		t.Fatal(err)
+	}
+	ph, vd := w.WritePhase()
+	if ph != 1 || vd {
+		t.Fatalf("query: got (%d,%v), want (1,false)", ph, vd)
+	}
+	// Deliver queries then a quorum of acks to advance to pre-write.
+	for _, s := range c.Servers {
+		if err := sys.Deliver(c.Writers[0], s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	q := Config{Servers: c.Servers, F: 1}.QuorumSize()
+	for _, s := range c.Servers[:q] {
+		if err := sys.Deliver(s, c.Writers[0]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ph, vd = w.WritePhase()
+	if ph != 2 || !vd {
+		t.Fatalf("pre-write: got (%d,%v), want (2,true)", ph, vd)
+	}
+}

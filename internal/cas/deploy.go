@@ -1,0 +1,65 @@
+package cas
+
+import (
+	"fmt"
+
+	"repro/internal/cluster"
+	"repro/internal/ioa"
+)
+
+// Options configures a CAS deployment.
+type Options struct {
+	Servers int
+	F       int
+	K       int // 0 = maximum (N-2f)
+	GCDepth int // -1 = plain CAS (no GC), δ >= 0 = CASGC
+	Writers int
+	Readers int
+}
+
+// Deploy builds a CAS register cluster with the conventional node-id layout.
+func Deploy(opts Options) (*cluster.Cluster, error) {
+	if opts.Writers < 1 || opts.Readers < 0 {
+		return nil, fmt.Errorf("cas: need at least one writer (writers=%d readers=%d)", opts.Writers, opts.Readers)
+	}
+	serverIDs := cluster.ServerIDs(opts.Servers)
+	cfg := Config{Servers: serverIDs, F: opts.F, K: opts.K, GCDepth: opts.GCDepth}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	sys := ioa.NewSystem()
+	for _, id := range serverIDs {
+		if err := sys.AddServer(NewServer(id, opts.GCDepth)); err != nil {
+			return nil, err
+		}
+	}
+	writers := cluster.WriterIDs(opts.Writers)
+	for _, id := range writers {
+		c, err := NewClient(id, RoleWriter, cfg)
+		if err != nil {
+			return nil, err
+		}
+		if err := sys.AddClient(c); err != nil {
+			return nil, err
+		}
+	}
+	readers := cluster.ReaderIDs(opts.Readers)
+	for _, id := range readers {
+		c, err := NewClient(id, RoleReader, cfg)
+		if err != nil {
+			return nil, err
+		}
+		if err := sys.AddClient(c); err != nil {
+			return nil, err
+		}
+	}
+	return &cluster.Cluster{
+		Name:    "cas",
+		Sys:     sys,
+		Servers: serverIDs,
+		Writers: writers,
+		Readers: readers,
+		F:       opts.F,
+		Profile: Profile(cfg),
+	}, nil
+}

@@ -1,0 +1,68 @@
+package cluster
+
+import (
+	"testing"
+
+	"repro/internal/ioa"
+)
+
+func TestIDLayout(t *testing.T) {
+	s := ServerIDs(3)
+	w := WriterIDs(2)
+	r := ReaderIDs(2)
+	if s[0] != ServerBase || s[2] != ServerBase+2 {
+		t.Errorf("server ids %v", s)
+	}
+	if w[0] != WriterBase || r[0] != ReaderBase {
+		t.Errorf("writer/reader bases %v %v", w, r)
+	}
+	// Ranges must not overlap for realistic sizes.
+	if ServerBase+99 >= WriterBase || WriterBase+99 >= ReaderBase {
+		t.Error("id ranges overlap")
+	}
+}
+
+func TestValidate(t *testing.T) {
+	good := &Cluster{
+		Sys:     ioa.NewSystem(),
+		Servers: ServerIDs(3),
+		Writers: WriterIDs(1),
+		F:       1,
+	}
+	if err := good.Validate(); err != nil {
+		t.Errorf("valid cluster rejected: %v", err)
+	}
+	cases := []*Cluster{
+		{Servers: ServerIDs(3), Writers: WriterIDs(1), F: 1},                        // nil sys
+		{Sys: ioa.NewSystem(), Writers: WriterIDs(1), F: 0},                         // no servers
+		{Sys: ioa.NewSystem(), Servers: ServerIDs(3), F: 1},                         // no writers
+		{Sys: ioa.NewSystem(), Servers: ServerIDs(3), Writers: WriterIDs(1), F: 3},  // f >= N
+		{Sys: ioa.NewSystem(), Servers: ServerIDs(3), Writers: WriterIDs(1), F: -1}, // f < 0
+	}
+	for i, c := range cases {
+		if err := c.Validate(); err == nil {
+			t.Errorf("case %d should be invalid", i)
+		}
+	}
+}
+
+func TestWithSystem(t *testing.T) {
+	orig := &Cluster{
+		Sys:     ioa.NewSystem(),
+		Servers: ServerIDs(3),
+		Writers: WriterIDs(1),
+		F:       1,
+		Name:    "x",
+	}
+	other := ioa.NewSystem()
+	cp := orig.WithSystem(other)
+	if cp.Sys != other {
+		t.Error("WithSystem must bind the new system")
+	}
+	if orig.Sys == other {
+		t.Error("original must be untouched")
+	}
+	if cp.Name != "x" || len(cp.Servers) != 3 {
+		t.Error("metadata must carry over")
+	}
+}

@@ -1,0 +1,131 @@
+package coded
+
+import (
+	"fmt"
+
+	"repro/internal/cluster"
+	"repro/internal/ioa"
+	"repro/internal/register"
+)
+
+// finNote is server-to-server gossip: "tag T is finalized". A server whose
+// pending slot holds T promotes it without waiting for the writer's W2.
+type finNote struct {
+	Tag register.Tag
+}
+
+// GossipServer is a two-version coded server that additionally gossips
+// finalization notes to its peers. Functionally it converges faster when the
+// writer's W2 messages are delayed; architecturally it moves the register
+// out of the "no server gossip" class of Theorem 4.1 and into the universal
+// class of Theorem 5.1, whose valency probes must first drain the
+// server-to-server channels (Definition 5.3). The adversary package runs
+// exactly those probes against it.
+type GossipServer struct {
+	inner Server
+	peers []ioa.NodeID
+}
+
+var (
+	_ ioa.Node         = (*GossipServer)(nil)
+	_ ioa.StorageMeter = (*GossipServer)(nil)
+	_ ioa.Digester     = (*GossipServer)(nil)
+)
+
+// NewGossipServer returns a gossiping two-version server. peers must list
+// the other servers.
+func NewGossipServer(id ioa.NodeID, peers []ioa.NodeID) *GossipServer {
+	return &GossipServer{inner: Server{id: id}, peers: append([]ioa.NodeID(nil), peers...)}
+}
+
+// ID implements ioa.Node.
+func (g *GossipServer) ID() ioa.NodeID { return g.inner.id }
+
+// Deliver implements ioa.Node.
+func (g *GossipServer) Deliver(from ioa.NodeID, msg ioa.Message) ioa.Effects {
+	switch m := msg.(type) {
+	case w2Msg:
+		eff := g.inner.Deliver(from, msg)
+		// Spread the finalization to peers.
+		for _, p := range g.peers {
+			eff.Sends = append(eff.Sends, ioa.Send{To: p, Msg: finNote{Tag: m.Tag}})
+		}
+		return eff
+	case finNote:
+		if g.inner.pend.Used && g.inner.pend.Tag.Equal(m.Tag) {
+			g.inner.fin = g.inner.pend
+			g.inner.pend = slot{}
+		}
+		return ioa.Effects{}
+	default:
+		return g.inner.Deliver(from, msg)
+	}
+}
+
+// StorageBits implements ioa.StorageMeter.
+func (g *GossipServer) StorageBits() int { return g.inner.StorageBits() }
+
+// StateDigest implements ioa.Digester.
+func (g *GossipServer) StateDigest() string { return "g" + g.inner.StateDigest() }
+
+// Clone implements ioa.Node.
+func (g *GossipServer) Clone() ioa.Node {
+	cp := &GossipServer{peers: append([]ioa.NodeID(nil), g.peers...)}
+	cp.inner = *(g.inner.Clone().(*Server))
+	return cp
+}
+
+// DeployGossip builds a gossiping two-version SWSR cluster. The client
+// protocols are identical to the plain two-version register; only the
+// servers differ.
+func DeployGossip(opts Options) (*cluster.Cluster, error) {
+	serverIDs := cluster.ServerIDs(opts.Servers)
+	cfg := Config{Servers: serverIDs, F: opts.F}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if opts.Readers < 0 {
+		return nil, fmt.Errorf("coded: negative reader count")
+	}
+	sys := ioa.NewSystem()
+	for i, id := range serverIDs {
+		peers := make([]ioa.NodeID, 0, len(serverIDs)-1)
+		for j, p := range serverIDs {
+			if j != i {
+				peers = append(peers, p)
+			}
+		}
+		if err := sys.AddServer(NewGossipServer(id, peers)); err != nil {
+			return nil, err
+		}
+	}
+	writerID := cluster.WriterIDs(1)[0]
+	w, err := NewWriter(writerID, cfg)
+	if err != nil {
+		return nil, err
+	}
+	if err := sys.AddClient(w); err != nil {
+		return nil, err
+	}
+	readers := cluster.ReaderIDs(opts.Readers)
+	for _, id := range readers {
+		r, err := NewReader(id, cfg)
+		if err != nil {
+			return nil, err
+		}
+		if err := sys.AddClient(r); err != nil {
+			return nil, err
+		}
+	}
+	profile := Profile(cfg)
+	profile.Algorithm = "coded-two-version-gossip"
+	return &cluster.Cluster{
+		Name:    profile.Algorithm,
+		Sys:     sys,
+		Servers: serverIDs,
+		Writers: []ioa.NodeID{writerID},
+		Readers: readers,
+		F:       opts.F,
+		Profile: profile,
+	}, nil
+}

@@ -1,0 +1,370 @@
+package coded
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/cluster"
+	"repro/internal/erasure"
+	"repro/internal/ioa"
+	"repro/internal/quorum"
+	"repro/internal/register"
+)
+
+// SoloServer stores exactly one coded element of an (N, k=N-f) code: the
+// minimum conceivable storage, N/(N-f)·log2|V| total, matching the Theorem
+// B.1 (Singleton) bound with equality up to tag metadata.
+//
+// The catch — and the paper's point — is that k = N-f makes EVERY surviving
+// shard necessary: the register is regular and live only when the f failures
+// occur before the value being read was written (the exact execution family
+// of the Theorem B.1 proof). A failure after the write, or a read racing a
+// write, can leave fewer than N-f matching shards reachable and the read
+// retries forever. The package tests demonstrate both sides.
+type SoloServer struct {
+	id   ioa.NodeID
+	cur  slot
+	prev slot // previous version, kept only until the next write lands
+}
+
+var (
+	_ ioa.Node         = (*SoloServer)(nil)
+	_ ioa.StorageMeter = (*SoloServer)(nil)
+	_ ioa.Digester     = (*SoloServer)(nil)
+)
+
+// NewSoloServer returns a single-version coded server.
+func NewSoloServer(id ioa.NodeID) *SoloServer { return &SoloServer{id: id} }
+
+// ID implements ioa.Node.
+func (s *SoloServer) ID() ioa.NodeID { return s.id }
+
+// Deliver implements ioa.Node.
+func (s *SoloServer) Deliver(from ioa.NodeID, msg ioa.Message) ioa.Effects {
+	switch m := msg.(type) {
+	case w1Msg:
+		if !s.cur.Used || s.cur.Tag.Less(m.Tag) {
+			s.prev = s.cur
+			s.cur = slot{Used: true, Tag: m.Tag, Shard: m.Shard}
+		}
+		return reply(from, w1Ack{RID: m.RID})
+	case readMsg:
+		ack := readAck{RID: m.RID}
+		if s.cur.Used {
+			ack.HasFin = true
+			ack.FinTag = s.cur.Tag
+			ack.FinShard = s.cur.Shard
+		}
+		if s.prev.Used {
+			ack.HasPend = true
+			ack.PendTag = s.prev.Tag
+			ack.PendShard = s.prev.Shard
+		}
+		return ioa.Effects{Sends: []ioa.Send{{To: from, Msg: ack}}}
+	default:
+		return ioa.Effects{}
+	}
+}
+
+// StorageBits implements ioa.StorageMeter. Only the current version counts
+// as retained storage once the previous is dropped; prev is transiently
+// non-empty only between a write's arrival and its overwrite, mirroring the
+// "single version" accounting of the classical coding setup.
+func (s *SoloServer) StorageBits() int {
+	bits := 0
+	for _, sl := range []slot{s.cur, s.prev} {
+		if sl.Used {
+			bits += sl.Tag.Bits() + 8*len(sl.Shard.Data)
+		}
+	}
+	return bits
+}
+
+// StateDigest implements ioa.Digester.
+func (s *SoloServer) StateDigest() string {
+	return fmt.Sprintf("solo|%v:%s:%x|%v:%s:%x",
+		s.cur.Used, s.cur.Tag, s.cur.Shard.Data,
+		s.prev.Used, s.prev.Tag, s.prev.Shard.Data)
+}
+
+// Clone implements ioa.Node.
+func (s *SoloServer) Clone() ioa.Node { cp := *s; return &cp }
+
+// SoloConfig configures a Solo register.
+type SoloConfig struct {
+	Servers []ioa.NodeID
+	F       int
+}
+
+// K returns the code dimension N-f.
+func (c SoloConfig) K() int { return len(c.Servers) - c.F }
+
+// Validate checks f < N.
+func (c SoloConfig) Validate() error {
+	if len(c.Servers) == 0 {
+		return fmt.Errorf("coded: no servers configured")
+	}
+	if c.F < 0 || c.K() < 1 {
+		return fmt.Errorf("coded: need f < N, got N=%d f=%d", len(c.Servers), c.F)
+	}
+	return nil
+}
+
+// SoloProfile returns the Section 6.1 classification: one value-dependent
+// phase.
+func SoloProfile(cfg SoloConfig) quorum.WriteProfile {
+	q := quorum.System{N: len(cfg.Servers), Size: cfg.K()}
+	return quorum.WriteProfile{
+		Algorithm: "coded-solo",
+		Phases: []quorum.PhaseSpec{
+			{Name: "w1-shards", Quorum: q, ValueDependent: true},
+		},
+		MetadataSeparated: true,
+		BlackBox:          true,
+	}
+}
+
+// SoloWriter writes with a single shard-distribution phase.
+type SoloWriter struct {
+	id      ioa.NodeID
+	servers []ioa.NodeID
+	q       int
+	code    *erasure.Code
+
+	busy  bool
+	rid   int64
+	seq   int64
+	acks  int
+	value []byte
+}
+
+var (
+	_ ioa.Client          = (*SoloWriter)(nil)
+	_ quorum.PhasedWriter = (*SoloWriter)(nil)
+)
+
+// NewSoloWriter returns the single writer of a Solo register.
+func NewSoloWriter(id ioa.NodeID, cfg SoloConfig) (*SoloWriter, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	code, err := erasure.New(len(cfg.Servers), cfg.K())
+	if err != nil {
+		return nil, fmt.Errorf("coded: %w", err)
+	}
+	return &SoloWriter{id: id, servers: append([]ioa.NodeID(nil), cfg.Servers...), q: cfg.K(), code: code}, nil
+}
+
+// ID implements ioa.Node.
+func (w *SoloWriter) ID() ioa.NodeID { return w.id }
+
+// Busy implements ioa.Client.
+func (w *SoloWriter) Busy() bool { return w.busy }
+
+// WritePhase implements quorum.PhasedWriter.
+func (w *SoloWriter) WritePhase() (int, bool) {
+	if !w.busy {
+		return 0, false
+	}
+	return 1, true
+}
+
+// Invoke implements ioa.Client.
+func (w *SoloWriter) Invoke(inv ioa.Invocation) ioa.Effects {
+	w.busy = true
+	w.rid++
+	w.acks = 0
+	w.seq++
+	w.value = inv.Value
+	tag := register.Tag{Seq: w.seq, Writer: w.id}
+	sends := make([]ioa.Send, 0, len(w.servers))
+	for i, s := range w.servers {
+		shard, err := w.code.EncodeOne(w.value, i)
+		if err != nil {
+			continue // unreachable
+		}
+		sends = append(sends, ioa.Send{To: s, Msg: w1Msg{RID: w.rid, Tag: tag, Shard: shard}})
+	}
+	return ioa.Effects{Sends: sends}
+}
+
+// Deliver implements ioa.Node.
+func (w *SoloWriter) Deliver(from ioa.NodeID, msg ioa.Message) ioa.Effects {
+	if !w.busy {
+		return ioa.Effects{}
+	}
+	m, ok := msg.(w1Ack)
+	if !ok || m.RID != w.rid {
+		return ioa.Effects{}
+	}
+	w.acks++
+	if w.acks < w.q {
+		return ioa.Effects{}
+	}
+	w.busy = false
+	return ioa.Effects{Response: &ioa.Response{Kind: ioa.OpWrite}}
+}
+
+// Clone implements ioa.Node.
+func (w *SoloWriter) Clone() ioa.Node {
+	cp := *w
+	cp.servers = append([]ioa.NodeID(nil), w.servers...)
+	return &cp
+}
+
+// SoloReader reads by collecting one coded element from every reachable
+// server; it needs k = N-f matching elements to decode.
+type SoloReader struct {
+	id      ioa.NodeID
+	servers []ioa.NodeID
+	q       int
+	code    *erasure.Code
+
+	busy    bool
+	rid     int64
+	acks    int
+	replies []readAck
+}
+
+var _ ioa.Client = (*SoloReader)(nil)
+
+// NewSoloReader returns a reader client for a Solo register.
+func NewSoloReader(id ioa.NodeID, cfg SoloConfig) (*SoloReader, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	code, err := erasure.New(len(cfg.Servers), cfg.K())
+	if err != nil {
+		return nil, fmt.Errorf("coded: %w", err)
+	}
+	return &SoloReader{id: id, servers: append([]ioa.NodeID(nil), cfg.Servers...), q: cfg.K(), code: code}, nil
+}
+
+// ID implements ioa.Node.
+func (r *SoloReader) ID() ioa.NodeID { return r.id }
+
+// Busy implements ioa.Client.
+func (r *SoloReader) Busy() bool { return r.busy }
+
+// Invoke implements ioa.Client.
+func (r *SoloReader) Invoke(inv ioa.Invocation) ioa.Effects {
+	r.busy = true
+	return r.startRound()
+}
+
+func (r *SoloReader) startRound() ioa.Effects {
+	r.rid++
+	r.acks = 0
+	r.replies = r.replies[:0]
+	sends := make([]ioa.Send, 0, len(r.servers))
+	for _, s := range r.servers {
+		sends = append(sends, ioa.Send{To: s, Msg: readMsg{RID: r.rid}})
+	}
+	return ioa.Effects{Sends: sends}
+}
+
+// Deliver implements ioa.Node.
+func (r *SoloReader) Deliver(from ioa.NodeID, msg ioa.Message) ioa.Effects {
+	if !r.busy {
+		return ioa.Effects{}
+	}
+	m, ok := msg.(readAck)
+	if !ok || m.RID != r.rid {
+		return ioa.Effects{}
+	}
+	r.acks++
+	r.replies = append(r.replies, m)
+	if r.acks < r.q {
+		return ioa.Effects{}
+	}
+	// Group replies by tag (current and previous slots both count).
+	shardsByTag := make(map[register.Tag][]erasure.Shard)
+	sawAny := false
+	for _, rep := range r.replies {
+		if rep.HasFin {
+			sawAny = true
+			shardsByTag[rep.FinTag] = append(shardsByTag[rep.FinTag], rep.FinShard)
+		}
+		if rep.HasPend {
+			sawAny = true
+			shardsByTag[rep.PendTag] = append(shardsByTag[rep.PendTag], rep.PendShard)
+		}
+	}
+	if !sawAny {
+		r.busy = false
+		return ioa.Effects{Response: &ioa.Response{Kind: ioa.OpRead, Value: nil}}
+	}
+	tags := make([]register.Tag, 0, len(shardsByTag))
+	for t := range shardsByTag {
+		tags = append(tags, t)
+	}
+	sort.Slice(tags, func(i, j int) bool { return tags[j].Less(tags[i]) })
+	for _, t := range tags {
+		if len(shardsByTag[t]) < r.code.K() {
+			continue
+		}
+		if value, err := r.code.Decode(shardsByTag[t]); err == nil {
+			r.busy = false
+			return ioa.Effects{Response: &ioa.Response{Kind: ioa.OpRead, Value: value}}
+		}
+	}
+	// Not enough matching shards yet: retry.
+	return r.startRound()
+}
+
+// Clone implements ioa.Node.
+func (r *SoloReader) Clone() ioa.Node {
+	cp := *r
+	cp.servers = append([]ioa.NodeID(nil), r.servers...)
+	cp.replies = append([]readAck(nil), r.replies...)
+	return &cp
+}
+
+// SoloOptions configures a Solo deployment.
+type SoloOptions struct {
+	Servers int
+	F       int
+	Readers int
+}
+
+// DeploySolo builds a Solo register cluster.
+func DeploySolo(opts SoloOptions) (*cluster.Cluster, error) {
+	serverIDs := cluster.ServerIDs(opts.Servers)
+	cfg := SoloConfig{Servers: serverIDs, F: opts.F}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	sys := ioa.NewSystem()
+	for _, id := range serverIDs {
+		if err := sys.AddServer(NewSoloServer(id)); err != nil {
+			return nil, err
+		}
+	}
+	writerID := cluster.WriterIDs(1)[0]
+	w, err := NewSoloWriter(writerID, cfg)
+	if err != nil {
+		return nil, err
+	}
+	if err := sys.AddClient(w); err != nil {
+		return nil, err
+	}
+	readers := cluster.ReaderIDs(opts.Readers)
+	for _, id := range readers {
+		r, err := NewSoloReader(id, cfg)
+		if err != nil {
+			return nil, err
+		}
+		if err := sys.AddClient(r); err != nil {
+			return nil, err
+		}
+	}
+	return &cluster.Cluster{
+		Name:    "coded-solo",
+		Sys:     sys,
+		Servers: serverIDs,
+		Writers: []ioa.NodeID{writerID},
+		Readers: readers,
+		F:       opts.F,
+		Profile: SoloProfile(cfg),
+	}, nil
+}

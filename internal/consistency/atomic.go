@@ -1,0 +1,213 @@
+package consistency
+
+import (
+	"bytes"
+	"fmt"
+	"sort"
+
+	"repro/internal/ioa"
+)
+
+// CheckAtomic verifies linearizability (atomicity) of a register history
+// with unique written values. Completed operations must all be linearized;
+// pending operations may take effect or not, at the checker's discretion
+// (the standard completion semantics).
+//
+// The checker runs a depth-first search over linearizations with two
+// standard optimizations: only "minimal" operations (all real-time
+// predecessors already linearized) are candidates, and failed search states
+// (chosen-set, last-written-value) are memoized. For the bounded-concurrency
+// histories produced by the experiments this is fast; worst-case it is
+// exponential, as linearizability checking fundamentally is.
+func CheckAtomic(h *ioa.History, initial []byte) error {
+	ops := make([]ioa.Op, 0, len(h.Ops))
+	for _, op := range h.Ops {
+		if op.Pending() && op.Kind == ioa.OpRead {
+			// A pending read constrains nothing: it may simply never take
+			// effect.
+			continue
+		}
+		ops = append(ops, op)
+	}
+	if _, err := writesByValue(ops); err != nil {
+		return err
+	}
+	c, err := newLinChecker(ops, initial)
+	if err != nil {
+		return err
+	}
+	if c.search() {
+		return nil
+	}
+	return &Violation{
+		Condition: "atomicity",
+		Op:        c.blame(),
+		Detail:    "no linearization of the history exists",
+	}
+}
+
+// linChecker holds the search state for one linearizability check.
+type linChecker struct {
+	ops     []ioa.Op
+	initial []byte
+	// valueID maps each distinct written value (plus initial) to a small
+	// integer for compact memo keys.
+	valueID map[string]int
+	// chosen[i] reports whether ops[i] has been linearized.
+	chosen []bool
+	nDone  int // count of chosen completed ops
+	nMust  int // number of completed ops (all must be linearized)
+	memo   map[string]bool
+}
+
+func newLinChecker(ops []ioa.Op, initial []byte) (*linChecker, error) {
+	// Sort by invocation for deterministic candidate order.
+	sorted := append([]ioa.Op(nil), ops...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].InvokeStep < sorted[j].InvokeStep })
+	c := &linChecker{
+		ops:     sorted,
+		initial: initial,
+		valueID: map[string]int{string(initial): 0},
+		chosen:  make([]bool, len(sorted)),
+		memo:    make(map[string]bool),
+	}
+	for _, op := range sorted {
+		if !op.Pending() {
+			c.nMust++
+		}
+		if op.Kind == ioa.OpWrite {
+			if _, ok := c.valueID[string(op.Input)]; !ok {
+				c.valueID[string(op.Input)] = len(c.valueID)
+			}
+		}
+	}
+	for _, op := range sorted {
+		if op.Kind == ioa.OpRead && !op.Pending() {
+			if _, ok := c.valueID[string(op.Output)]; !ok {
+				return nil, &Violation{
+					Condition: "atomicity",
+					Op:        op,
+					Detail:    "read returned a value that was never written",
+				}
+			}
+		}
+	}
+	return c, nil
+}
+
+// respondOrInf treats pending ops as responding at +infinity.
+func respondOrInf(op ioa.Op) int {
+	if op.Pending() {
+		return int(^uint(0) >> 1) // max int
+	}
+	return op.RespondStep
+}
+
+// search tries to linearize all completed ops starting from the initial
+// value. Returns true on success.
+func (c *linChecker) search() bool {
+	return c.dfs(0)
+}
+
+func (c *linChecker) dfs(lastVal int) bool {
+	if c.nDone == c.nMust {
+		return true
+	}
+	key := c.stateKey(lastVal)
+	if c.memo[key] {
+		return false // known dead end
+	}
+	// minResp over unchosen ops: an op is a candidate only if no unchosen op
+	// completed before it was invoked.
+	minResp := int(^uint(0) >> 1)
+	for i, op := range c.ops {
+		if c.chosen[i] {
+			continue
+		}
+		if r := respondOrInf(op); r < minResp {
+			minResp = r
+		}
+	}
+	for i, op := range c.ops {
+		if c.chosen[i] || op.InvokeStep > minResp {
+			continue
+		}
+		switch op.Kind {
+		case ioa.OpWrite:
+			c.take(i)
+			if c.dfs(c.valueID[string(op.Input)]) {
+				return true
+			}
+			c.untake(i)
+		case ioa.OpRead:
+			if c.valueID[string(op.Output)] != lastVal {
+				continue
+			}
+			c.take(i)
+			if c.dfs(lastVal) {
+				return true
+			}
+			c.untake(i)
+		}
+	}
+	c.memo[key] = true
+	return false
+}
+
+func (c *linChecker) take(i int) {
+	c.chosen[i] = true
+	if !c.ops[i].Pending() {
+		c.nDone++
+	}
+}
+
+func (c *linChecker) untake(i int) {
+	c.chosen[i] = false
+	if !c.ops[i].Pending() {
+		c.nDone--
+	}
+}
+
+// stateKey encodes (chosen bitmap, last value) compactly.
+func (c *linChecker) stateKey(lastVal int) string {
+	buf := make([]byte, (len(c.chosen)+7)/8+4)
+	for i, ch := range c.chosen {
+		if ch {
+			buf[i/8] |= 1 << (i % 8)
+		}
+	}
+	n := len(buf) - 4
+	buf[n] = byte(lastVal >> 24)
+	buf[n+1] = byte(lastVal >> 16)
+	buf[n+2] = byte(lastVal >> 8)
+	buf[n+3] = byte(lastVal)
+	return string(buf)
+}
+
+// blame picks a representative operation to report: the earliest completed
+// read whose value never matches a possible predecessor; falls back to the
+// first completed op.
+func (c *linChecker) blame() ioa.Op {
+	for _, op := range c.ops {
+		if op.Kind == ioa.OpRead && !op.Pending() {
+			return op
+		}
+	}
+	for _, op := range c.ops {
+		if !op.Pending() {
+			return op
+		}
+	}
+	if len(c.ops) > 0 {
+		return c.ops[0]
+	}
+	return ioa.Op{}
+}
+
+// MustBeValue is a test helper asserting a read output.
+func MustBeValue(op ioa.Op, want []byte) error {
+	if !bytes.Equal(op.Output, want) {
+		return fmt.Errorf("consistency: op %s returned %q, want %q", op, op.Output, want)
+	}
+	return nil
+}

@@ -1,0 +1,315 @@
+package core
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// paperParams is the configuration of the paper's Figure 1.
+var paperParams = Params{N: 21, F: 10}
+
+func almostEq(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestParamsValidate(t *testing.T) {
+	tests := []struct {
+		p      Params
+		wantOK bool
+	}{
+		{Params{21, 10}, true},
+		{Params{1, 0}, true},
+		{Params{5, 5}, false},
+		{Params{0, 0}, false},
+		{Params{5, -1}, false},
+	}
+	for _, tt := range tests {
+		if err := tt.p.Validate(); (err == nil) != tt.wantOK {
+			t.Errorf("%+v: err=%v wantOK=%v", tt.p, err, tt.wantOK)
+		}
+	}
+}
+
+// TestFigure1PaperConstants pins the normalized values of the paper's
+// Figure 1 (N=21, f=10).
+func TestFigure1PaperConstants(t *testing.T) {
+	p := paperParams
+	tests := []struct {
+		name string
+		got  float64
+		want float64
+	}{
+		{"Theorem B.1 = N/(N-f) = 21/11", NormalizedSingleton(p), 21.0 / 11.0},
+		{"Theorem 4.1 = 2N/(N-f+1) = 42/12", NormalizedTheorem41(p), 3.5},
+		{"Theorem 5.1 = 2N/(N-f+2) = 42/13", NormalizedTheorem51(p), 42.0 / 13.0},
+		{"Theorem 6.5 nu=1", NormalizedTheorem65(p, 1), 21.0 / 11.0},
+		{"Theorem 6.5 nu=2", NormalizedTheorem65(p, 2), 42.0 / 12.0},
+		{"Theorem 6.5 nu=11 hits f+1", NormalizedTheorem65(p, 11), 11.0},
+		{"Theorem 6.5 saturates beyond f+1", NormalizedTheorem65(p, 16), 11.0},
+		{"ABD = f+1", NormalizedABD(p), 11.0},
+		{"erasure nu=1", NormalizedErasureUpper(p, 1), 21.0 / 11.0},
+		{"erasure nu=6", NormalizedErasureUpper(p, 6), 6 * 21.0 / 11.0},
+		{"full replication", NormalizedFullReplication(p), 21.0},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if !almostEq(tt.got, tt.want, 1e-12) {
+				t.Errorf("got %.6f, want %.6f", tt.got, tt.want)
+			}
+		})
+	}
+}
+
+func TestReplicationCrossover(t *testing.T) {
+	// (f+1)(N-f)/N = 11*11/21 = 5.76... -> 6.
+	if got := ReplicationCrossoverNu(paperParams); got != 6 {
+		t.Errorf("crossover = %d, want 6", got)
+	}
+	// Sanity: at the crossover, erasure >= ABD; just before, erasure < ABD.
+	nu := ReplicationCrossoverNu(paperParams)
+	if NormalizedErasureUpper(paperParams, nu) < NormalizedABD(paperParams) {
+		t.Error("erasure bound at crossover should be >= ABD")
+	}
+	if NormalizedErasureUpper(paperParams, nu-1) >= NormalizedABD(paperParams) {
+		t.Error("erasure bound before crossover should be < ABD")
+	}
+}
+
+// TestBoundDominance verifies the ordering the paper relies on:
+// B.1 <= 5.1 <= 4.1, and Theorem 6.5 at nu>=2 dominates 4.1.
+func TestBoundDominance(t *testing.T) {
+	prop := func(nRaw, fRaw uint8) bool {
+		n := int(nRaw%30) + 3
+		f := int(fRaw) % (n / 2)
+		if n-f < 2 {
+			return true
+		}
+		p := Params{N: n, F: f}
+		if NormalizedSingleton(p) > NormalizedTheorem51(p)+1e-9 {
+			return false
+		}
+		if NormalizedTheorem51(p) > NormalizedTheorem41(p)+1e-9 {
+			return false
+		}
+		// Theorem 6.5 at nu=2 equals Theorem 4.1's constant 2N/(N-f+1),
+		// provided nu* = 2 (i.e. f >= 1).
+		if f >= 1 && !almostEq(NormalizedTheorem65(p, 2), NormalizedTheorem41(p), 1e-9) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestTheorem65Monotone verifies monotonicity in nu and saturation at f+1.
+func TestTheorem65Monotone(t *testing.T) {
+	p := paperParams
+	prev := 0.0
+	for nu := 0; nu <= 20; nu++ {
+		cur := NormalizedTheorem65(p, nu)
+		if cur < prev-1e-12 {
+			t.Fatalf("Theorem 6.5 bound decreased at nu=%d", nu)
+		}
+		if cur > float64(p.F+1)+1e-12 {
+			t.Fatalf("Theorem 6.5 bound exceeded f+1 at nu=%d", nu)
+		}
+		prev = cur
+	}
+}
+
+// TestExactApproachesNormalized: exact bounds divided by log2|V| converge to
+// the normalized constants from below as |V| grows.
+func TestExactApproachesNormalized(t *testing.T) {
+	p := paperParams
+	for _, log2V := range []float64{64, 1024, 1 << 20} {
+		checks := []struct {
+			name  string
+			exact float64
+			norm  float64
+		}{
+			{"B.1", SingletonTotalBits(p, log2V), NormalizedSingleton(p)},
+			{"4.1", Theorem41TotalBits(p, log2V), NormalizedTheorem41(p)},
+			{"5.1", Theorem51TotalBits(p, log2V), NormalizedTheorem51(p)},
+			{"6.5/nu=3", Theorem65TotalBits(p, 3, log2V), NormalizedTheorem65(p, 3)},
+			{"6.5/nu=16", Theorem65TotalBits(p, 16, log2V), NormalizedTheorem65(p, 16)},
+		}
+		for _, c := range checks {
+			ratio := c.exact / log2V
+			if ratio > c.norm+1e-9 {
+				t.Errorf("log2V=%g %s: exact/log2V = %f exceeds normalized %f", log2V, c.name, ratio, c.norm)
+			}
+			// Within 5% at log2V >= 1024 (the o(log|V|) term vanishes).
+			if log2V >= 1024 && ratio < c.norm*0.95 {
+				t.Errorf("log2V=%g %s: exact/log2V = %f too far below normalized %f", log2V, c.name, ratio, c.norm)
+			}
+		}
+	}
+}
+
+func TestLog2Helpers(t *testing.T) {
+	if got := Log2Pow2Minus1(3); !almostEq(got, math.Log2(7), 1e-12) {
+		t.Errorf("Log2Pow2Minus1(3) = %f, want log2 7", got)
+	}
+	if got := Log2Pow2Minus1(100); !almostEq(got, 100, 1e-9) {
+		t.Errorf("Log2Pow2Minus1(100) = %f, want ~100", got)
+	}
+	if !math.IsInf(Log2Pow2Minus1(0), -1) {
+		t.Error("Log2Pow2Minus1(0) should be -inf (empty set)")
+	}
+	if got := Log2Factorial(5); !almostEq(got, math.Log2(120), 1e-9) {
+		t.Errorf("Log2Factorial(5) = %f, want log2 120", got)
+	}
+	if got := Log2Factorial(0); got != 0 {
+		t.Errorf("Log2Factorial(0) = %f, want 0", got)
+	}
+	// C(7, 3) = 35 with b=3 (2^3-1 = 7).
+	if got := Log2BinomPow2(3, 3); !almostEq(got, math.Log2(35), 1e-9) {
+		t.Errorf("Log2BinomPow2(3,3) = %f, want log2 35", got)
+	}
+	if got := Log2BinomPow2(3, 0); got != 0 {
+		t.Errorf("Log2BinomPow2(3,0) = %f, want 0", got)
+	}
+	// m > population: impossible.
+	if !math.IsInf(Log2BinomPow2(1, 5), -1) {
+		t.Error("Log2BinomPow2(1,5) should be -inf")
+	}
+	// Continuity across the b=500 branch switch.
+	lo := Log2BinomPow2(499.999, 4)
+	hi := Log2BinomPow2(500.001, 4)
+	if math.Abs(hi-lo) > 0.01 {
+		t.Errorf("Log2BinomPow2 discontinuous at branch: %f vs %f", lo, hi)
+	}
+}
+
+func TestTheorem65SubsetForms(t *testing.T) {
+	p := paperParams
+	// Subset size: min(N-f+nu-1, N).
+	if got := Theorem65SubsetSize(p, 3); got != 13 {
+		t.Errorf("subset size nu=3: %d, want 13", got)
+	}
+	if got := Theorem65SubsetSize(p, 99); got != p.N {
+		t.Errorf("subset size saturates at N: got %d", got)
+	}
+	// NuStar.
+	if got := NuStar(p, 3); got != 3 {
+		t.Errorf("NuStar(3) = %d", got)
+	}
+	if got := NuStar(p, 30); got != p.F+1 {
+		t.Errorf("NuStar(30) = %d, want f+1", got)
+	}
+	// Subset bound is nonnegative and grows with nu.
+	prev := -1.0
+	for nu := 1; nu <= 12; nu++ {
+		b := Theorem65SubsetBits(p, nu, 4096)
+		if b < 0 {
+			t.Fatalf("negative subset bound at nu=%d", nu)
+		}
+		if b < prev {
+			t.Fatalf("subset bound decreased at nu=%d", nu)
+		}
+		prev = b
+	}
+	// Tiny |V| where the correction terms dominate: clamps to 0.
+	if got := Theorem65SubsetBits(p, 5, 2); got != 0 {
+		t.Errorf("tiny-|V| bound should clamp to 0, got %f", got)
+	}
+}
+
+func TestFigure1Generation(t *testing.T) {
+	rows, err := Figure1(paperParams, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 17 {
+		t.Fatalf("got %d rows, want 17", len(rows))
+	}
+	// Pin a few cells against the paper's plot.
+	if !almostEq(rows[0].TheoremB1, 21.0/11.0, 1e-12) {
+		t.Error("row 0 B.1 mismatch")
+	}
+	if !almostEq(rows[11].Theorem65, 11.0, 1e-12) {
+		t.Error("Theorem 6.5 must reach f+1 at nu=11")
+	}
+	if !almostEq(rows[16].Erasure, 16*21.0/11.0, 1e-12) {
+		t.Error("erasure upper bound at nu=16 mismatch")
+	}
+	table := Figure1Table(paperParams, rows)
+	if !strings.Contains(table, "Thm_6.5") || !strings.Contains(table, "N=21") {
+		t.Error("table header malformed")
+	}
+	if got := len(strings.Split(strings.TrimSpace(table), "\n")); got != 19 {
+		t.Errorf("table has %d lines, want 19 (2 header + 17 rows)", got)
+	}
+	if _, err := Figure1(Params{N: 0, F: 0}, 4); err == nil {
+		t.Error("invalid params should fail")
+	}
+	if _, err := Figure1(paperParams, -1); err == nil {
+		t.Error("negative maxNu should fail")
+	}
+}
+
+func TestSection7Summary(t *testing.T) {
+	p := paperParams
+	// Below the universal bound: infeasible.
+	c := Section7Summary(p, 4, 1.0)
+	if c.Feasible {
+		t.Error("g=1.0 should be infeasible (below Theorem 5.1)")
+	}
+	// Between 5.1 and 6.5 at nu=8: must have structural consequences.
+	c = Section7Summary(p, 8, 4.0)
+	if !c.Feasible {
+		t.Error("g=4.0 should be feasible")
+	}
+	found65 := false
+	found23 := false
+	for _, s := range c.Statements {
+		if strings.Contains(s, "Theorem 6.5") {
+			found65 = true
+		}
+		if strings.Contains(s, "[23]") {
+			found23 = true
+		}
+	}
+	if !found65 || !found23 {
+		t.Errorf("expected Theorem 6.5 and [23] consequences, got %v", c.Statements)
+	}
+	// Above everything: open-gap statement.
+	c = Section7Summary(p, 2, 50.0)
+	if !c.Feasible || len(c.Statements) != 1 || !strings.Contains(c.Statements[0], "open") {
+		t.Errorf("high g should be unconstrained, got %v", c.Statements)
+	}
+}
+
+// TestBoundsBelowUpperBounds: every lower bound must lie at or below the
+// achievable upper bounds it is compared against in Figure 1.
+func TestBoundsBelowUpperBounds(t *testing.T) {
+	prop := func(nRaw, fRaw, nuRaw uint8) bool {
+		n := int(nRaw%28) + 3
+		f := int(fRaw) % ((n + 1) / 2)
+		if n-f < 2 {
+			return true
+		}
+		nu := int(nuRaw%16) + 1
+		p := Params{N: n, F: f}
+		// Theorem 6.5 (applies to single-value-phase algorithms; the
+		// erasure algorithms are in that class): bound <= their cost.
+		if NormalizedTheorem65(p, nu) > NormalizedErasureUpper(p, nu)+1e-9 {
+			return false
+		}
+		// Universal bounds <= replication cost f+1... only meaningful when
+		// f+1 >= 2N/(N-f+2); check against full replication N instead,
+		// which every bound must respect.
+		if NormalizedTheorem51(p) > NormalizedFullReplication(p)+1e-9 {
+			return false
+		}
+		if NormalizedSingleton(p) > NormalizedFullReplication(p)+1e-9 {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}

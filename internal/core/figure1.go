@@ -1,0 +1,96 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Figure1Row is one x-position of Figure 1: the normalized total-storage
+// bounds at a given number of active writes ν.
+type Figure1Row struct {
+	Nu int
+	// Lower bounds.
+	TheoremB1 float64 // N/(N-f)
+	Theorem51 float64 // 2N/(N-f+2)
+	Theorem65 float64 // ν*·N/(N-f+ν*-1)
+	// Upper bounds.
+	ABD     float64 // f+1
+	Erasure float64 // ν·N/(N-f)
+}
+
+// Figure1 regenerates the data of the paper's Figure 1 for the given
+// parameters: normalized total-storage cost (cost / log2|V| as |V| -> inf)
+// against the number of active writes ν = 0..maxNu. The paper plots N=21,
+// f=10, maxNu=16.
+func Figure1(p Params, maxNu int) ([]Figure1Row, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if maxNu < 0 {
+		return nil, fmt.Errorf("core: negative maxNu %d", maxNu)
+	}
+	rows := make([]Figure1Row, 0, maxNu+1)
+	for nu := 0; nu <= maxNu; nu++ {
+		rows = append(rows, Figure1Row{
+			Nu:        nu,
+			TheoremB1: NormalizedSingleton(p),
+			Theorem51: NormalizedTheorem51(p),
+			Theorem65: NormalizedTheorem65(p, nu),
+			ABD:       NormalizedABD(p),
+			Erasure:   NormalizedErasureUpper(p, nu),
+		})
+	}
+	return rows, nil
+}
+
+// Figure1Table formats Figure 1 rows as an aligned text table (CSV-ish, one
+// row per ν), matching the series of the paper's plot.
+func Figure1Table(p Params, rows []Figure1Row) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "# Figure 1: normalized total-storage cost, N=%d, f=%d (|V| -> inf)\n", p.N, p.F)
+	fmt.Fprintf(&b, "%4s %12s %12s %12s %10s %14s\n",
+		"nu", "Thm_B.1", "Thm_5.1", "Thm_6.5", "ABD", "erasure_upper")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%4d %12.4f %12.4f %12.4f %10.4f %14.4f\n",
+			r.Nu, r.TheoremB1, r.Theorem51, r.Theorem65, r.ABD, r.Erasure)
+	}
+	return b.String()
+}
+
+// Section7Conclusion describes which statements of the paper's concluding
+// Section 7 apply to an algorithm achieving normalized total-storage cost g
+// at concurrency ν.
+type Section7Conclusion struct {
+	// Feasible is false when g is below the universal Theorem 5.1 bound —
+	// no such algorithm can exist.
+	Feasible bool
+	// Statements lists the structural consequences the paper derives.
+	Statements []string
+}
+
+// Section7Summary evaluates the "state of the art" summary of Section 7 for
+// a hypothetical algorithm with normalized total cost g(ν, N, f).
+func Section7Summary(p Params, nu int, g float64) Section7Conclusion {
+	out := Section7Conclusion{Feasible: true}
+	if g < NormalizedTheorem51(p) {
+		out.Feasible = false
+		out.Statements = append(out.Statements, fmt.Sprintf(
+			"infeasible: g=%.3f < 2N/(N-f+2)=%.3f (Theorem 5.1 universal bound)",
+			g, NormalizedTheorem51(p)))
+		return out
+	}
+	t65 := NormalizedTheorem65(p, nu)
+	if nu >= 1 && g < t65 {
+		out.Statements = append(out.Statements,
+			"g < ν·N/(N-f+ν-1): by Theorem 6.5 the algorithm must (a) send its value in multiple phases, or (b) not separate value and metadata in the writer state, or (c) take non-black-box write actions")
+	}
+	if g < float64(p.F+1) {
+		out.Statements = append(out.Statements,
+			"g < f+1 for all ν: by [23] (Spiegelman et al.), in some executions servers must store symbols jointly encoding values across versions")
+	}
+	if len(out.Statements) == 0 {
+		out.Statements = append(out.Statements,
+			"g is consistent with all known bounds; the gap between 2N/(N-f+2) and the upper bounds remains open (Section 7)")
+	}
+	return out
+}

@@ -1,0 +1,203 @@
+// Package erasure implements an (n, k) maximum-distance-separable (MDS)
+// erasure code over GF(2^8), in the style of classical Reed-Solomon codes.
+//
+// A value of b bytes is split into k data shards of ceil(b/k) bytes; n total
+// shards are produced such that ANY k of the n shards suffice to reconstruct
+// the value. Each shard therefore carries 1/k of the value's bits, which is
+// the storage-cost arithmetic at the heart of the paper: a server storing one
+// shard of an (n, k) code stores log2|V| / k bits of value information.
+//
+// The code is systematic: shards 0..k-1 are the raw data splits, and shards
+// k..n-1 are parity computed from a Vandermonde-derived encoding matrix whose
+// every k x k submatrix is invertible (the MDS property).
+package erasure
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+
+	"repro/internal/gf"
+)
+
+// Code is an (n, k) MDS erasure coder. It is immutable after construction
+// and safe for concurrent use.
+type Code struct {
+	n, k   int
+	field  *gf.Field
+	matrix *gf.Matrix // n x k encoding matrix; top k rows are identity
+}
+
+// Shard is one coded symbol of a value, tagged with its index in [0, n).
+type Shard struct {
+	Index int
+	Data  []byte
+}
+
+// New constructs an (n, k) code. It requires 1 <= k <= n < 256.
+func New(n, k int) (*Code, error) {
+	if k < 1 || n < k || n >= gf.Order {
+		return nil, fmt.Errorf("erasure: invalid parameters n=%d k=%d (need 1 <= k <= n < %d)", n, k, gf.Order)
+	}
+	field := gf.NewField()
+	// Build a systematic encoding matrix: start from an n x k Vandermonde
+	// matrix, then multiply by the inverse of its top k x k block so the top
+	// becomes the identity. The MDS property is preserved by this row basis
+	// change.
+	vm, err := gf.Vandermonde(field, n, k)
+	if err != nil {
+		return nil, fmt.Errorf("erasure: %w", err)
+	}
+	topRows := make([]int, k)
+	for i := range topRows {
+		topRows[i] = i
+	}
+	top, err := vm.SubMatrix(topRows)
+	if err != nil {
+		return nil, fmt.Errorf("erasure: %w", err)
+	}
+	topInv, err := top.Invert(field)
+	if err != nil {
+		return nil, fmt.Errorf("erasure: %w", err)
+	}
+	systematic, err := vm.Mul(field, topInv)
+	if err != nil {
+		return nil, fmt.Errorf("erasure: %w", err)
+	}
+	return &Code{n: n, k: k, field: field, matrix: systematic}, nil
+}
+
+// N returns the total number of shards produced per value.
+func (c *Code) N() int { return c.n }
+
+// K returns the number of shards required to reconstruct a value.
+func (c *Code) K() int { return c.k }
+
+// ShardSize returns the byte length of each shard for a value of valueLen
+// bytes, including the 4-byte length header amortized into the first split.
+func (c *Code) ShardSize(valueLen int) int {
+	return (valueLen + 4 + c.k - 1) / c.k
+}
+
+// Encode splits value into k data shards and produces all n shards.
+// The returned shards do not alias value.
+func (c *Code) Encode(value []byte) ([]Shard, error) {
+	splits := c.split(value)
+	shardLen := len(splits[0])
+	shards := make([]Shard, c.n)
+	for i := 0; i < c.n; i++ {
+		data := make([]byte, shardLen)
+		if i < c.k {
+			copy(data, splits[i])
+		} else {
+			for j := 0; j < c.k; j++ {
+				c.field.MulSlice(c.matrix.At(i, j), splits[j], data)
+			}
+		}
+		shards[i] = Shard{Index: i, Data: data}
+	}
+	return shards, nil
+}
+
+// EncodeOne produces only the shard with the given index. It is used by
+// writers that stream one shard per server without materializing all n.
+func (c *Code) EncodeOne(value []byte, index int) (Shard, error) {
+	if index < 0 || index >= c.n {
+		return Shard{}, fmt.Errorf("erasure: shard index %d out of range [0,%d)", index, c.n)
+	}
+	splits := c.split(value)
+	data := make([]byte, len(splits[0]))
+	if index < c.k {
+		copy(data, splits[index])
+	} else {
+		for j := 0; j < c.k; j++ {
+			c.field.MulSlice(c.matrix.At(index, j), splits[j], data)
+		}
+	}
+	return Shard{Index: index, Data: data}, nil
+}
+
+// Decode reconstructs the original value from any k (or more) distinct
+// shards. Extra shards beyond k are ignored. It returns an error if fewer
+// than k distinct shard indices are supplied or the shards are inconsistent
+// in length.
+func (c *Code) Decode(shards []Shard) ([]byte, error) {
+	// Deduplicate by index, keeping deterministic order.
+	byIdx := make(map[int]Shard, len(shards))
+	for _, s := range shards {
+		if s.Index < 0 || s.Index >= c.n {
+			return nil, fmt.Errorf("erasure: shard index %d out of range [0,%d)", s.Index, c.n)
+		}
+		if _, dup := byIdx[s.Index]; !dup {
+			byIdx[s.Index] = s
+		}
+	}
+	if len(byIdx) < c.k {
+		return nil, fmt.Errorf("erasure: need %d distinct shards, have %d", c.k, len(byIdx))
+	}
+	idxs := make([]int, 0, len(byIdx))
+	for i := range byIdx {
+		idxs = append(idxs, i)
+	}
+	sort.Ints(idxs)
+	idxs = idxs[:c.k]
+
+	shardLen := len(byIdx[idxs[0]].Data)
+	for _, i := range idxs {
+		if len(byIdx[i].Data) != shardLen {
+			return nil, fmt.Errorf("erasure: inconsistent shard lengths (%d vs %d)", len(byIdx[i].Data), shardLen)
+		}
+	}
+
+	sub, err := c.matrix.SubMatrix(idxs)
+	if err != nil {
+		return nil, fmt.Errorf("erasure: %w", err)
+	}
+	inv, err := sub.Invert(c.field)
+	if err != nil {
+		return nil, fmt.Errorf("erasure: %w", err)
+	}
+	// splits[j] = sum_i inv[j][i] * shard[idxs[i]]
+	splits := make([][]byte, c.k)
+	for j := 0; j < c.k; j++ {
+		splits[j] = make([]byte, shardLen)
+		for i := 0; i < c.k; i++ {
+			c.field.MulSlice(inv.At(j, i), byIdx[idxs[i]].Data, splits[j])
+		}
+	}
+	return c.join(splits)
+}
+
+// split prefixes value with a 4-byte big-endian length and pads to a multiple
+// of k, then slices into k equal splits.
+func (c *Code) split(value []byte) [][]byte {
+	total := len(value) + 4
+	shardLen := (total + c.k - 1) / c.k
+	buf := make([]byte, shardLen*c.k)
+	binary.BigEndian.PutUint32(buf, uint32(len(value)))
+	copy(buf[4:], value)
+	splits := make([][]byte, c.k)
+	for i := 0; i < c.k; i++ {
+		splits[i] = buf[i*shardLen : (i+1)*shardLen]
+	}
+	return splits
+}
+
+// join reassembles the splits and strips the length header and padding.
+func (c *Code) join(splits [][]byte) ([]byte, error) {
+	shardLen := len(splits[0])
+	buf := make([]byte, 0, shardLen*c.k)
+	for _, s := range splits {
+		buf = append(buf, s...)
+	}
+	if len(buf) < 4 {
+		return nil, fmt.Errorf("erasure: decoded buffer too short (%d bytes)", len(buf))
+	}
+	n := binary.BigEndian.Uint32(buf)
+	if int(n) > len(buf)-4 {
+		return nil, fmt.Errorf("erasure: corrupt length header %d (buffer %d)", n, len(buf)-4)
+	}
+	out := make([]byte, n)
+	copy(out, buf[4:4+n])
+	return out, nil
+}

@@ -1,0 +1,243 @@
+package erasure
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewValidation(t *testing.T) {
+	tests := []struct {
+		n, k   int
+		wantOK bool
+	}{
+		{5, 3, true},
+		{1, 1, true},
+		{255, 255, true},
+		{3, 5, false},
+		{5, 0, false},
+		{256, 3, false},
+		{0, 0, false},
+	}
+	for _, tt := range tests {
+		_, err := New(tt.n, tt.k)
+		if (err == nil) != tt.wantOK {
+			t.Errorf("New(%d, %d): err=%v, wantOK=%v", tt.n, tt.k, err, tt.wantOK)
+		}
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	c, err := New(7, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	values := [][]byte{
+		nil,
+		{},
+		{0x42},
+		[]byte("hello shared memory"),
+		bytes.Repeat([]byte{0xAB}, 1000),
+	}
+	for _, v := range values {
+		shards, err := c.Encode(v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(shards) != 7 {
+			t.Fatalf("got %d shards, want 7", len(shards))
+		}
+		got, err := c.Decode(shards[:3])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, v) {
+			t.Errorf("round trip mismatch for %q", v)
+		}
+	}
+}
+
+func TestDecodeFromAnySubset(t *testing.T) {
+	c, err := New(6, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	value := []byte("the quick brown fox jumps over the lazy dog")
+	shards, err := c.Encode(value)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// All C(6,3) = 20 subsets must decode.
+	for a := 0; a < 6; a++ {
+		for b := a + 1; b < 6; b++ {
+			for d := b + 1; d < 6; d++ {
+				got, err := c.Decode([]Shard{shards[a], shards[b], shards[d]})
+				if err != nil {
+					t.Fatalf("subset (%d,%d,%d): %v", a, b, d, err)
+				}
+				if !bytes.Equal(got, value) {
+					t.Fatalf("subset (%d,%d,%d): wrong value", a, b, d)
+				}
+			}
+		}
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	c, err := New(5, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shards, err := c.Encode([]byte("x"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Decode(shards[:2]); err == nil {
+		t.Error("decoding with k-1 shards should fail")
+	}
+	// Duplicate indices do not count twice.
+	if _, err := c.Decode([]Shard{shards[0], shards[0], shards[0]}); err == nil {
+		t.Error("decoding with duplicated shard should fail")
+	}
+	bad := []Shard{shards[0], shards[1], {Index: 99, Data: shards[2].Data}}
+	if _, err := c.Decode(bad); err == nil {
+		t.Error("out-of-range index should fail")
+	}
+	mixed := []Shard{shards[0], shards[1], {Index: 2, Data: []byte{1}}}
+	if _, err := c.Decode(mixed); err == nil {
+		t.Error("inconsistent shard length should fail")
+	}
+}
+
+func TestEncodeOneMatchesEncode(t *testing.T) {
+	c, err := New(9, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	value := bytes.Repeat([]byte("abc123"), 33)
+	all, err := c.Encode(value)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 9; i++ {
+		one, err := c.EncodeOne(value, i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(one.Data, all[i].Data) {
+			t.Errorf("EncodeOne(%d) differs from Encode", i)
+		}
+	}
+	if _, err := c.EncodeOne(value, 9); err == nil {
+		t.Error("EncodeOne out of range should fail")
+	}
+	if _, err := c.EncodeOne(value, -1); err == nil {
+		t.Error("EncodeOne negative index should fail")
+	}
+}
+
+func TestShardSize(t *testing.T) {
+	c, err := New(5, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, valueLen := range []int{0, 1, 2, 3, 100, 1024} {
+		value := make([]byte, valueLen)
+		shards, err := c.Encode(value)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got, want := len(shards[0].Data), c.ShardSize(valueLen); got != want {
+			t.Errorf("valueLen=%d: shard size %d, want %d", valueLen, got, want)
+		}
+	}
+}
+
+// TestDecodeRandomSubsetsProperty is a property-based test: for random
+// (n, k), value and shard subset, Decode(Encode(v)) == v.
+func TestDecodeRandomSubsetsProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	prop := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		k := 1 + r.Intn(8)
+		n := k + r.Intn(8)
+		c, err := New(n, k)
+		if err != nil {
+			return false
+		}
+		value := make([]byte, r.Intn(200))
+		r.Read(value)
+		shards, err := c.Encode(value)
+		if err != nil {
+			return false
+		}
+		perm := r.Perm(n)
+		chosen := make([]Shard, k)
+		for i := 0; i < k; i++ {
+			chosen[i] = shards[perm[i]]
+		}
+		got, err := c.Decode(chosen)
+		if err != nil {
+			return false
+		}
+		return bytes.Equal(got, value)
+	}
+	cfg := &quick.Config{MaxCount: 60, Rand: rng}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStorageFraction(t *testing.T) {
+	// A shard of an (n, k) code must carry ~1/k of the value bits: this is
+	// the arithmetic behind every storage-cost bound in the paper.
+	c, err := New(12, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	valueLen := 4096
+	shardBits := 8 * c.ShardSize(valueLen)
+	valueBits := 8 * valueLen
+	ratio := float64(shardBits) / float64(valueBits)
+	if ratio < 0.25 || ratio > 0.26 {
+		t.Errorf("shard/value bit ratio = %f, want ~1/k = 0.25", ratio)
+	}
+}
+
+func BenchmarkEncode(b *testing.B) {
+	c, err := New(21, 11)
+	if err != nil {
+		b.Fatal(err)
+	}
+	value := make([]byte, 64<<10)
+	b.SetBytes(int64(len(value)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.Encode(value); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDecode(b *testing.B) {
+	c, err := New(21, 11)
+	if err != nil {
+		b.Fatal(err)
+	}
+	value := make([]byte, 64<<10)
+	shards, err := c.Encode(value)
+	if err != nil {
+		b.Fatal(err)
+	}
+	subset := shards[10:21]
+	b.SetBytes(int64(len(value)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.Decode(subset); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

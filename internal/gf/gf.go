@@ -1,0 +1,130 @@
+// Package gf implements arithmetic over the finite field GF(2^8).
+//
+// The field is realized as polynomials over GF(2) modulo the primitive
+// polynomial x^8 + x^4 + x^3 + x^2 + 1 (0x11d), the same polynomial used by
+// most Reed-Solomon deployments. Multiplication and division are performed
+// through logarithm/antilogarithm tables so that both run in constant time.
+//
+// GF(2^8) is the substrate for the erasure codes in package erasure, which in
+// turn back the coded shared-memory registers that the storage-cost
+// experiments measure.
+package gf
+
+import "fmt"
+
+// Poly is the primitive polynomial used to construct the field
+// (x^8 + x^4 + x^3 + x^2 + 1).
+const Poly = 0x11d
+
+// Order is the number of elements in the field.
+const Order = 256
+
+// Elem is an element of GF(2^8).
+type Elem uint8
+
+// Field holds the precomputed log/exp tables for GF(2^8).
+//
+// A Field is immutable after construction and safe for concurrent use.
+type Field struct {
+	exp [2 * (Order - 1)]Elem // exp[i] = g^i, doubled to avoid mod in Mul
+	log [Order]int            // log[exp[i]] = i; log[0] unused
+}
+
+// NewField builds the GF(2^8) log/exp tables. The generator is g = 2, which
+// is primitive for Poly.
+func NewField() *Field {
+	var f Field
+	x := 1
+	for i := 0; i < Order-1; i++ {
+		f.exp[i] = Elem(x)
+		f.log[x] = i
+		x <<= 1
+		if x >= Order {
+			x ^= Poly
+		}
+	}
+	// Duplicate the exp table so Mul can index exp[logA+logB] directly.
+	for i := Order - 1; i < 2*(Order-1); i++ {
+		f.exp[i] = f.exp[i-(Order-1)]
+	}
+	return &f
+}
+
+// Add returns a + b. In characteristic 2, addition is XOR and is identical to
+// subtraction.
+func (f *Field) Add(a, b Elem) Elem { return a ^ b }
+
+// Sub returns a - b, which equals a + b in GF(2^8).
+func (f *Field) Sub(a, b Elem) Elem { return a ^ b }
+
+// Mul returns a * b.
+func (f *Field) Mul(a, b Elem) Elem {
+	if a == 0 || b == 0 {
+		return 0
+	}
+	return f.exp[f.log[a]+f.log[b]]
+}
+
+// Div returns a / b. Division by zero is reported as an error.
+func (f *Field) Div(a, b Elem) (Elem, error) {
+	if b == 0 {
+		return 0, fmt.Errorf("gf: division by zero (a=%d)", a)
+	}
+	if a == 0 {
+		return 0, nil
+	}
+	d := f.log[a] - f.log[b]
+	if d < 0 {
+		d += Order - 1
+	}
+	return f.exp[d], nil
+}
+
+// Inv returns the multiplicative inverse of a. Zero has no inverse.
+func (f *Field) Inv(a Elem) (Elem, error) {
+	if a == 0 {
+		return 0, fmt.Errorf("gf: zero has no multiplicative inverse")
+	}
+	return f.exp[(Order-1)-f.log[a]], nil
+}
+
+// Pow returns a raised to the power n (n >= 0).
+func (f *Field) Pow(a Elem, n int) Elem {
+	if n == 0 {
+		return 1
+	}
+	if a == 0 {
+		return 0
+	}
+	l := (f.log[a] * n) % (Order - 1)
+	return f.exp[l]
+}
+
+// Exp returns g^i where g = 2 is the field generator.
+func (f *Field) Exp(i int) Elem {
+	i %= Order - 1
+	if i < 0 {
+		i += Order - 1
+	}
+	return f.exp[i]
+}
+
+// MulSlice computes dst[i] ^= c * src[i] for all i. It is the inner loop of
+// Reed-Solomon encoding. dst and src must have equal length.
+func (f *Field) MulSlice(c Elem, src, dst []byte) {
+	if c == 0 {
+		return
+	}
+	if c == 1 {
+		for i, s := range src {
+			dst[i] ^= s
+		}
+		return
+	}
+	lc := f.log[c]
+	for i, s := range src {
+		if s != 0 {
+			dst[i] ^= byte(f.exp[lc+f.log[s]])
+		}
+	}
+}

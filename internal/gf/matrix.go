@@ -1,0 +1,157 @@
+package gf
+
+import "fmt"
+
+// Matrix is a dense matrix over GF(2^8), stored row-major.
+type Matrix struct {
+	Rows, Cols int
+	Data       []Elem // len = Rows*Cols
+}
+
+// NewMatrix allocates a zero Rows x Cols matrix.
+func NewMatrix(rows, cols int) *Matrix {
+	return &Matrix{Rows: rows, Cols: cols, Data: make([]Elem, rows*cols)}
+}
+
+// At returns the element at (r, c).
+func (m *Matrix) At(r, c int) Elem { return m.Data[r*m.Cols+c] }
+
+// Set assigns the element at (r, c).
+func (m *Matrix) Set(r, c int, v Elem) { m.Data[r*m.Cols+c] = v }
+
+// Clone returns a deep copy of m.
+func (m *Matrix) Clone() *Matrix {
+	out := NewMatrix(m.Rows, m.Cols)
+	copy(out.Data, m.Data)
+	return out
+}
+
+// Identity returns the n x n identity matrix.
+func Identity(n int) *Matrix {
+	m := NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		m.Set(i, i, 1)
+	}
+	return m
+}
+
+// Vandermonde returns the rows x cols matrix with entry (r, c) = g^(r*c)
+// where g is the field generator. Any cols x cols submatrix formed from
+// distinct rows r < 255 is invertible, which is the MDS property the erasure
+// code relies on.
+func Vandermonde(f *Field, rows, cols int) (*Matrix, error) {
+	if rows >= Order {
+		return nil, fmt.Errorf("gf: vandermonde rows %d exceeds field order %d", rows, Order-1)
+	}
+	m := NewMatrix(rows, cols)
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			m.Set(r, c, f.Pow(f.Exp(r), c))
+		}
+	}
+	return m, nil
+}
+
+// Mul returns the matrix product m * other.
+func (m *Matrix) Mul(f *Field, other *Matrix) (*Matrix, error) {
+	if m.Cols != other.Rows {
+		return nil, fmt.Errorf("gf: dimension mismatch %dx%d * %dx%d", m.Rows, m.Cols, other.Rows, other.Cols)
+	}
+	out := NewMatrix(m.Rows, other.Cols)
+	for r := 0; r < m.Rows; r++ {
+		for k := 0; k < m.Cols; k++ {
+			a := m.At(r, k)
+			if a == 0 {
+				continue
+			}
+			for c := 0; c < other.Cols; c++ {
+				out.Data[r*out.Cols+c] ^= f.Mul(a, other.At(k, c))
+			}
+		}
+	}
+	return out, nil
+}
+
+// SubMatrix returns the matrix formed by the given rows of m (in order).
+func (m *Matrix) SubMatrix(rows []int) (*Matrix, error) {
+	out := NewMatrix(len(rows), m.Cols)
+	for i, r := range rows {
+		if r < 0 || r >= m.Rows {
+			return nil, fmt.Errorf("gf: row %d out of range [0,%d)", r, m.Rows)
+		}
+		copy(out.Data[i*m.Cols:(i+1)*m.Cols], m.Data[r*m.Cols:(r+1)*m.Cols])
+	}
+	return out, nil
+}
+
+// Invert returns the inverse of the square matrix m using Gauss-Jordan
+// elimination. It returns an error when m is singular.
+func (m *Matrix) Invert(f *Field) (*Matrix, error) {
+	if m.Rows != m.Cols {
+		return nil, fmt.Errorf("gf: cannot invert non-square %dx%d matrix", m.Rows, m.Cols)
+	}
+	n := m.Rows
+	work := m.Clone()
+	inv := Identity(n)
+	for col := 0; col < n; col++ {
+		// Find a pivot row.
+		pivot := -1
+		for r := col; r < n; r++ {
+			if work.At(r, col) != 0 {
+				pivot = r
+				break
+			}
+		}
+		if pivot == -1 {
+			return nil, fmt.Errorf("gf: singular matrix (no pivot in column %d)", col)
+		}
+		if pivot != col {
+			swapRows(work, pivot, col)
+			swapRows(inv, pivot, col)
+		}
+		// Scale pivot row so the pivot becomes 1.
+		pinv, err := f.Inv(work.At(col, col))
+		if err != nil {
+			return nil, err
+		}
+		scaleRow(f, work, col, pinv)
+		scaleRow(f, inv, col, pinv)
+		// Eliminate the column from all other rows.
+		for r := 0; r < n; r++ {
+			if r == col {
+				continue
+			}
+			factor := work.At(r, col)
+			if factor == 0 {
+				continue
+			}
+			addScaledRow(f, work, r, col, factor)
+			addScaledRow(f, inv, r, col, factor)
+		}
+	}
+	return inv, nil
+}
+
+func swapRows(m *Matrix, a, b int) {
+	ra := m.Data[a*m.Cols : (a+1)*m.Cols]
+	rb := m.Data[b*m.Cols : (b+1)*m.Cols]
+	for i := range ra {
+		ra[i], rb[i] = rb[i], ra[i]
+	}
+}
+
+func scaleRow(f *Field, m *Matrix, r int, c Elem) {
+	row := m.Data[r*m.Cols : (r+1)*m.Cols]
+	for i := range row {
+		row[i] = f.Mul(row[i], c)
+	}
+}
+
+// addScaledRow does row[dst] ^= c * row[src].
+func addScaledRow(f *Field, m *Matrix, dst, src int, c Elem) {
+	rd := m.Data[dst*m.Cols : (dst+1)*m.Cols]
+	rs := m.Data[src*m.Cols : (src+1)*m.Cols]
+	for i := range rd {
+		rd[i] ^= f.Mul(c, rs[i])
+	}
+}

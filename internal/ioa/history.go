@@ -1,0 +1,124 @@
+package ioa
+
+import "fmt"
+
+// Op records one operation in an execution's history: its invocation step,
+// its response step (or -1 while pending), and its input/output values.
+type Op struct {
+	ID          int
+	Client      NodeID
+	Kind        OpKind
+	Input       []byte // value written (writes)
+	Output      []byte // value returned (reads)
+	InvokeStep  int
+	RespondStep int // -1 while pending
+}
+
+// Pending reports whether the operation has not yet responded.
+func (o Op) Pending() bool { return o.RespondStep < 0 }
+
+// PrecedesOp reports whether o completed before p was invoked (the real-time
+// precedence relation "<" used by every consistency condition).
+func (o Op) PrecedesOp(p Op) bool {
+	return !o.Pending() && o.RespondStep < p.InvokeStep
+}
+
+// String formats the operation for debugging.
+func (o Op) String() string {
+	resp := "pending"
+	if !o.Pending() {
+		resp = fmt.Sprintf("%d", o.RespondStep)
+	}
+	return fmt.Sprintf("op%d client=%d %s in=%q out=%q [%d,%s]",
+		o.ID, o.Client, o.Kind, o.Input, o.Output, o.InvokeStep, resp)
+}
+
+// History is the sequence of operations observed at the clients of an
+// execution, in invocation order.
+type History struct {
+	Ops  []Op
+	open map[NodeID]int // client -> index in Ops of its outstanding op
+}
+
+// NewHistory returns an empty history.
+func NewHistory() *History {
+	return &History{open: make(map[NodeID]int)}
+}
+
+// clone returns a deep copy (Ops entries copied; value slices shared, they
+// are immutable by the kernel's message contract).
+func (h *History) clone() *History {
+	out := &History{
+		Ops:  make([]Op, len(h.Ops)),
+		open: make(map[NodeID]int, len(h.open)),
+	}
+	copy(out.Ops, h.Ops)
+	for k, v := range h.open {
+		out.open[k] = v
+	}
+	return out
+}
+
+// beginOp appends a new pending operation and returns its ID.
+func (h *History) beginOp(client NodeID, inv Invocation, step int) (int, error) {
+	if _, busy := h.open[client]; busy {
+		return 0, fmt.Errorf("ioa: client %d already has an outstanding operation", client)
+	}
+	id := len(h.Ops)
+	h.Ops = append(h.Ops, Op{
+		ID:          id,
+		Client:      client,
+		Kind:        inv.Kind,
+		Input:       inv.Value,
+		InvokeStep:  step,
+		RespondStep: -1,
+	})
+	h.open[client] = id
+	return id, nil
+}
+
+// endOp completes the outstanding operation of client.
+func (h *History) endOp(client NodeID, resp Response, step int) error {
+	idx, ok := h.open[client]
+	if !ok {
+		return fmt.Errorf("ioa: client %d responded with no outstanding operation", client)
+	}
+	op := &h.Ops[idx]
+	if op.Kind != resp.Kind {
+		return fmt.Errorf("ioa: client %d response kind %v does not match invocation kind %v", client, resp.Kind, op.Kind)
+	}
+	op.Output = resp.Value
+	op.RespondStep = step
+	delete(h.open, client)
+	return nil
+}
+
+// OpByID returns the operation with the given ID.
+func (h *History) OpByID(id int) (Op, error) {
+	if id < 0 || id >= len(h.Ops) {
+		return Op{}, fmt.Errorf("ioa: no operation with id %d", id)
+	}
+	return h.Ops[id], nil
+}
+
+// Complete returns the completed operations.
+func (h *History) Complete() []Op {
+	out := make([]Op, 0, len(h.Ops))
+	for _, op := range h.Ops {
+		if !op.Pending() {
+			out = append(out, op)
+		}
+	}
+	return out
+}
+
+// PendingOps returns the operations still outstanding.
+func (h *History) PendingOps() []Op {
+	out := make([]Op, 0, len(h.open))
+	for _, op := range h.Ops {
+		if op.Pending() {
+			out = append(out, op)
+		}
+	}
+	return out
+}

@@ -1,0 +1,130 @@
+// Package ioa provides a deterministic, single-threaded simulation kernel for
+// asynchronous message-passing systems in the I/O-automata style used by the
+// paper (Section 3): a set of nodes (servers and clients) connected by
+// point-to-point reliable FIFO channels, scheduled one discrete step at a
+// time.
+//
+// Determinism is the load-bearing property. The paper's lower-bound proofs
+// construct executions ("run the writer until point P, silence it, fork two
+// futures...") that are only expressible when the schedule is data rather
+// than an accident of thread timing. The kernel therefore exposes:
+//
+//   - single-step delivery primitives (Deliver, Invoke),
+//   - fair and seeded-random schedulers built on top of them,
+//   - crash failures (a node stops taking steps),
+//   - silencing (messages from AND to a node are delayed indefinitely,
+//     the construction used in the valency probes of Sections 4-6),
+//   - per-channel freezing (used by the Theorem 6.5 construction, which
+//     withholds value-dependent messages in the channels),
+//   - whole-system snapshots with deep-cloned node state, and
+//   - per-server storage accounting in bits, the paper's cost metric.
+//
+// Messages are treated as immutable values: nodes must never mutate a
+// message (or a byte slice reachable from one) after sending it, which lets
+// snapshots share message payloads safely.
+package ioa
+
+import "fmt"
+
+// NodeID identifies a node. Servers and clients share one namespace.
+type NodeID int
+
+// Message is an immutable value exchanged between nodes.
+type Message any
+
+// OpKind distinguishes read and write operations.
+type OpKind int
+
+// Operation kinds.
+const (
+	OpRead OpKind = iota + 1
+	OpWrite
+)
+
+// String returns "read" or "write".
+func (k OpKind) String() string {
+	switch k {
+	case OpRead:
+		return "read"
+	case OpWrite:
+		return "write"
+	default:
+		return fmt.Sprintf("OpKind(%d)", int(k))
+	}
+}
+
+// Invocation starts an operation at a client.
+type Invocation struct {
+	Kind  OpKind
+	Value []byte // value to write; nil for reads
+}
+
+// Response completes an operation at a client.
+type Response struct {
+	Kind  OpKind
+	Value []byte // value read; nil for writes
+}
+
+// Send is an outgoing message directed at a node.
+type Send struct {
+	To  NodeID
+	Msg Message
+}
+
+// Effects is everything a node does in reaction to one input event: messages
+// it sends plus, for clients, the completion of the outstanding operation.
+type Effects struct {
+	Sends    []Send
+	Response *Response
+}
+
+// Node is a deterministic event-driven automaton. Deliver must be a pure
+// state transition: same state + same input => same new state and effects.
+type Node interface {
+	// ID returns the node's identity.
+	ID() NodeID
+	// Deliver handles a message from another node.
+	Deliver(from NodeID, msg Message) Effects
+	// Clone returns a deep copy of the node; used by snapshots. Immutable
+	// payloads (message byte slices) may be shared.
+	Clone() Node
+}
+
+// Client is a node at which operations can be invoked. A client has at most
+// one outstanding operation at a time (the well-formedness condition of
+// Section 3).
+type Client interface {
+	Node
+	// Invoke starts an operation. It must not be called while Busy.
+	Invoke(inv Invocation) Effects
+	// Busy reports whether an operation is outstanding.
+	Busy() bool
+}
+
+// StorageMeter is implemented by server nodes that report the size in bits
+// of their currently stored state. This is the operational proxy for the
+// paper's log2|S_i| storage cost (see DESIGN.md, substitutions table).
+type StorageMeter interface {
+	StorageBits() int
+}
+
+// Digester is implemented by nodes whose state can be fingerprinted
+// deterministically. The adversary package uses digests to realize the
+// injectivity ("one-to-one mapping from value pairs to server state
+// vectors") arguments of Theorems 4.1 and B.1.
+type Digester interface {
+	StateDigest() string
+}
+
+// ValueBearer marks messages that carry information about a written value
+// (the "value-dependent messages" of Definition 6.4). The Theorem 6.5
+// execution construction withholds exactly these messages.
+type ValueBearer interface {
+	BearsValue() bool
+}
+
+// BearsValue reports whether a message is value-dependent.
+func BearsValue(m Message) bool {
+	v, ok := m.(ValueBearer)
+	return ok && v.BearsValue()
+}

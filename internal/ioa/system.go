@@ -1,0 +1,377 @@
+package ioa
+
+import (
+	"fmt"
+	"sort"
+)
+
+// ChanKey identifies a directed point-to-point channel.
+type ChanKey struct {
+	From, To NodeID
+}
+
+// System is the composed automaton: nodes plus channels plus failure state,
+// advanced one discrete step at a time. The zero value is not usable; create
+// systems with NewSystem.
+type System struct {
+	nodes    map[NodeID]Node
+	ids      []NodeID // sorted, for deterministic iteration
+	servers  map[NodeID]bool
+	queues   map[ChanKey][]Message
+	crashed  map[NodeID]bool
+	silenced map[NodeID]bool
+	frozen   map[ChanKey]bool
+	steps    int
+	hist     *History
+
+	// Storage accounting (servers implementing StorageMeter only).
+	curBits      map[NodeID]int
+	maxBits      map[NodeID]int
+	curTotalBits int
+	maxTotalBits int
+}
+
+// NewSystem returns an empty system.
+func NewSystem() *System {
+	return &System{
+		nodes:    make(map[NodeID]Node),
+		servers:  make(map[NodeID]bool),
+		queues:   make(map[ChanKey][]Message),
+		crashed:  make(map[NodeID]bool),
+		silenced: make(map[NodeID]bool),
+		frozen:   make(map[ChanKey]bool),
+		hist:     NewHistory(),
+		curBits:  make(map[NodeID]int),
+		maxBits:  make(map[NodeID]int),
+	}
+}
+
+// AddServer registers a server node. Server storage is metered when the node
+// implements StorageMeter.
+func (s *System) AddServer(n Node) error { return s.add(n, true) }
+
+// AddClient registers a client node.
+func (s *System) AddClient(c Client) error { return s.add(c, false) }
+
+func (s *System) add(n Node, server bool) error {
+	id := n.ID()
+	if _, dup := s.nodes[id]; dup {
+		return fmt.Errorf("ioa: duplicate node id %d", id)
+	}
+	s.nodes[id] = n
+	s.servers[id] = server
+	s.ids = append(s.ids, id)
+	sort.Slice(s.ids, func(i, j int) bool { return s.ids[i] < s.ids[j] })
+	if server {
+		s.meter(id)
+	}
+	return nil
+}
+
+// Node returns the node with the given id.
+func (s *System) Node(id NodeID) (Node, error) {
+	n, ok := s.nodes[id]
+	if !ok {
+		return nil, fmt.Errorf("ioa: no node with id %d", id)
+	}
+	return n, nil
+}
+
+// NodeIDs returns all node ids in ascending order.
+func (s *System) NodeIDs() []NodeID {
+	out := make([]NodeID, len(s.ids))
+	copy(out, s.ids)
+	return out
+}
+
+// ServerIDs returns the ids of server nodes in ascending order.
+func (s *System) ServerIDs() []NodeID {
+	out := make([]NodeID, 0, len(s.ids))
+	for _, id := range s.ids {
+		if s.servers[id] {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// Steps returns the number of steps taken so far; it identifies the current
+// "point" of the execution in the paper's sense.
+func (s *System) Steps() int { return s.steps }
+
+// History returns the execution's operation history (live view).
+func (s *System) History() *History { return s.hist }
+
+// Crash fails a node: it takes no further steps. In-flight messages it sent
+// earlier remain deliverable, matching the crash model of Section 3.
+func (s *System) Crash(id NodeID) { s.crashed[id] = true }
+
+// Crashed reports whether the node has crashed.
+func (s *System) Crashed(id NodeID) bool { return s.crashed[id] }
+
+// Silence delays all messages from and to the node indefinitely and stops
+// the node from taking steps. This is the construction used throughout the
+// paper's proofs ("after point P all the messages from and to the writer are
+// delayed indefinitely").
+func (s *System) Silence(id NodeID) { s.silenced[id] = true }
+
+// Unsilence lifts a Silence.
+func (s *System) Unsilence(id NodeID) { delete(s.silenced, id) }
+
+// Silenced reports whether the node is silenced.
+func (s *System) Silenced(id NodeID) bool { return s.silenced[id] }
+
+// Freeze stops deliveries on the directed channel from->to while leaving its
+// queue intact. Used by the Theorem 6.5 construction to withhold
+// value-dependent messages.
+func (s *System) Freeze(from, to NodeID) { s.frozen[ChanKey{from, to}] = true }
+
+// Unfreeze lifts a Freeze.
+func (s *System) Unfreeze(from, to NodeID) { delete(s.frozen, ChanKey{from, to}) }
+
+// QueueLen returns the number of undelivered messages on from->to.
+func (s *System) QueueLen(from, to NodeID) int { return len(s.queues[ChanKey{from, to}]) }
+
+// CanDeliver reports whether the head message of from->to may be delivered
+// under the current failure/silence/freeze state.
+func (s *System) CanDeliver(from, to NodeID) bool {
+	k := ChanKey{from, to}
+	if len(s.queues[k]) == 0 {
+		return false
+	}
+	if s.frozen[k] {
+		return false
+	}
+	if s.crashed[to] || s.silenced[to] || s.silenced[from] {
+		return false
+	}
+	return true
+}
+
+// DeliverableChannels returns all channels whose head message may currently
+// be delivered, in deterministic (From, To) order.
+func (s *System) DeliverableChannels() []ChanKey {
+	keys := make([]ChanKey, 0, len(s.queues))
+	for k, q := range s.queues {
+		if len(q) == 0 {
+			continue
+		}
+		if s.CanDeliver(k.From, k.To) {
+			keys = append(keys, k)
+		}
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].From != keys[j].From {
+			return keys[i].From < keys[j].From
+		}
+		return keys[i].To < keys[j].To
+	})
+	return keys
+}
+
+// Deliver pops the head message of the from->to channel and delivers it,
+// advancing the execution by one step.
+func (s *System) Deliver(from, to NodeID) error {
+	if !s.CanDeliver(from, to) {
+		return fmt.Errorf("ioa: channel %d->%d has no deliverable message", from, to)
+	}
+	k := ChanKey{from, to}
+	q := s.queues[k]
+	msg := q[0]
+	s.queues[k] = q[1:]
+	node := s.nodes[to]
+	eff := node.Deliver(from, msg)
+	return s.applyEffects(to, eff)
+}
+
+// DeliverSelect delivers the first message on from->to accepted by match,
+// possibly out of FIFO order. The paper's channels are asynchronous and
+// unordered; the Section 6 execution constructions rely on delivering a
+// writer's value-independent messages while its value-dependent ones stay in
+// the channel, which FIFO delivery cannot express. It returns false when no
+// queued message matches; failure/silence/freeze guards apply as in Deliver.
+func (s *System) DeliverSelect(from, to NodeID, match func(Message) bool) (bool, error) {
+	k := ChanKey{from, to}
+	q := s.queues[k]
+	if len(q) == 0 {
+		return false, nil
+	}
+	if s.frozen[k] || s.crashed[to] || s.silenced[to] || s.silenced[from] {
+		return false, nil
+	}
+	for i, msg := range q {
+		if !match(msg) {
+			continue
+		}
+		s.queues[k] = append(append([]Message(nil), q[:i]...), q[i+1:]...)
+		node := s.nodes[to]
+		eff := node.Deliver(from, msg)
+		if err := s.applyEffects(to, eff); err != nil {
+			return false, err
+		}
+		return true, nil
+	}
+	return false, nil
+}
+
+// Invoke starts an operation at a client, advancing the execution by one
+// step. It returns the history ID of the new operation.
+func (s *System) Invoke(client NodeID, inv Invocation) (int, error) {
+	n, ok := s.nodes[client]
+	if !ok {
+		return 0, fmt.Errorf("ioa: no node with id %d", client)
+	}
+	c, ok := n.(Client)
+	if !ok {
+		return 0, fmt.Errorf("ioa: node %d is not a client", client)
+	}
+	if s.crashed[client] {
+		return 0, fmt.Errorf("ioa: cannot invoke on crashed client %d", client)
+	}
+	if c.Busy() {
+		return 0, fmt.Errorf("ioa: client %d is busy", client)
+	}
+	id, err := s.hist.beginOp(client, inv, s.steps)
+	if err != nil {
+		return 0, err
+	}
+	eff := c.Invoke(inv)
+	if err := s.applyEffects(client, eff); err != nil {
+		return 0, err
+	}
+	return id, nil
+}
+
+// applyEffects enqueues sends, records responses, bumps the step counter and
+// refreshes storage accounting for the acting node.
+func (s *System) applyEffects(actor NodeID, eff Effects) error {
+	s.steps++
+	for _, send := range eff.Sends {
+		if _, ok := s.nodes[send.To]; !ok {
+			return fmt.Errorf("ioa: node %d sent to unknown node %d", actor, send.To)
+		}
+		k := ChanKey{From: actor, To: send.To}
+		s.queues[k] = append(s.queues[k], send.Msg)
+	}
+	if eff.Response != nil {
+		if err := s.hist.endOp(actor, *eff.Response, s.steps); err != nil {
+			return err
+		}
+	}
+	if s.servers[actor] {
+		s.meter(actor)
+	}
+	return nil
+}
+
+// meter refreshes the storage accounting for one server node.
+func (s *System) meter(id NodeID) {
+	m, ok := s.nodes[id].(StorageMeter)
+	if !ok {
+		return
+	}
+	bits := m.StorageBits()
+	s.curTotalBits += bits - s.curBits[id]
+	s.curBits[id] = bits
+	if bits > s.maxBits[id] {
+		s.maxBits[id] = bits
+	}
+	if s.curTotalBits > s.maxTotalBits {
+		s.maxTotalBits = s.curTotalBits
+	}
+}
+
+// StorageReport summarizes storage costs observed so far (running maxima, in
+// bits), mirroring the paper's MaxStorage and TotalStorage definitions.
+type StorageReport struct {
+	// PerServerMaxBits maps each metered server to the maximum bits it held.
+	PerServerMaxBits map[NodeID]int
+	// MaxServerBits is the largest single-server maximum (MaxStorage).
+	MaxServerBits int
+	// MaxTotalBits is the maximum over time of the summed server storage
+	// (TotalStorage).
+	MaxTotalBits int
+	// CurrentTotalBits is the summed server storage right now.
+	CurrentTotalBits int
+}
+
+// Storage returns the storage report for the execution so far.
+func (s *System) Storage() StorageReport {
+	rep := StorageReport{
+		PerServerMaxBits: make(map[NodeID]int, len(s.maxBits)),
+		MaxTotalBits:     s.maxTotalBits,
+		CurrentTotalBits: s.curTotalBits,
+	}
+	for id, b := range s.maxBits {
+		rep.PerServerMaxBits[id] = b
+		if b > rep.MaxServerBits {
+			rep.MaxServerBits = b
+		}
+	}
+	return rep
+}
+
+// Snapshot captures a deep copy of the entire system state: node states,
+// channel contents, failure flags, history and storage accounting. Restoring
+// a snapshot yields an independent System that can be advanced without
+// affecting the original — the forking primitive behind valency probes.
+type Snapshot struct {
+	sys *System
+}
+
+// Snapshot returns a snapshot of the current state.
+func (s *System) Snapshot() *Snapshot {
+	return &Snapshot{sys: s.cloneState()}
+}
+
+// Restore materializes an independent System from the snapshot. The snapshot
+// remains valid and can be restored again.
+func (sn *Snapshot) Restore() *System {
+	return sn.sys.cloneState()
+}
+
+func (s *System) cloneState() *System {
+	out := &System{
+		nodes:        make(map[NodeID]Node, len(s.nodes)),
+		ids:          append([]NodeID(nil), s.ids...),
+		servers:      make(map[NodeID]bool, len(s.servers)),
+		queues:       make(map[ChanKey][]Message, len(s.queues)),
+		crashed:      make(map[NodeID]bool, len(s.crashed)),
+		silenced:     make(map[NodeID]bool, len(s.silenced)),
+		frozen:       make(map[ChanKey]bool, len(s.frozen)),
+		steps:        s.steps,
+		hist:         s.hist.clone(),
+		curBits:      make(map[NodeID]int, len(s.curBits)),
+		maxBits:      make(map[NodeID]int, len(s.maxBits)),
+		curTotalBits: s.curTotalBits,
+		maxTotalBits: s.maxTotalBits,
+	}
+	for id, n := range s.nodes {
+		out.nodes[id] = n.Clone()
+	}
+	for id, v := range s.servers {
+		out.servers[id] = v
+	}
+	for k, q := range s.queues {
+		if len(q) == 0 {
+			continue
+		}
+		out.queues[k] = append([]Message(nil), q...)
+	}
+	for id := range s.crashed {
+		out.crashed[id] = true
+	}
+	for id := range s.silenced {
+		out.silenced[id] = true
+	}
+	for k := range s.frozen {
+		out.frozen[k] = true
+	}
+	for id, b := range s.curBits {
+		out.curBits[id] = b
+	}
+	for id, b := range s.maxBits {
+		out.maxBits[id] = b
+	}
+	return out
+}

@@ -1,0 +1,121 @@
+package quorum
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestMajority(t *testing.T) {
+	tests := []struct{ n, want int }{
+		{1, 1}, {2, 2}, {3, 2}, {4, 3}, {5, 3}, {21, 11},
+	}
+	for _, tt := range tests {
+		if got := Majority(tt.n).Size; got != tt.want {
+			t.Errorf("Majority(%d).Size = %d, want %d", tt.n, got, tt.want)
+		}
+	}
+}
+
+func TestThreshold(t *testing.T) {
+	if _, err := Threshold(5, 3); err != nil {
+		t.Errorf("valid threshold rejected: %v", err)
+	}
+	if _, err := Threshold(5, 0); err == nil {
+		t.Error("size 0 should fail")
+	}
+	if _, err := Threshold(5, 6); err == nil {
+		t.Error("size > n should fail")
+	}
+}
+
+func TestIntersection(t *testing.T) {
+	q := System{N: 5, Size: 3}
+	if got := q.Intersection(q); got != 1 {
+		t.Errorf("3+3-5 = %d, want 1", got)
+	}
+	if !q.Intersects(q) {
+		t.Error("majorities of 5 must intersect")
+	}
+	small := System{N: 5, Size: 2}
+	if small.Intersects(small) {
+		t.Error("two 2-of-5 quorums may be disjoint")
+	}
+}
+
+// TestMajorityAlwaysIntersects is the classic quorum property.
+func TestMajorityAlwaysIntersects(t *testing.T) {
+	prop := func(nRaw uint8) bool {
+		n := int(nRaw%40) + 1
+		m := Majority(n)
+		return m.Intersects(m)
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLiveWith(t *testing.T) {
+	q := System{N: 5, Size: 3}
+	if !q.LiveWith(2) {
+		t.Error("3-of-5 should survive 2 crashes")
+	}
+	if q.LiveWith(3) {
+		t.Error("3-of-5 cannot survive 3 crashes")
+	}
+}
+
+func profile(phases []PhaseSpec, metaSep, blackBox bool) WriteProfile {
+	return WriteProfile{Algorithm: "test", Phases: phases, MetadataSeparated: metaSep, BlackBox: blackBox}
+}
+
+func TestTheorem65Applies(t *testing.T) {
+	q := System{N: 5, Size: 3}
+	okPhases := []PhaseSpec{
+		{Name: "query", Quorum: q, ValueDependent: false},
+		{Name: "put", Quorum: q, ValueDependent: true},
+		{Name: "fin", Quorum: q, ValueDependent: false},
+	}
+	tests := []struct {
+		name    string
+		p       WriteProfile
+		wantOK  bool
+		wantSub string
+	}{
+		{"canonical", profile(okPhases, true, true), true, ""},
+		{"no metadata separation", profile(okPhases, false, true), false, "Assumption 1"},
+		{"no phases", profile(nil, true, true), false, "Assumption 2"},
+		{"non black box", profile(okPhases, true, false), false, "Assumption 3(a)"},
+		{"two value phases", profile([]PhaseSpec{
+			{Name: "hash", Quorum: q, ValueDependent: true},
+			{Name: "code", Quorum: q, ValueDependent: true},
+		}, true, true), false, "Assumption 3(b)"},
+		{"value phase then metadata ok", profile([]PhaseSpec{
+			{Name: "code", Quorum: q, ValueDependent: true},
+			{Name: "fin", Quorum: q, ValueDependent: false},
+		}, true, true), true, ""},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			err := tt.p.Theorem65Applies()
+			if (err == nil) != tt.wantOK {
+				t.Fatalf("err = %v, wantOK %v", err, tt.wantOK)
+			}
+			if err != nil && !strings.Contains(err.Error(), tt.wantSub) {
+				t.Errorf("error %q should mention %q", err, tt.wantSub)
+			}
+		})
+	}
+}
+
+func TestValueDependentPhases(t *testing.T) {
+	q := System{N: 3, Size: 2}
+	p := profile([]PhaseSpec{
+		{Name: "a", Quorum: q, ValueDependent: true},
+		{Name: "b", Quorum: q, ValueDependent: false},
+		{Name: "c", Quorum: q, ValueDependent: true},
+	}, true, true)
+	if got := p.ValueDependentPhases(); got != 2 {
+		t.Errorf("got %d, want 2", got)
+	}
+}

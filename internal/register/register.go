@@ -1,0 +1,77 @@
+// Package register defines the shared types of a read/write register
+// emulation: version tags, value helpers and bit-size accounting used by the
+// storage-cost experiments.
+package register
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"repro/internal/ioa"
+)
+
+// Tag is a version identifier: a sequence number paired with the writer's id
+// to break ties, ordered lexicographically. It is the (z, id) "tag" used by
+// multi-writer algorithms such as ABD and CAS.
+type Tag struct {
+	Seq    int64
+	Writer ioa.NodeID
+}
+
+// Less reports whether t orders strictly before u.
+func (t Tag) Less(u Tag) bool {
+	if t.Seq != u.Seq {
+		return t.Seq < u.Seq
+	}
+	return t.Writer < u.Writer
+}
+
+// Equal reports whether the tags are identical.
+func (t Tag) Equal(u Tag) bool { return t.Seq == u.Seq && t.Writer == u.Writer }
+
+// IsZero reports whether t is the bottom tag (no write yet).
+func (t Tag) IsZero() bool { return t.Seq == 0 && t.Writer == 0 }
+
+// Next returns the tag a writer with the given id uses after observing t.
+func (t Tag) Next(writer ioa.NodeID) Tag { return Tag{Seq: t.Seq + 1, Writer: writer} }
+
+// Bits returns the metadata size of a tag for storage accounting: 64 bits of
+// sequence number plus 32 bits of writer id.
+func (t Tag) Bits() int { return 96 }
+
+// String formats the tag.
+func (t Tag) String() string { return fmt.Sprintf("(%d,w%d)", t.Seq, t.Writer) }
+
+// MaxTag returns the larger of two tags.
+func MaxTag(a, b Tag) Tag {
+	if a.Less(b) {
+		return b
+	}
+	return a
+}
+
+// ValueBits returns the size of a value in bits; this is the log2|V| of an
+// experiment when values are drawn from all byte strings of a fixed length.
+func ValueBits(v []byte) int { return 8 * len(v) }
+
+// MakeValue returns a deterministic pseudo-random value of the given byte
+// length, distinct for distinct seeds (the first 8 bytes encode the seed).
+// Experiments use it to give every write a unique value, which the
+// consistency checkers and the injectivity experiments rely on.
+func MakeValue(size int, seed uint64) []byte {
+	if size < 8 {
+		size = 8
+	}
+	v := make([]byte, size)
+	binary.BigEndian.PutUint64(v, seed)
+	// Fill the remainder with a cheap xorshift stream so the value is not
+	// trivially compressible.
+	x := seed*2862933555777941757 + 3037000493
+	for i := 8; i < size; i++ {
+		x ^= x << 13
+		x ^= x >> 7
+		x ^= x << 17
+		v[i] = byte(x)
+	}
+	return v
+}

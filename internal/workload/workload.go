@@ -1,0 +1,205 @@
+// Package workload drives register clusters through seeded, reproducible
+// workloads with a controlled number of concurrently active write
+// operations ν — the parameter the paper's storage bounds revolve around —
+// while the kernel meters per-server storage.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/cluster"
+	"repro/internal/consistency"
+	"repro/internal/ioa"
+	"repro/internal/register"
+)
+
+// Spec describes a workload.
+type Spec struct {
+	// Seed makes the run reproducible.
+	Seed int64
+	// Writes is the total number of write operations to issue.
+	Writes int
+	// Reads is the total number of read operations to issue.
+	Reads int
+	// TargetNu caps the number of concurrently active writes; the driver
+	// keeps min(TargetNu, len(Writers)) writes in flight while budget
+	// remains, producing sustained concurrency at that level.
+	TargetNu int
+	// ValueBytes is the size of each written value; log2|V| = 8*ValueBytes.
+	ValueBytes int
+	// Crashes randomly crashes up to this many servers during the run
+	// (bounded by the cluster's f).
+	Crashes int
+	// MaxSteps bounds the total deliveries (default 2,000,000).
+	MaxSteps int
+}
+
+func (s Spec) maxSteps() int {
+	if s.MaxSteps > 0 {
+		return s.MaxSteps
+	}
+	return 2000000
+}
+
+// Validate checks the spec against a cluster.
+func (s Spec) Validate(cl *cluster.Cluster) error {
+	if s.Writes < 0 || s.Reads < 0 {
+		return fmt.Errorf("workload: negative op counts")
+	}
+	if s.TargetNu < 1 {
+		return fmt.Errorf("workload: TargetNu must be >= 1")
+	}
+	if s.ValueBytes < 8 {
+		return fmt.Errorf("workload: ValueBytes must be >= 8 (value uniqueness header)")
+	}
+	if s.Crashes > cl.F {
+		return fmt.Errorf("workload: %d crashes exceed cluster f=%d", s.Crashes, cl.F)
+	}
+	return nil
+}
+
+// Result reports what a run produced.
+type Result struct {
+	// History is the operation history (all ops completed unless the
+	// cluster lost liveness, which Run reports as an error).
+	History *ioa.History
+	// Storage is the kernel's running-maximum storage report.
+	Storage ioa.StorageReport
+	// PeakActiveWrites is the measured maximum of concurrently active
+	// write operations over the run (the execution's ν).
+	PeakActiveWrites int
+	// Log2V is 8*ValueBytes, for normalizing storage.
+	Log2V float64
+	// NormalizedTotal is Storage.MaxTotalBits / Log2V — directly comparable
+	// to the Figure 1 series.
+	NormalizedTotal float64
+}
+
+// Run drives the cluster through the workload.
+func Run(cl *cluster.Cluster, spec Spec) (*Result, error) {
+	if err := cl.Validate(); err != nil {
+		return nil, err
+	}
+	if err := spec.Validate(cl); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(spec.Seed))
+	sys := cl.Sys
+
+	writesLeft := spec.Writes
+	readsLeft := spec.Reads
+	crashesLeft := spec.Crashes
+	nextVal := uint64(0)
+	activeWrites := 0
+	peak := 0
+
+	idle := func(id ioa.NodeID) bool {
+		n, err := sys.Node(id)
+		if err != nil {
+			return false
+		}
+		c, ok := n.(ioa.Client)
+		return ok && !c.Busy() && !sys.Crashed(id)
+	}
+
+	maxNu := spec.TargetNu
+	if maxNu > len(cl.Writers) {
+		maxNu = len(cl.Writers)
+	}
+
+	for step := 0; step < spec.maxSteps(); step++ {
+		// Keep writes saturated at the target concurrency.
+		if writesLeft > 0 && activeWrites < maxNu {
+			started := false
+			for _, w := range cl.Writers {
+				if !idle(w) {
+					continue
+				}
+				nextVal++
+				v := register.MakeValue(spec.ValueBytes, nextVal)
+				if _, err := sys.Invoke(w, ioa.Invocation{Kind: ioa.OpWrite, Value: v}); err != nil {
+					return nil, fmt.Errorf("workload: %w", err)
+				}
+				writesLeft--
+				activeWrites++
+				if activeWrites > peak {
+					peak = activeWrites
+				}
+				started = true
+				break
+			}
+			if started {
+				continue
+			}
+		}
+		// Occasionally start a read.
+		if readsLeft > 0 && rng.Intn(8) == 0 {
+			for _, r := range cl.Readers {
+				if idle(r) {
+					if _, err := sys.Invoke(r, ioa.Invocation{Kind: ioa.OpRead}); err != nil {
+						return nil, fmt.Errorf("workload: %w", err)
+					}
+					readsLeft--
+					break
+				}
+			}
+		}
+		// Occasionally crash a server.
+		if crashesLeft > 0 && rng.Intn(1000) == 0 {
+			idx := rng.Intn(len(cl.Servers))
+			if !sys.Crashed(cl.Servers[idx]) {
+				sys.Crash(cl.Servers[idx])
+				crashesLeft--
+			}
+		}
+		// Deliver a random message.
+		keys := sys.DeliverableChannels()
+		if len(keys) == 0 {
+			if writesLeft == 0 && readsLeft == 0 {
+				break
+			}
+			continue
+		}
+		k := keys[rng.Intn(len(keys))]
+		if err := sys.Deliver(k.From, k.To); err != nil {
+			return nil, fmt.Errorf("workload: %w", err)
+		}
+		// Track write completions.
+		completedWrites := 0
+		for _, op := range sys.History().Ops {
+			if op.Kind == ioa.OpWrite && !op.Pending() {
+				completedWrites++
+			}
+		}
+		activeWrites = (spec.Writes - writesLeft) - completedWrites
+	}
+	// Let everything settle.
+	if err := sys.FairRun(spec.maxSteps(), ioa.AllOpsDone); err != nil {
+		return nil, fmt.Errorf("workload: drain: %w", err)
+	}
+	log2V := float64(8 * spec.ValueBytes)
+	rep := sys.Storage()
+	return &Result{
+		History:          sys.History(),
+		Storage:          rep,
+		PeakActiveWrites: peak,
+		Log2V:            log2V,
+		NormalizedTotal:  float64(rep.MaxTotalBits) / log2V,
+	}, nil
+}
+
+// CheckConsistency verifies the result's history against the named
+// condition: "atomic", "regular" or "weakly-regular".
+func (r *Result) CheckConsistency(condition string) error {
+	switch condition {
+	case "atomic":
+		return consistency.CheckAtomic(r.History, nil)
+	case "regular":
+		return consistency.CheckRegular(r.History, nil)
+	case "weakly-regular":
+		return consistency.CheckWeaklyRegular(r.History, nil)
+	default:
+		return fmt.Errorf("workload: unknown condition %q", condition)
+	}
+}

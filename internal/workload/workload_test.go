@@ -1,0 +1,123 @@
+package workload
+
+import (
+	"testing"
+
+	"repro/internal/abd"
+	"repro/internal/cas"
+	"repro/internal/cluster"
+	"repro/internal/core"
+)
+
+func TestSpecValidate(t *testing.T) {
+	cl, err := abd.Deploy(abd.Options{Servers: 3, F: 1, Writers: 1, Readers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := []Spec{
+		{Writes: -1, TargetNu: 1, ValueBytes: 16},
+		{Writes: 1, TargetNu: 0, ValueBytes: 16},
+		{Writes: 1, TargetNu: 1, ValueBytes: 4},
+		{Writes: 1, TargetNu: 1, ValueBytes: 16, Crashes: 2},
+	}
+	for i, s := range bad {
+		if err := s.Validate(cl); err == nil {
+			t.Errorf("spec %d should be invalid", i)
+		}
+	}
+	good := Spec{Writes: 1, Reads: 1, TargetNu: 1, ValueBytes: 16, Crashes: 1}
+	if err := good.Validate(cl); err != nil {
+		t.Errorf("good spec rejected: %v", err)
+	}
+}
+
+func TestRunABDAtomic(t *testing.T) {
+	cl, err := abd.Deploy(abd.Options{Servers: 5, F: 2, Writers: 2, Readers: 2, MultiWriter: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(cl, Spec{Seed: 1, Writes: 12, Reads: 8, TargetNu: 2, ValueBytes: 256, Crashes: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.CheckConsistency("atomic"); err != nil {
+		t.Fatal(err)
+	}
+	if res.PeakActiveWrites < 1 || res.PeakActiveWrites > 2 {
+		t.Errorf("peak active writes = %d, want in [1,2]", res.PeakActiveWrites)
+	}
+	if len(res.History.PendingOps()) != 0 {
+		t.Error("all operations should have completed")
+	}
+	// ABD normalized storage ~ N (one copy per server), independent of nu;
+	// the slack covers per-server tag metadata (96 bits per 2048-bit value).
+	if res.NormalizedTotal < 4.5 || res.NormalizedTotal > 5.5 {
+		t.Errorf("ABD normalized total = %f, want ~5 (N copies)", res.NormalizedTotal)
+	}
+}
+
+// TestCASStorageGrowsWithNu reproduces the paper's Section 2.3 observation
+// end to end: CASGC's storage grows with the sustained write concurrency.
+func TestCASStorageGrowsWithNu(t *testing.T) {
+	measure := func(nu int) float64 {
+		cl, err := cas.Deploy(cas.Options{Servers: 9, F: 2, GCDepth: 0, Writers: nu, Readers: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := Run(cl, Spec{Seed: 7, Writes: 6 * nu, Reads: 2, TargetNu: nu, ValueBytes: 512})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := res.CheckConsistency("atomic"); err != nil {
+			t.Fatal(err)
+		}
+		return res.NormalizedTotal
+	}
+	s1 := measure(1)
+	s3 := measure(3)
+	if s3 <= s1 {
+		t.Errorf("storage should grow with nu: nu=1 -> %.2f, nu=3 -> %.2f", s1, s3)
+	}
+	// Lower bound sanity: measured storage must respect Theorem 6.5.
+	p := core.Params{N: 9, F: 2}
+	if s1 < core.NormalizedTheorem65(p, 1)*0.9 {
+		t.Errorf("nu=1 storage %.2f below Theorem 6.5 bound %.2f", s1, core.NormalizedTheorem65(p, 1))
+	}
+}
+
+func TestRunRejectsBrokenCluster(t *testing.T) {
+	if _, err := Run(&cluster.Cluster{}, Spec{Writes: 1, TargetNu: 1, ValueBytes: 16}); err == nil {
+		t.Error("invalid cluster should be rejected")
+	}
+}
+
+func TestCheckConsistencyUnknown(t *testing.T) {
+	r := &Result{}
+	if err := r.CheckConsistency("bogus"); err == nil {
+		t.Error("unknown condition should fail")
+	}
+}
+
+func TestDeterministicReplay(t *testing.T) {
+	run := func() (*Result, error) {
+		cl, err := abd.Deploy(abd.Options{Servers: 5, F: 2, Writers: 2, Readers: 1, MultiWriter: true})
+		if err != nil {
+			return nil, err
+		}
+		return Run(cl, Spec{Seed: 99, Writes: 10, Reads: 5, TargetNu: 2, ValueBytes: 16})
+	}
+	a, err := run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Storage.MaxTotalBits != b.Storage.MaxTotalBits || a.PeakActiveWrites != b.PeakActiveWrites {
+		t.Error("same seed must reproduce the same run")
+	}
+	if len(a.History.Ops) != len(b.History.Ops) {
+		t.Error("histories diverged under identical seeds")
+	}
+}

@@ -1,0 +1,218 @@
+// Package shmem is the public API of this reproduction of
+//
+//	Cadambe, Wang, Lynch — "Information-Theoretic Lower Bounds on the
+//	Storage Cost of Shared Memory Emulation" (PODC 2016,
+//	arXiv:1605.06844).
+//
+// It bundles, behind one import:
+//
+//   - deployments of the register-emulation algorithms the paper reasons
+//     about (ABD replication, CAS/CASGC erasure-coded atomic storage, and
+//     two erasure-coded SWSR regular registers),
+//   - the paper's storage-cost lower bounds (Theorems B.1, 4.1, 5.1, 6.5
+//     and their corollaries) in exact and normalized form, plus the
+//     Figure 1 series generator,
+//   - seeded workload execution with storage metering and consistency
+//     checking (atomicity, regularity, weak regularity), and
+//   - the executable-proof experiments: critical-point/valency analysis and
+//     the injectivity counting arguments run against live algorithm code.
+//
+// See the examples directory for runnable walkthroughs and EXPERIMENTS.md
+// for the paper-versus-measured record.
+package shmem
+
+import (
+	"fmt"
+
+	"repro/internal/abd"
+	"repro/internal/adversary"
+	"repro/internal/cas"
+	"repro/internal/cluster"
+	"repro/internal/coded"
+	"repro/internal/consistency"
+	"repro/internal/core"
+	"repro/internal/ioa"
+	"repro/internal/register"
+	"repro/internal/workload"
+)
+
+// Re-exported foundation types.
+type (
+	// Cluster is a deployed register emulation: a simulated system plus
+	// node roles.
+	Cluster = cluster.Cluster
+	// Params is a system configuration (N servers, f tolerated failures).
+	Params = core.Params
+	// WorkloadSpec describes a seeded workload (writes, reads, target
+	// write-concurrency ν, value size, crashes).
+	WorkloadSpec = workload.Spec
+	// WorkloadResult carries the history, the storage report and the
+	// normalized total cost of a run.
+	WorkloadResult = workload.Result
+	// Figure1Row is one ν-position of the Figure 1 series.
+	Figure1Row = core.Figure1Row
+	// StorageReport is the kernel's running-maximum storage accounting.
+	StorageReport = ioa.StorageReport
+	// History is an execution's operation history.
+	History = ioa.History
+	// Invocation starts an operation at a client.
+	Invocation = ioa.Invocation
+	// NodeID identifies a node.
+	NodeID = ioa.NodeID
+)
+
+// Operation kinds for Invocation.
+const (
+	OpRead  = ioa.OpRead
+	OpWrite = ioa.OpWrite
+)
+
+// DeployABD builds an ABD replication register: n servers tolerating f
+// crashes, with the given writer and reader clients. multiWriter selects the
+// two-phase MWMR write protocol.
+func DeployABD(n, f, writers, readers int, multiWriter bool) (*Cluster, error) {
+	return abd.Deploy(abd.Options{Servers: n, F: f, Writers: writers, Readers: readers, MultiWriter: multiWriter})
+}
+
+// DeployCAS builds a Coded Atomic Storage register with code dimension
+// k = n-2f. gcDepth < 0 disables garbage collection (plain CAS); gcDepth = δ
+// keeps the δ+1 newest finalized versions (CASGC).
+func DeployCAS(n, f, gcDepth, writers, readers int) (*Cluster, error) {
+	return cas.Deploy(cas.Options{Servers: n, F: f, GCDepth: gcDepth, Writers: writers, Readers: readers})
+}
+
+// DeployTwoVersion builds the bounded-storage erasure-coded SWSR regular
+// register (two coded versions per server, k = n-2f) — the algorithm class
+// of Theorems 4.1/5.1.
+func DeployTwoVersion(n, f, readers int) (*Cluster, error) {
+	return coded.Deploy(coded.Options{Servers: n, F: f, Readers: readers})
+}
+
+// DeployTwoVersionGossip builds the gossiping variant of the two-version
+// register: servers spread finalization notes to their peers, placing the
+// algorithm in the universal (gossip-allowed) class of Theorem 5.1.
+func DeployTwoVersionGossip(n, f, readers int) (*Cluster, error) {
+	return coded.DeployGossip(coded.Options{Servers: n, F: f, Readers: readers})
+}
+
+// DeploySolo builds the single-version k = n-f register that meets the
+// Theorem B.1 (Singleton) bound with equality but only tolerates failures
+// that precede the written value (see package coded for the discussion).
+func DeploySolo(n, f, readers int) (*Cluster, error) {
+	return coded.DeploySolo(coded.SoloOptions{Servers: n, F: f, Readers: readers})
+}
+
+// RunWorkload drives the cluster through the seeded workload, metering
+// storage.
+func RunWorkload(cl *Cluster, spec WorkloadSpec) (*WorkloadResult, error) {
+	return workload.Run(cl, spec)
+}
+
+// Write performs one write operation to completion under a fair schedule.
+func Write(cl *Cluster, writer int, value []byte) error {
+	if writer < 0 || writer >= len(cl.Writers) {
+		return fmt.Errorf("shmem: writer index %d out of range", writer)
+	}
+	_, err := cl.Sys.RunOp(cl.Writers[writer], ioa.Invocation{Kind: ioa.OpWrite, Value: value}, 2000000)
+	return err
+}
+
+// Read performs one read operation to completion under a fair schedule and
+// returns the value.
+func Read(cl *Cluster, reader int) ([]byte, error) {
+	if reader < 0 || reader >= len(cl.Readers) {
+		return nil, fmt.Errorf("shmem: reader index %d out of range", reader)
+	}
+	op, err := cl.Sys.RunOp(cl.Readers[reader], ioa.Invocation{Kind: ioa.OpRead}, 2000000)
+	if err != nil {
+		return nil, err
+	}
+	return op.Output, nil
+}
+
+// MakeValue returns a deterministic pseudo-random value of the given size,
+// unique per seed — writes in checked histories must have distinct values.
+func MakeValue(size int, seed uint64) []byte { return register.MakeValue(size, seed) }
+
+// CheckAtomic verifies linearizability of a history (unique write values).
+func CheckAtomic(h *History, initial []byte) error { return consistency.CheckAtomic(h, initial) }
+
+// CheckRegular verifies single-writer regularity of a history.
+func CheckRegular(h *History, initial []byte) error { return consistency.CheckRegular(h, initial) }
+
+// CheckWeaklyRegular verifies the multi-writer weak regularity of Section
+// 6.2.
+func CheckWeaklyRegular(h *History, initial []byte) error {
+	return consistency.CheckWeaklyRegular(h, initial)
+}
+
+// --- bounds ---
+
+// SingletonTotalBits returns the Theorem B.1 / Corollary B.2 total-storage
+// bound in bits.
+func SingletonTotalBits(p Params, log2V float64) float64 { return core.SingletonTotalBits(p, log2V) }
+
+// Theorem41TotalBits returns the Corollary 4.2 total-storage bound in bits.
+func Theorem41TotalBits(p Params, log2V float64) float64 { return core.Theorem41TotalBits(p, log2V) }
+
+// Theorem51TotalBits returns the Corollary 5.2 total-storage bound in bits.
+func Theorem51TotalBits(p Params, log2V float64) float64 { return core.Theorem51TotalBits(p, log2V) }
+
+// Theorem65TotalBits returns the Corollary 6.6 total-storage bound in bits
+// at write concurrency nu.
+func Theorem65TotalBits(p Params, nu int, log2V float64) float64 {
+	return core.Theorem65TotalBits(p, nu, log2V)
+}
+
+// Figure1 regenerates the paper's Figure 1 series for ν = 0..maxNu.
+func Figure1(p Params, maxNu int) ([]Figure1Row, error) { return core.Figure1(p, maxNu) }
+
+// Figure1Table formats Figure 1 rows as a text table.
+func Figure1Table(p Params, rows []Figure1Row) string { return core.Figure1Table(p, rows) }
+
+// ReplicationCrossoverNu returns the write concurrency at which replication
+// overtakes erasure coding (Section 2.3).
+func ReplicationCrossoverNu(p Params) int { return core.ReplicationCrossoverNu(p) }
+
+// Section7Summary evaluates the paper's concluding feasibility summary for
+// a normalized cost g at concurrency nu.
+func Section7Summary(p Params, nu int, g float64) core.Section7Conclusion {
+	return core.Section7Summary(p, nu, g)
+}
+
+// --- executable proofs ---
+
+// ProofConfig parameterizes the executable-proof experiments.
+type ProofConfig = adversary.Config
+
+// Theorem41Result reports the executable Theorem 4.1 proof outcome.
+type Theorem41Result = adversary.Theorem41Result
+
+// AppendixBResult reports the executable Theorem B.1 proof outcome.
+type AppendixBResult = adversary.AppendixBResult
+
+// Theorem65Result reports the executable Theorem 6.5 experiment outcome.
+type Theorem65Result = adversary.Theorem65Result
+
+// TwoVersionBuilder returns a cluster.Builder for the two-version coded
+// register, for use with ProofConfig.
+func TwoVersionBuilder(n, f int) cluster.Builder {
+	return func() (*Cluster, error) {
+		return DeployTwoVersion(n, f, 1)
+	}
+}
+
+// ABDBuilder returns a cluster.Builder for the SWMR ABD register.
+func ABDBuilder(n, f int) cluster.Builder {
+	return func() (*Cluster, error) {
+		return DeployABD(n, f, 1, 1, false)
+	}
+}
+
+// CASBuilder returns a cluster.Builder for a plain CAS register with the
+// given number of writers.
+func CASBuilder(n, f, writers int) cluster.Builder {
+	return func() (*Cluster, error) {
+		return DeployCAS(n, f, -1, writers, 1)
+	}
+}

@@ -1,0 +1,163 @@
+package shmem
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestQuickstartFlow(t *testing.T) {
+	cl, err := DeployABD(5, 2, 1, 1, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := MakeValue(64, 1)
+	if err := Write(cl, 0, v); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(cl, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, v) {
+		t.Fatalf("read %q, want %q", got, v)
+	}
+	if err := CheckAtomic(cl.Sys.History(), nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAccessorValidation(t *testing.T) {
+	cl, err := DeployABD(3, 1, 1, 1, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Write(cl, 5, []byte("x")); err == nil {
+		t.Error("out-of-range writer must fail")
+	}
+	if _, err := Read(cl, 5); err == nil {
+		t.Error("out-of-range reader must fail")
+	}
+}
+
+// TestMeasuredStorageRespectsAllApplicableBounds is the repository's
+// central invariant (experiments E4-E7): every implemented algorithm's
+// measured storage is at least every lower bound that applies to it.
+func TestMeasuredStorageRespectsAllApplicableBounds(t *testing.T) {
+	const valueBytes = 256
+	log2V := float64(8 * valueBytes)
+
+	cases := []struct {
+		name    string
+		deploy  func() (*Cluster, error)
+		nu      int
+		regular bool // SWSR regular algorithms: Theorems 4.1/5.1 apply
+	}{
+		{"abd-swmr", func() (*Cluster, error) { return DeployABD(5, 2, 1, 1, false) }, 1, true},
+		{"abd-mwmr", func() (*Cluster, error) { return DeployABD(5, 2, 2, 1, true) }, 2, false},
+		{"cas", func() (*Cluster, error) { return DeployCAS(7, 2, -1, 2, 1) }, 2, false},
+		{"casgc", func() (*Cluster, error) { return DeployCAS(7, 2, 0, 2, 1) }, 2, false},
+		{"two-version", func() (*Cluster, error) { return DeployTwoVersion(5, 2, 1) }, 1, true},
+		{"two-version-gossip", func() (*Cluster, error) { return DeployTwoVersionGossip(5, 2, 1) }, 1, true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cl, err := tc.deploy()
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := RunWorkload(cl, WorkloadSpec{
+				Seed: 3, Writes: 4 * tc.nu, Reads: 2, TargetNu: tc.nu, ValueBytes: valueBytes,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			p := Params{N: len(cl.Servers), F: cl.F}
+			measured := float64(res.Storage.MaxTotalBits)
+			bounds := map[string]float64{
+				"B.1": SingletonTotalBits(p, log2V),
+			}
+			if tc.regular {
+				bounds["4.1"] = Theorem41TotalBits(p, log2V)
+				bounds["5.1"] = Theorem51TotalBits(p, log2V)
+			}
+			if err := cl.Profile.Theorem65Applies(); err == nil {
+				bounds["6.5"] = Theorem65TotalBits(p, res.PeakActiveWrites, log2V)
+			}
+			for name, b := range bounds {
+				if measured < b {
+					t.Errorf("measured %.0f bits violates Theorem %s bound %.0f", measured, name, b)
+				}
+			}
+		})
+	}
+}
+
+func TestFigure1MatchesPaperShape(t *testing.T) {
+	p := Params{N: 21, F: 10}
+	rows, err := Figure1(p, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Shape facts from the paper's Figure 1:
+	// (1) lower bounds are ordered B.1 <= 5.1 <= 6.5 for nu >= 2;
+	// (2) Theorem 6.5 meets the ABD line at nu = f+1 and saturates;
+	// (3) the erasure upper bound crosses the ABD line between nu=5 and 6.
+	for _, r := range rows {
+		if r.TheoremB1 > r.Theorem51+1e-9 {
+			t.Errorf("nu=%d: B.1 above 5.1", r.Nu)
+		}
+		if r.Nu >= 2 && r.Theorem51 > r.Theorem65+1e-9 {
+			t.Errorf("nu=%d: 5.1 above 6.5", r.Nu)
+		}
+		if r.Theorem65 > r.ABD+1e-9 {
+			t.Errorf("nu=%d: 6.5 above the ABD upper bound", r.Nu)
+		}
+	}
+	if rows[11].Theorem65 != rows[16].Theorem65 {
+		t.Error("Theorem 6.5 should saturate at nu = f+1")
+	}
+	if got := ReplicationCrossoverNu(p); got != 6 {
+		t.Errorf("crossover %d, want 6", got)
+	}
+	if rows[5].Erasure >= rows[5].ABD || rows[6].Erasure < rows[6].ABD {
+		t.Error("erasure/ABD crossover should fall between nu=5 and nu=6")
+	}
+}
+
+func TestProofHarnessesViaFacade(t *testing.T) {
+	cfg := ProofConfig{Build: TwoVersionBuilder(5, 2), FailServers: []int{3, 4}}
+	vals := [][]byte{MakeValue(16, 1), MakeValue(16, 2), MakeValue(16, 3)}
+	r41, err := cfg.RunTheorem41(vals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r41.Injective {
+		t.Error("Theorem 4.1 injectivity should hold")
+	}
+	rb, err := cfg.RunAppendixB(vals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rb.Injective {
+		t.Error("Appendix B injectivity should hold")
+	}
+	cas := ProofConfig{Build: CASBuilder(5, 2, 2), FailServers: []int{4}}
+	r65, err := cas.RunTheorem65([][][]byte{
+		{MakeValue(16, 1), MakeValue(16, 2)},
+		{MakeValue(16, 3), MakeValue(16, 4)},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r65.AllRecovered {
+		t.Error("CAS values should all be recoverable")
+	}
+}
+
+func TestSection7ViaFacade(t *testing.T) {
+	p := Params{N: 21, F: 10}
+	c := Section7Summary(p, 4, 2.0)
+	if c.Feasible {
+		t.Error("g=2.0 < 42/13 should be infeasible")
+	}
+}

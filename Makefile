@@ -1,0 +1,32 @@
+GO ?= go
+
+.PHONY: build test race bench bench-smoke fmt fmt-check vet ci
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench . -benchtime 1s .
+
+# One iteration of the headline benchmark — fast enough for every CI run.
+bench-smoke:
+	$(GO) test -run NONE -bench Figure1Series -benchtime 1x .
+
+fmt:
+	gofmt -w .
+
+# Fails (with the offending file list) when any file is not gofmt-clean.
+fmt-check:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+vet:
+	$(GO) vet ./...
+
+# Exactly what CI runs.
+ci: build vet fmt-check race bench-smoke

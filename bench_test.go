@@ -13,6 +13,7 @@ package shmem
 //	E7 BenchmarkE7RestrictedClass    — executable Theorem 6.5 experiment
 //	E8 (cmd/lowerbounds -summary)    — Section 7 summary (not timed)
 //	E9 BenchmarkE9CheckerThroughput  — consistency-checker throughput
+//	E10 BenchmarkE10ShardedStore     — sharded store: normcost and ops/sec vs shard count
 //
 // Custom metrics (b.ReportMetric) carry the experiment's headline numbers so
 // that bench output doubles as the results record: "normcost" is total
@@ -213,6 +214,41 @@ func BenchmarkE9CheckerThroughput(b *testing.B) {
 		}
 	}
 	b.ReportMetric(float64(len(res.History.Ops)), "ops")
+}
+
+// E10: the sharded multi-register store — aggregate normalized storage and
+// operation throughput as the keyspace spreads over 1 to 16 CAS shards,
+// each shard an independent system run by the parallel workload engine.
+// Load scales with the shard count so per-shard work stays constant.
+func BenchmarkE10ShardedStore(b *testing.B) {
+	for _, shards := range []int{1, 2, 4, 8, 16} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			var res *StoreResult
+			for i := 0; i < b.N; i++ {
+				var err error
+				res, err = RunStore(StoreOptions{
+					Shards:     shards,
+					Algorithms: []string{"cas"},
+					Servers:    5,
+					F:          1,
+					Workload: MultiWorkloadSpec{
+						Seed:         11,
+						Keys:         8 * shards,
+						Ops:          16 * shards,
+						ReadFraction: 0.25,
+						Skew:         "zipf",
+						TargetNu:     2,
+						ValueBytes:   256,
+					},
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(res.NormalizedTotal, "normcost")
+			b.ReportMetric(res.OpsPerSec, "ops/sec")
+		})
+	}
 }
 
 // End-to-end operation latency benchmarks for the two main algorithms.

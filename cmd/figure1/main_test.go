@@ -1,0 +1,32 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/cmdtest"
+)
+
+// runWith executes run() with fresh flags and the given command line,
+// capturing stdout.
+func runWith(t *testing.T, args ...string) string {
+	t.Helper()
+	return cmdtest.RunWith(t, run, args...)
+}
+
+func TestRunTable(t *testing.T) {
+	out := runWith(t, "figure1", "-n", "5", "-f", "2", "-maxnu", "4")
+	if !strings.Contains(out, "crossover") {
+		t.Errorf("table output missing crossover line:\n%s", out)
+	}
+}
+
+func TestRunCSV(t *testing.T) {
+	out := runWith(t, "figure1", "-n", "5", "-f", "2", "-maxnu", "3", "-csv")
+	if !strings.HasPrefix(out, "nu,thm_b1,thm_51,thm_65,abd,erasure_upper") {
+		t.Errorf("missing CSV header:\n%s", out)
+	}
+	if got := len(strings.Split(strings.TrimSpace(out), "\n")); got != 5 {
+		t.Errorf("CSV has %d lines, want header + 4 rows", got)
+	}
+}

@@ -1,0 +1,31 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/cmdtest"
+)
+
+// runWith executes run() with fresh flags and the given command line,
+// capturing stdout.
+func runWith(t *testing.T, args ...string) string {
+	t.Helper()
+	return cmdtest.RunWith(t, run, args...)
+}
+
+func TestRunBounds(t *testing.T) {
+	out := runWith(t, "lowerbounds", "-n", "21", "-f", "10", "-nu", "4")
+	for _, want := range []string{"Theorem B.1", "Theorem 4.1", "Theorem 5.1", "Theorem 6.5"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunSummary(t *testing.T) {
+	out := runWith(t, "lowerbounds", "-n", "21", "-f", "10", "-nu", "8", "-summary", "4.0")
+	if !strings.Contains(out, "Section 7 summary") {
+		t.Errorf("output missing Section 7 summary:\n%s", out)
+	}
+}

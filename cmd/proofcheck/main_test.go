@@ -1,0 +1,22 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/cmdtest"
+)
+
+// runWith executes run() with fresh flags and the given command line,
+// capturing stdout.
+func runWith(t *testing.T, args ...string) string {
+	t.Helper()
+	return cmdtest.RunWith(t, run, args...)
+}
+
+func TestRunAppendixB(t *testing.T) {
+	out := runWith(t, "proofcheck", "-thm", "b1", "-n", "4", "-f", "1", "-values", "2")
+	if !strings.Contains(out, "Theorem B.1") || !strings.Contains(out, "injective: true") {
+		t.Errorf("unexpected Appendix B output:\n%s", out)
+	}
+}

@@ -1,0 +1,63 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/cmdtest"
+)
+
+// runWith executes run() with fresh flags and the given command line,
+// capturing stdout.
+func runWith(t *testing.T, args ...string) string {
+	t.Helper()
+	return cmdtest.RunWith(t, run, args...)
+}
+
+func fingerprintOf(t *testing.T, out string) string {
+	t.Helper()
+	for _, line := range strings.Split(out, "\n") {
+		if strings.HasPrefix(line, "fingerprint") {
+			fields := strings.Fields(line)
+			return fields[len(fields)-1]
+		}
+	}
+	t.Fatalf("no fingerprint line in output:\n%s", out)
+	return ""
+}
+
+// TestRunAcceptanceScenario exercises the ISSUE's acceptance command line
+// (scaled to test-sized values) and checks per-shard plus aggregate output.
+func TestRunAcceptanceScenario(t *testing.T) {
+	out := runWith(t, "shardsim", "-shards", "8", "-algo", "cas", "-keys", "64",
+		"-skew", "zipf", "-ops", "64", "-valuebytes", "64")
+	if !strings.Contains(out, "TOTAL") {
+		t.Errorf("missing aggregate row:\n%s", out)
+	}
+	if !strings.Contains(out, "aggregate storage") {
+		t.Errorf("missing aggregate storage line:\n%s", out)
+	}
+	if got := strings.Count(out, "cas "); got < 1 {
+		t.Errorf("missing per-shard rows:\n%s", out)
+	}
+}
+
+// TestRunReproducibleAcrossWorkers verifies end to end that the same seed
+// yields the same fingerprint whether shards run serially or in parallel.
+func TestRunReproducibleAcrossWorkers(t *testing.T) {
+	args := []string{"shardsim", "-shards", "8", "-algo", "cas", "-keys", "64",
+		"-skew", "zipf", "-ops", "64", "-valuebytes", "64", "-seed", "5"}
+	serial := fingerprintOf(t, runWith(t, append(args, "-workers", "1")...))
+	parallel := fingerprintOf(t, runWith(t, append(args, "-workers", "8")...))
+	if serial != parallel {
+		t.Errorf("fingerprint differs across worker counts: %s vs %s", serial, parallel)
+	}
+}
+
+func TestRunMixedAlgorithms(t *testing.T) {
+	out := runWith(t, "shardsim", "-shards", "4", "-algo", "abd-mwmr,casgc",
+		"-keys", "16", "-ops", "32", "-valuebytes", "64")
+	if !strings.Contains(out, "abd-mwmr") || !strings.Contains(out, "casgc") {
+		t.Errorf("mixed algorithms missing from table:\n%s", out)
+	}
+}

@@ -36,7 +36,7 @@ func run() error {
 	crashes := flag.Int("crashes", 0, "random server crashes during the run")
 	flag.Parse()
 
-	cl, cond, err := deploy(*alg, *n, *f, *nu)
+	cl, cond, err := shmem.DeployAlgorithm(*alg, *n, *f, *nu)
 	if err != nil {
 		return err
 	}
@@ -68,32 +68,4 @@ func run() error {
 		fmt.Printf("  Theorem 6.5: not applicable: %v\n", err)
 	}
 	return nil
-}
-
-func deploy(alg string, n, f, nu int) (*shmem.Cluster, string, error) {
-	switch alg {
-	case "abd":
-		cl, err := shmem.DeployABD(n, f, 1, 2, false)
-		return cl, "atomic", err
-	case "abd-mwmr":
-		cl, err := shmem.DeployABD(n, f, max(nu, 1), 2, true)
-		return cl, "atomic", err
-	case "cas":
-		cl, err := shmem.DeployCAS(n, f, -1, max(nu, 1), 2)
-		return cl, "atomic", err
-	case "casgc":
-		cl, err := shmem.DeployCAS(n, f, 0, max(nu, 1), 2)
-		return cl, "atomic", err
-	case "twoversion":
-		cl, err := shmem.DeployTwoVersion(n, f, 1)
-		return cl, "regular", err
-	case "twoversion-gossip":
-		cl, err := shmem.DeployTwoVersionGossip(n, f, 1)
-		return cl, "regular", err
-	case "solo":
-		cl, err := shmem.DeploySolo(n, f, 1)
-		return cl, "regular", err
-	default:
-		return nil, "", fmt.Errorf("unknown algorithm %q", alg)
-	}
 }

@@ -1,0 +1,43 @@
+// Package cmdtest drives a command's run() function end to end for smoke
+// tests: it resets the global flag state the commands parse, installs the
+// given command line, and captures everything run() writes to stdout.
+package cmdtest
+
+import (
+	"bytes"
+	"flag"
+	"io"
+	"os"
+	"testing"
+)
+
+// RunWith executes run with fresh global flags and the given command line
+// (args[0] is the command name) and returns the captured stdout. The test
+// fails if run returns an error.
+func RunWith(t *testing.T, run func() error, args ...string) string {
+	t.Helper()
+	flag.CommandLine = flag.NewFlagSet(args[0], flag.ContinueOnError)
+	os.Args = args
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	// Drain concurrently so a run() that outgrows the OS pipe buffer
+	// cannot block on a full pipe nobody is reading.
+	var buf bytes.Buffer
+	done := make(chan struct{})
+	go func() {
+		io.Copy(&buf, r)
+		close(done)
+	}()
+	runErr := run()
+	w.Close()
+	os.Stdout = old
+	<-done
+	if runErr != nil {
+		t.Fatalf("run() failed: %v", runErr)
+	}
+	return buf.String()
+}

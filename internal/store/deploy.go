@@ -1,0 +1,70 @@
+// Package store maps a multi-key keyspace onto many independent register
+// deployments — one cluster.Cluster per shard, each running its own
+// ioa.System — and drives them in parallel through a partitioned
+// workload.MultiSpec while aggregating per-shard storage reports, histories
+// and consistency verdicts into one store-level result whose normalized
+// total storage is directly comparable to the paper's Figure 1 bounds.
+package store
+
+import (
+	"fmt"
+
+	"repro/internal/abd"
+	"repro/internal/cas"
+	"repro/internal/cluster"
+	"repro/internal/coded"
+)
+
+// Algorithm names accepted by DeployAlgorithm and Options.Algorithms.
+const (
+	AlgABD              = "abd"
+	AlgABDMW            = "abd-mwmr"
+	AlgCAS              = "cas"
+	AlgCASGC            = "casgc"
+	AlgTwoVersion       = "twoversion"
+	AlgTwoVersionGossip = "twoversion-gossip"
+	AlgSolo             = "solo"
+)
+
+// Algorithms lists every deployable algorithm name.
+func Algorithms() []string {
+	return []string{AlgABD, AlgABDMW, AlgCAS, AlgCASGC, AlgTwoVersion, AlgTwoVersionGossip, AlgSolo}
+}
+
+// DeployAlgorithm builds a fresh cluster for the named algorithm with n
+// servers tolerating f crashes, sized for a target write concurrency nu,
+// and returns it with the consistency condition the algorithm guarantees
+// ("atomic" or "regular"). The multi-writer algorithms get max(nu, 1)
+// writer clients and two readers; the SWSR registers (twoversion,
+// twoversion-gossip, solo) get their single reader.
+func DeployAlgorithm(alg string, n, f, nu int) (*cluster.Cluster, string, error) {
+	writers := nu
+	if writers < 1 {
+		writers = 1
+	}
+	switch alg {
+	case AlgABD:
+		cl, err := abd.Deploy(abd.Options{Servers: n, F: f, Writers: 1, Readers: 2, MultiWriter: false})
+		return cl, "atomic", err
+	case AlgABDMW:
+		cl, err := abd.Deploy(abd.Options{Servers: n, F: f, Writers: writers, Readers: 2, MultiWriter: true})
+		return cl, "atomic", err
+	case AlgCAS:
+		cl, err := cas.Deploy(cas.Options{Servers: n, F: f, GCDepth: -1, Writers: writers, Readers: 2})
+		return cl, "atomic", err
+	case AlgCASGC:
+		cl, err := cas.Deploy(cas.Options{Servers: n, F: f, GCDepth: 0, Writers: writers, Readers: 2})
+		return cl, "atomic", err
+	case AlgTwoVersion:
+		cl, err := coded.Deploy(coded.Options{Servers: n, F: f, Readers: 1})
+		return cl, "regular", err
+	case AlgTwoVersionGossip:
+		cl, err := coded.DeployGossip(coded.Options{Servers: n, F: f, Readers: 1})
+		return cl, "regular", err
+	case AlgSolo:
+		cl, err := coded.DeploySolo(coded.SoloOptions{Servers: n, F: f, Readers: 1})
+		return cl, "regular", err
+	default:
+		return nil, "", fmt.Errorf("store: unknown algorithm %q (known: %v)", alg, Algorithms())
+	}
+}

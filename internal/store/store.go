@@ -1,0 +1,272 @@
+package store
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"runtime"
+	"slices"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/ioa"
+	"repro/internal/workload"
+)
+
+// Options configures a sharded store run.
+type Options struct {
+	// Shards is the number of independent register deployments.
+	Shards int
+	// Algorithms assigns an algorithm per shard, cycling when shorter than
+	// Shards (shard i runs Algorithms[i mod len]). Empty defaults to CAS on
+	// every shard. Mixing algorithms across shards is allowed — each shard
+	// is checked against its own algorithm's consistency condition.
+	Algorithms []string
+	// Servers and F shape every shard's cluster (N servers, f tolerated
+	// crashes).
+	Servers int
+	F       int
+	// Workers bounds the goroutines running shards concurrently; 0 means
+	// GOMAXPROCS. Successful results are independent of the worker count:
+	// every shard runs on its own ioa.System with a seed derived from
+	// (Workload.Seed, shard index). Failed runs abort early, so which
+	// shard's error surfaces (never whether Run fails) can vary with
+	// scheduling.
+	Workers int
+	// Workload is the multi-key workload to partition across shards.
+	Workload workload.MultiSpec
+}
+
+func (o Options) algorithms() []string {
+	if len(o.Algorithms) == 0 {
+		return []string{AlgCAS}
+	}
+	return o.Algorithms
+}
+
+func (o Options) validate() error {
+	if o.Shards < 1 {
+		return fmt.Errorf("store: Shards must be >= 1")
+	}
+	if o.Workers < 0 {
+		return fmt.Errorf("store: negative worker count")
+	}
+	for _, a := range o.algorithms() {
+		if !slices.Contains(Algorithms(), a) {
+			return fmt.Errorf("store: unknown algorithm %q (known: %v)", a, Algorithms())
+		}
+	}
+	if o.Workload.Crashes > o.F {
+		return fmt.Errorf("store: per-shard crash budget %d exceeds f=%d", o.Workload.Crashes, o.F)
+	}
+	// The workload spec itself is validated by Partition.
+	return nil
+}
+
+// ShardResult reports one shard's run.
+type ShardResult struct {
+	// Shard is the shard index.
+	Shard int
+	// Algorithm and Condition name what ran and what was verified.
+	Algorithm string
+	Condition string
+	// Keys is the number of distinct keys that received operations.
+	Keys int
+	// Writes and Reads count the shard's operations.
+	Writes int
+	Reads  int
+	// PeakActiveWrites is the shard's measured write concurrency ν.
+	PeakActiveWrites int
+	// Storage is the shard kernel's running-maximum storage report.
+	Storage ioa.StorageReport
+	// NormalizedTotal is the shard's MaxTotalBits / log2|V|.
+	NormalizedTotal float64
+}
+
+// Result aggregates a sharded store run.
+type Result struct {
+	// PerShard holds every shard's result, ascending by shard index.
+	PerShard []ShardResult
+	// TotalWrites, TotalReads and TotalOps sum the shard loads.
+	TotalWrites int
+	TotalReads  int
+	TotalOps    int
+	// AggregateMaxTotalBits sums the per-shard total-storage high-water
+	// marks — the store's metered footprint.
+	AggregateMaxTotalBits int
+	// MaxShardTotalBits is the largest single-shard total.
+	MaxShardTotalBits int
+	// MaxServerBits is the largest single-server maximum across all shards.
+	MaxServerBits int
+	// PeakActiveWrites sums the per-shard peaks: an upper estimate of the
+	// store-level concurrent write load.
+	PeakActiveWrites int
+	// Log2V is 8*ValueBytes.
+	Log2V float64
+	// NormalizedTotal is AggregateMaxTotalBits / Log2V — the store-level
+	// analogue of the Figure 1 y-axis (per shard, compare each shard's
+	// NormalizedTotal against the bounds directly).
+	NormalizedTotal float64
+	// Elapsed and OpsPerSec measure wall-clock performance of the parallel
+	// engine, and Workers is the effective worker count that ran the
+	// shards. All three vary with the host and the requested parallelism
+	// and are excluded from Fingerprint.
+	Elapsed   time.Duration
+	OpsPerSec float64
+	Workers   int
+}
+
+// Fingerprint returns a hex digest of every deterministic field — per-shard
+// loads, storage reports (per-server, sorted) and aggregates. Two runs of
+// the same Options must produce identical fingerprints regardless of worker
+// count or scheduling, which is how the engine's reproducibility is tested.
+func (r *Result) Fingerprint() string {
+	var b strings.Builder
+	for _, s := range r.PerShard {
+		fmt.Fprintf(&b, "shard=%d alg=%s cond=%s keys=%d w=%d r=%d peak=%d total=%d maxsrv=%d norm=%.9f servers=",
+			s.Shard, s.Algorithm, s.Condition, s.Keys, s.Writes, s.Reads,
+			s.PeakActiveWrites, s.Storage.MaxTotalBits, s.Storage.MaxServerBits, s.NormalizedTotal)
+		ids := make([]int, 0, len(s.Storage.PerServerMaxBits))
+		for id := range s.Storage.PerServerMaxBits {
+			ids = append(ids, int(id))
+		}
+		sort.Ints(ids)
+		for _, id := range ids {
+			fmt.Fprintf(&b, "%d:%d,", id, s.Storage.PerServerMaxBits[ioa.NodeID(id)])
+		}
+		b.WriteByte('\n')
+	}
+	fmt.Fprintf(&b, "agg w=%d r=%d ops=%d total=%d maxshard=%d maxsrv=%d peak=%d log2v=%.1f norm=%.9f\n",
+		r.TotalWrites, r.TotalReads, r.TotalOps, r.AggregateMaxTotalBits,
+		r.MaxShardTotalBits, r.MaxServerBits, r.PeakActiveWrites, r.Log2V, r.NormalizedTotal)
+	sum := sha256.Sum256([]byte(b.String()))
+	return hex.EncodeToString(sum[:])
+}
+
+// Table formats the per-shard results and the aggregate as a text table.
+func (r *Result) Table() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-6s %-18s %-8s %5s %6s %6s %5s %12s %10s\n",
+		"shard", "algorithm", "cond", "keys", "writes", "reads", "nu", "totalbits", "normcost")
+	for _, s := range r.PerShard {
+		fmt.Fprintf(&b, "%-6d %-18s %-8s %5d %6d %6d %5d %12d %10.4f\n",
+			s.Shard, s.Algorithm, s.Condition, s.Keys, s.Writes, s.Reads,
+			s.PeakActiveWrites, s.Storage.MaxTotalBits, s.NormalizedTotal)
+	}
+	fmt.Fprintf(&b, "%-6s %-18s %-8s %5s %6d %6d %5d %12d %10.4f\n",
+		"TOTAL", "-", "-", "-", r.TotalWrites, r.TotalReads,
+		r.PeakActiveWrites, r.AggregateMaxTotalBits, r.NormalizedTotal)
+	return b.String()
+}
+
+// Run partitions the workload across the shards, executes every shard's
+// system on a bounded worker pool, verifies each history against its
+// algorithm's consistency condition, and aggregates the shard results.
+func Run(o Options) (*Result, error) {
+	if err := o.validate(); err != nil {
+		return nil, err
+	}
+	loads, err := o.Workload.Partition(o.Shards)
+	if err != nil {
+		return nil, err
+	}
+	algs := o.algorithms()
+	workers := o.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > o.Shards {
+		workers = o.Shards
+	}
+
+	shardResults := make([]ShardResult, o.Shards)
+	shardErrs := make([]error, o.Shards)
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	var failed atomic.Bool
+	start := time.Now()
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				// Once any shard has failed the run's outcome is fixed;
+				// skip the remaining shards instead of driving them to
+				// completion. Successful runs are unaffected, so the
+				// determinism guarantee holds.
+				if failed.Load() {
+					continue
+				}
+				shardResults[i], shardErrs[i] = runShard(o, algs[i%len(algs)], loads[i])
+				if shardErrs[i] != nil {
+					failed.Store(true)
+				}
+			}
+		}()
+	}
+	for i := 0; i < o.Shards; i++ {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	for i, err := range shardErrs {
+		if err != nil {
+			return nil, fmt.Errorf("store: shard %d (%s): %w", i, algs[i%len(algs)], err)
+		}
+	}
+
+	res := &Result{
+		PerShard: shardResults,
+		Log2V:    float64(8 * o.Workload.ValueBytes),
+		Elapsed:  elapsed,
+		Workers:  workers,
+	}
+	for _, s := range shardResults {
+		res.TotalWrites += s.Writes
+		res.TotalReads += s.Reads
+		res.AggregateMaxTotalBits += s.Storage.MaxTotalBits
+		res.PeakActiveWrites += s.PeakActiveWrites
+		if s.Storage.MaxTotalBits > res.MaxShardTotalBits {
+			res.MaxShardTotalBits = s.Storage.MaxTotalBits
+		}
+		if s.Storage.MaxServerBits > res.MaxServerBits {
+			res.MaxServerBits = s.Storage.MaxServerBits
+		}
+	}
+	res.TotalOps = res.TotalWrites + res.TotalReads
+	res.NormalizedTotal = float64(res.AggregateMaxTotalBits) / res.Log2V
+	if secs := elapsed.Seconds(); secs > 0 {
+		res.OpsPerSec = float64(res.TotalOps) / secs
+	}
+	return res, nil
+}
+
+func runShard(o Options, alg string, load workload.ShardLoad) (ShardResult, error) {
+	cl, cond, err := DeployAlgorithm(alg, o.Servers, o.F, o.Workload.TargetNu)
+	if err != nil {
+		return ShardResult{}, err
+	}
+	wres, err := workload.Run(cl, load.Spec(o.Workload))
+	if err != nil {
+		return ShardResult{}, err
+	}
+	if err := wres.CheckConsistency(cond); err != nil {
+		return ShardResult{}, fmt.Errorf("consistency (%s): %w", cond, err)
+	}
+	return ShardResult{
+		Shard:            load.Shard,
+		Algorithm:        alg,
+		Condition:        cond,
+		Keys:             load.DistinctKeys(),
+		Writes:           load.Writes,
+		Reads:            load.Reads,
+		PeakActiveWrites: wres.PeakActiveWrites,
+		Storage:          wres.Storage,
+		NormalizedTotal:  wres.NormalizedTotal,
+	}, nil
+}

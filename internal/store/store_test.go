@@ -1,0 +1,223 @@
+package store
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/workload"
+)
+
+// acceptanceOptions is the ISSUE's acceptance scenario — 8 CAS shards, a
+// 64-key Zipf keyspace — with a worker-count knob.
+func acceptanceOptions(workers int) Options {
+	return Options{
+		Shards:     8,
+		Algorithms: []string{AlgCAS},
+		Servers:    5,
+		F:          1,
+		Workers:    workers,
+		Workload: workload.MultiSpec{
+			Seed:         1,
+			Keys:         64,
+			Ops:          128,
+			ReadFraction: 0.25,
+			Skew:         workload.SkewZipf,
+			TargetNu:     2,
+			ValueBytes:   64,
+		},
+	}
+}
+
+// TestDeterministicAcrossWorkerCounts verifies the acceptance criterion:
+// the same seed reproduces byte-identical aggregate results across runs
+// despite parallel shard execution.
+func TestDeterministicAcrossWorkerCounts(t *testing.T) {
+	serial, err := Run(acceptanceOptions(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel1, err := Run(acceptanceOptions(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel2, err := Run(acceptanceOptions(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a, b := serial.Fingerprint(), parallel1.Fingerprint(); a != b {
+		t.Errorf("fingerprint differs between 1 and 8 workers:\n%s\n%s", a, b)
+	}
+	if a, b := parallel1.Fingerprint(), parallel2.Fingerprint(); a != b {
+		t.Errorf("fingerprint differs between identical parallel runs:\n%s\n%s", a, b)
+	}
+	if a, b := serial.Table(), parallel1.Table(); a != b {
+		t.Errorf("table differs between 1 and 8 workers:\n%s\n%s", a, b)
+	}
+}
+
+func TestAggregation(t *testing.T) {
+	res, err := Run(acceptanceOptions(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.PerShard) != 8 {
+		t.Fatalf("got %d shard results, want 8", len(res.PerShard))
+	}
+	var writes, reads, bits, peak int
+	for i, s := range res.PerShard {
+		if s.Shard != i {
+			t.Errorf("shard result %d has index %d", i, s.Shard)
+		}
+		if s.Algorithm != AlgCAS || s.Condition != "atomic" {
+			t.Errorf("shard %d: algorithm %q condition %q", i, s.Algorithm, s.Condition)
+		}
+		writes += s.Writes
+		reads += s.Reads
+		bits += s.Storage.MaxTotalBits
+		peak += s.PeakActiveWrites
+	}
+	if writes+reads != 128 {
+		t.Errorf("ops conserved: %d writes + %d reads != 128", writes, reads)
+	}
+	if res.TotalWrites != writes || res.TotalReads != reads || res.TotalOps != 128 {
+		t.Errorf("aggregate op counts %d/%d/%d disagree with shards %d/%d",
+			res.TotalWrites, res.TotalReads, res.TotalOps, writes, reads)
+	}
+	if res.AggregateMaxTotalBits != bits {
+		t.Errorf("aggregate bits %d != sum of shards %d", res.AggregateMaxTotalBits, bits)
+	}
+	if res.PeakActiveWrites != peak {
+		t.Errorf("aggregate peak %d != sum of shard peaks %d", res.PeakActiveWrites, peak)
+	}
+	if res.Log2V != 8*64 {
+		t.Errorf("Log2V = %v, want 512", res.Log2V)
+	}
+	want := float64(bits) / res.Log2V
+	if res.NormalizedTotal != want {
+		t.Errorf("normalized total %v, want %v", res.NormalizedTotal, want)
+	}
+}
+
+// TestSingleShardMatchesDirectWorkload pins the store to the existing
+// single-register driver: a one-shard store must meter exactly what a
+// direct workload.Run of the derived spec meters.
+func TestSingleShardMatchesDirectWorkload(t *testing.T) {
+	opts := acceptanceOptions(1)
+	opts.Shards = 1
+	res, err := Run(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loads, err := opts.Workload.Partition(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl, _, err := DeployAlgorithm(AlgCAS, opts.Servers, opts.F, opts.Workload.TargetNu)
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct, err := workload.Run(cl, loads[0].Spec(opts.Workload))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := res.PerShard[0]
+	if s.Storage.MaxTotalBits != direct.Storage.MaxTotalBits {
+		t.Errorf("store metered %d bits, direct run %d", s.Storage.MaxTotalBits, direct.Storage.MaxTotalBits)
+	}
+	if s.PeakActiveWrites != direct.PeakActiveWrites {
+		t.Errorf("store peak %d, direct %d", s.PeakActiveWrites, direct.PeakActiveWrites)
+	}
+}
+
+// TestMixedAlgorithms runs a replication shard next to erasure-coded
+// shards and checks each is verified against its own condition.
+func TestMixedAlgorithms(t *testing.T) {
+	opts := Options{
+		Shards:     4,
+		Algorithms: []string{AlgABDMW, AlgCASGC},
+		Servers:    5,
+		F:          1,
+		Workload: workload.MultiSpec{
+			Seed:         7,
+			Keys:         16,
+			Ops:          48,
+			ReadFraction: 0.3,
+			TargetNu:     2,
+			ValueBytes:   32,
+		},
+	}
+	res, err := Run(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, s := range res.PerShard {
+		wantAlg := []string{AlgABDMW, AlgCASGC}[i%2]
+		if s.Algorithm != wantAlg {
+			t.Errorf("shard %d runs %q, want %q", i, s.Algorithm, wantAlg)
+		}
+		if s.Condition != "atomic" {
+			t.Errorf("shard %d condition %q", i, s.Condition)
+		}
+	}
+	// Every shard that wrote must meter storage at or above the Theorem
+	// B.1 (Singleton) bound N/(N-f) = 5/4 for its configuration.
+	for _, s := range res.PerShard {
+		if s.Writes == 0 {
+			continue
+		}
+		if s.NormalizedTotal < 1.25 {
+			t.Errorf("shard %d (%s) normalized storage %.4f below the Singleton bound 1.25",
+				s.Shard, s.Algorithm, s.NormalizedTotal)
+		}
+	}
+}
+
+func TestOptionsValidation(t *testing.T) {
+	good := acceptanceOptions(1)
+	bad := []func(*Options){
+		func(o *Options) { o.Shards = 0 },
+		func(o *Options) { o.Workers = -1 },
+		func(o *Options) { o.Algorithms = []string{"paxos"} },
+		func(o *Options) { o.Workload.Crashes = o.F + 1 },
+		func(o *Options) { o.Workload.Keys = 0 },
+		func(o *Options) { o.Workload.TargetNu = 0 },
+	}
+	for i, mutate := range bad {
+		o := good
+		mutate(&o)
+		if _, err := Run(o); err == nil {
+			t.Errorf("bad options %d accepted", i)
+		}
+	}
+}
+
+func TestUnknownAlgorithmError(t *testing.T) {
+	if _, _, err := DeployAlgorithm("raft", 5, 1, 1); err == nil || !strings.Contains(err.Error(), "unknown algorithm") {
+		t.Errorf("got %v, want unknown-algorithm error", err)
+	}
+	for _, alg := range Algorithms() {
+		cl, cond, err := DeployAlgorithm(alg, 5, 1, 2)
+		if err != nil {
+			t.Errorf("%s: %v", alg, err)
+			continue
+		}
+		if cond != "atomic" && cond != "regular" {
+			t.Errorf("%s: condition %q", alg, cond)
+		}
+		if err := cl.Validate(); err != nil {
+			t.Errorf("%s: %v", alg, err)
+		}
+	}
+}
+
+func TestCrashesWithinBudget(t *testing.T) {
+	opts := acceptanceOptions(0)
+	opts.Workload.Crashes = 1 // equals f, allowed per shard
+	res, err := Run(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TotalOps != 128 {
+		t.Errorf("ops = %d, want 128", res.TotalOps)
+	}
+}

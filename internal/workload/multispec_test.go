@@ -1,0 +1,195 @@
+package workload
+
+import (
+	"reflect"
+	"testing"
+)
+
+func validMulti() MultiSpec {
+	return MultiSpec{Seed: 1, Keys: 16, Ops: 64, ReadFraction: 0.25, TargetNu: 2, ValueBytes: 32}
+}
+
+func TestMultiSpecValidate(t *testing.T) {
+	if err := validMulti().Validate(); err != nil {
+		t.Fatalf("valid spec rejected: %v", err)
+	}
+	bad := []func(*MultiSpec){
+		func(m *MultiSpec) { m.Keys = 0 },
+		func(m *MultiSpec) { m.Ops = -1 },
+		func(m *MultiSpec) { m.ReadFraction = -0.1 },
+		func(m *MultiSpec) { m.ReadFraction = 1.1 },
+		func(m *MultiSpec) { m.PerKeyReads = map[int]float64{16: 0.5} },
+		func(m *MultiSpec) { m.PerKeyReads = map[int]float64{0: 2} },
+		func(m *MultiSpec) { m.Skew = "pareto" },
+		func(m *MultiSpec) { m.ZipfS = 0.5 },
+		func(m *MultiSpec) { m.ZipfS = 1 },
+		func(m *MultiSpec) { m.TargetNu = 0 },
+		func(m *MultiSpec) { m.ValueBytes = 4 },
+		func(m *MultiSpec) { m.Crashes = -1 },
+	}
+	for i, mutate := range bad {
+		m := validMulti()
+		mutate(&m)
+		if err := m.Validate(); err == nil {
+			t.Errorf("bad spec %d accepted", i)
+		}
+	}
+}
+
+func TestPartitionConservesAndRoutes(t *testing.T) {
+	m := validMulti()
+	m.Skew = SkewZipf
+	loads, err := m.Partition(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for i, l := range loads {
+		if l.Shard != i {
+			t.Errorf("load %d labeled shard %d", i, l.Shard)
+		}
+		total += l.Writes + l.Reads
+		keyOps := 0
+		for k, n := range l.KeyOps {
+			if k < 0 || k >= m.Keys {
+				t.Errorf("shard %d owns out-of-range key %d", i, k)
+			}
+			if KeyShard(k, 4) != i {
+				t.Errorf("key %d routed to shard %d, want %d", k, i, KeyShard(k, 4))
+			}
+			if n < 1 {
+				t.Errorf("key %d has %d ops", k, n)
+			}
+			keyOps += n
+		}
+		if keyOps != l.Writes+l.Reads {
+			t.Errorf("shard %d: per-key ops %d != writes+reads %d", i, keyOps, l.Writes+l.Reads)
+		}
+	}
+	if total != m.Ops {
+		t.Errorf("partition conserves ops: got %d, want %d", total, m.Ops)
+	}
+}
+
+func TestPartitionDeterministic(t *testing.T) {
+	m := validMulti()
+	m.Skew = SkewZipf
+	a, err := m.Partition(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := m.Partition(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Error("same seed produced different partitions")
+	}
+	m.Seed = 2
+	c, err := m.Partition(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reflect.DeepEqual(a, c) {
+		t.Error("different seeds produced identical partitions")
+	}
+}
+
+func TestZipfConcentratesOnHotKeys(t *testing.T) {
+	m := validMulti()
+	m.Keys = 64
+	m.Ops = 512
+	m.Skew = SkewZipf
+	m.ZipfS = 2.5
+	loads, err := m.Partition(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ops := loads[0].KeyOps
+	for k, n := range ops {
+		if k != 0 && n > ops[0] {
+			t.Errorf("key %d (%d ops) beats hot key 0 (%d ops) under strong zipf", k, n, ops[0])
+		}
+	}
+	if ops[0] < m.Ops/4 {
+		t.Errorf("hot key holds %d of %d ops; expected strong concentration", ops[0], m.Ops)
+	}
+	if loads[0].DistinctKeys() >= m.Keys {
+		t.Errorf("strong zipf touched all %d keys", m.Keys)
+	}
+}
+
+func TestPerKeyReadWriteMix(t *testing.T) {
+	m := validMulti()
+	m.Keys = 2
+	m.Ops = 40
+	m.ReadFraction = 0
+	m.PerKeyReads = map[int]float64{1: 1}
+	loads, err := m.Partition(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Key 0 is write-only and key 1 read-only, so the shard's write count
+	// must equal key 0's ops and its read count key 1's ops exactly.
+	l := loads[0]
+	if l.Writes != l.KeyOps[0] {
+		t.Errorf("write-only key 0 has %d ops but shard logged %d writes", l.KeyOps[0], l.Writes)
+	}
+	if l.Reads != l.KeyOps[1] {
+		t.Errorf("read-only key 1 has %d ops but shard logged %d reads", l.KeyOps[1], l.Reads)
+	}
+	if l.Writes+l.Reads != m.Ops {
+		t.Errorf("mix lost ops: %d + %d != %d", l.Writes, l.Reads, m.Ops)
+	}
+	if l.Writes == 0 || l.Reads == 0 {
+		t.Errorf("both keys should receive ops (writes=%d reads=%d)", l.Writes, l.Reads)
+	}
+}
+
+func TestKeyShardSpreadsHotKeys(t *testing.T) {
+	// The eight hottest Zipf keys (0..7) must not all land on one shard of
+	// four, and routing must be stable and in range.
+	seen := map[int]bool{}
+	for k := 0; k < 8; k++ {
+		s := KeyShard(k, 4)
+		if s < 0 || s >= 4 {
+			t.Fatalf("KeyShard(%d, 4) = %d out of range", k, s)
+		}
+		if s != KeyShard(k, 4) {
+			t.Fatalf("KeyShard(%d, 4) unstable", k)
+		}
+		seen[s] = true
+	}
+	if len(seen) < 2 {
+		t.Errorf("hot keys 0..7 all routed to a single shard of 4")
+	}
+}
+
+func TestShardLoadSpecDerivation(t *testing.T) {
+	m := validMulti()
+	m.Crashes = 1
+	m.MaxSteps = 1234
+	l := ShardLoad{Shard: 3, Writes: 5, Reads: 2}
+	spec := l.Spec(m)
+	if spec.Seed != ShardSeed(m.Seed, 3) {
+		t.Error("spec seed not derived from shard index")
+	}
+	if spec.Writes != 5 || spec.Reads != 2 || spec.TargetNu != m.TargetNu ||
+		spec.ValueBytes != m.ValueBytes || spec.Crashes != 1 || spec.MaxSteps != 1234 {
+		t.Errorf("derived spec %+v loses fields", spec)
+	}
+}
+
+func TestShardSeedsDistinct(t *testing.T) {
+	seen := map[int64]int{}
+	for shard := 0; shard < 256; shard++ {
+		s := ShardSeed(42, shard)
+		if prev, ok := seen[s]; ok {
+			t.Fatalf("shards %d and %d share seed %d", prev, shard, s)
+		}
+		seen[s] = shard
+	}
+	if ShardSeed(1, 0) == ShardSeed(2, 0) {
+		t.Error("different base seeds collide at shard 0")
+	}
+}

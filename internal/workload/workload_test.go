@@ -1,12 +1,14 @@
 package workload
 
 import (
+	"errors"
 	"testing"
 
 	"repro/internal/abd"
 	"repro/internal/cas"
 	"repro/internal/cluster"
 	"repro/internal/core"
+	"repro/internal/ioa"
 )
 
 func TestSpecValidate(t *testing.T) {
@@ -95,6 +97,37 @@ func TestCheckConsistencyUnknown(t *testing.T) {
 	r := &Result{}
 	if err := r.CheckConsistency("bogus"); err == nil {
 		t.Error("unknown condition should fail")
+	}
+}
+
+// TestRunStepLimit verifies that exhausting the delivery budget surfaces
+// the scheduler's ErrStepLimit sentinel through Run's error wrapping.
+func TestRunStepLimit(t *testing.T) {
+	cl, err := abd.Deploy(abd.Options{Servers: 3, F: 1, Writers: 1, Readers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = Run(cl, Spec{Seed: 1, Writes: 2, TargetNu: 1, ValueBytes: 16, MaxSteps: 1})
+	if !errors.Is(err, ioa.ErrStepLimit) {
+		t.Errorf("got %v, want ErrStepLimit", err)
+	}
+}
+
+// TestRunQuiescent verifies that a run which loses liveness — more crashed
+// servers than any quorum can tolerate — surfaces ErrQuiescent rather than
+// hanging or reporting success with pending operations.
+func TestRunQuiescent(t *testing.T) {
+	cl, err := abd.Deploy(abd.Options{Servers: 3, F: 1, Writers: 1, Readers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Crash beyond the tolerated f directly on the system: majority quorums
+	// become unreachable, so the single write can never complete.
+	cl.Sys.Crash(cl.Servers[0])
+	cl.Sys.Crash(cl.Servers[1])
+	_, err = Run(cl, Spec{Seed: 1, Writes: 1, TargetNu: 1, ValueBytes: 16})
+	if !errors.Is(err, ioa.ErrQuiescent) {
+		t.Errorf("got %v, want ErrQuiescent", err)
 	}
 }
 

@@ -33,6 +33,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/ioa"
 	"repro/internal/register"
+	"repro/internal/store"
 	"repro/internal/workload"
 )
 
@@ -49,6 +50,16 @@ type (
 	// WorkloadResult carries the history, the storage report and the
 	// normalized total cost of a run.
 	WorkloadResult = workload.Result
+	// MultiWorkloadSpec describes a seeded multi-key workload (keyspace
+	// size, Zipf/uniform key skew, per-key read/write mix, per-shard ν).
+	MultiWorkloadSpec = workload.MultiSpec
+	// StoreOptions configures a sharded multi-register store run.
+	StoreOptions = store.Options
+	// StoreResult aggregates the per-shard storage reports and consistency
+	// verdicts of a sharded store run.
+	StoreResult = store.Result
+	// ShardResult is one shard's slice of a StoreResult.
+	ShardResult = store.ShardResult
 	// Figure1Row is one ν-position of the Figure 1 series.
 	Figure1Row = core.Figure1Row
 	// StorageReport is the kernel's running-maximum storage accounting.
@@ -107,6 +118,26 @@ func DeploySolo(n, f, readers int) (*Cluster, error) {
 func RunWorkload(cl *Cluster, spec WorkloadSpec) (*WorkloadResult, error) {
 	return workload.Run(cl, spec)
 }
+
+// RunStore partitions a multi-key workload across many independent register
+// deployments (one per shard, any mix of algorithms), runs them in parallel
+// on a worker pool with deterministic per-shard seeds, and aggregates the
+// per-shard storage reports and consistency verdicts. Results are
+// byte-identical across runs regardless of the worker count.
+func RunStore(opts StoreOptions) (*StoreResult, error) {
+	return store.Run(opts)
+}
+
+// DeployAlgorithm builds a fresh cluster for the named algorithm ("abd",
+// "abd-mwmr", "cas", "casgc", "twoversion", "twoversion-gossip" or "solo")
+// sized for write concurrency nu, and returns the consistency condition the
+// algorithm guarantees ("atomic" or "regular").
+func DeployAlgorithm(alg string, n, f, nu int) (*Cluster, string, error) {
+	return store.DeployAlgorithm(alg, n, f, nu)
+}
+
+// StoreAlgorithms lists the algorithm names DeployAlgorithm accepts.
+func StoreAlgorithms() []string { return store.Algorithms() }
 
 // Write performs one write operation to completion under a fair schedule.
 func Write(cl *Cluster, writer int, value []byte) error {

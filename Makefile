@@ -1,15 +1,16 @@
 GO ?= go
 
-.PHONY: build test race bench bench-smoke fmt fmt-check vet ci
+.PHONY: build test race bench bench-smoke fuzz-smoke examples fmt fmt-check vet ci
 
 build:
 	$(GO) build ./...
 
+# -shuffle=on randomizes test execution order to catch order-dependent tests.
 test:
-	$(GO) test ./...
+	$(GO) test -shuffle=on ./...
 
 race:
-	$(GO) test -race ./...
+	$(GO) test -race -shuffle=on ./...
 
 bench:
 	$(GO) test -bench . -benchtime 1s .
@@ -17,6 +18,21 @@ bench:
 # One iteration of the headline benchmark — fast enough for every CI run.
 bench-smoke:
 	$(GO) test -run NONE -bench Figure1Series -benchtime 1x .
+
+# Short native-fuzzing passes over the coding-theory kernels (one -fuzz
+# pattern per package run, as the fuzz engine requires).
+fuzz-smoke:
+	$(GO) test -run NONE -fuzz FuzzErasureRoundTrip -fuzztime 10s ./internal/erasure
+	$(GO) test -run NONE -fuzz FuzzMatrixInverse -fuzztime 10s ./internal/gf
+
+# Build every example and smoke-run each one (all finish in well under a
+# second), so example rot is caught on push.
+examples:
+	$(GO) build ./examples/...
+	@set -e; for d in examples/*/; do \
+		echo "run $$d"; \
+		$(GO) run ./$$d > /dev/null; \
+	done
 
 fmt:
 	gofmt -w .
@@ -29,4 +45,4 @@ vet:
 	$(GO) vet ./...
 
 # Exactly what CI runs.
-ci: build vet fmt-check race bench-smoke
+ci: build vet fmt-check race examples fuzz-smoke bench-smoke

@@ -14,6 +14,7 @@ package shmem
 //	E8 (cmd/lowerbounds -summary)    — Section 7 summary (not timed)
 //	E9 BenchmarkE9CheckerThroughput  — consistency-checker throughput
 //	E10 BenchmarkE10ShardedStore     — sharded store: normcost and ops/sec vs shard count
+//	E11 BenchmarkE11FaultScenarios   — storage high-water marks and liveness verdicts across the fault scenario grid
 //
 // Custom metrics (b.ReportMetric) carry the experiment's headline numbers so
 // that bench output doubles as the results record: "normcost" is total
@@ -248,6 +249,48 @@ func BenchmarkE10ShardedStore(b *testing.B) {
 			b.ReportMetric(res.NormalizedTotal, "normcost")
 			b.ReportMetric(res.OpsPerSec, "ops/sec")
 		})
+	}
+}
+
+// E11: the fault scenario grid — the store under quorum-preserving crashes,
+// a healing partition, lossy links and delay/reorder, per algorithm class
+// (ABD replication vs CAS erasure coding). Reported metrics are the
+// experiment's verdict record: the storage high-water mark normalized by
+// log2|V| ("normcost"), the largest single-server footprint in bits, and how
+// many shards went quiescent (liveness lost; safety is asserted via the
+// per-shard consistency checks inside RunStore either way).
+func BenchmarkE11FaultScenarios(b *testing.B) {
+	scenarios := []string{"none", "crash-f@10", "partition@40:4000", "lossy=0.02", "delay=1:16"}
+	for _, algo := range []string{"abd-mwmr", "cas"} {
+		for _, scenario := range scenarios {
+			b.Run(algo+"/"+scenario, func(b *testing.B) {
+				var res *StoreResult
+				for i := 0; i < b.N; i++ {
+					var err error
+					res, err = RunStore(StoreOptions{
+						Shards:     2,
+						Algorithms: []string{algo},
+						Servers:    5,
+						F:          1,
+						Workload: MultiWorkloadSpec{
+							Seed:         11,
+							Keys:         16,
+							Ops:          48,
+							ReadFraction: 0.25,
+							TargetNu:     2,
+							ValueBytes:   256,
+							Faults:       []string{scenario},
+						},
+					})
+					if err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.ReportMetric(res.NormalizedTotal, "normcost")
+				b.ReportMetric(float64(res.MaxServerBits), "maxsrvbits")
+				b.ReportMetric(float64(res.QuiescentShards), "quiescent")
+			})
+		}
 	}
 }
 

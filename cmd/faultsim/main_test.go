@@ -1,0 +1,74 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/cmdtest"
+)
+
+func runWith(t *testing.T, args ...string) string {
+	t.Helper()
+	return cmdtest.RunWith(t, run, args...)
+}
+
+// TestRunMixedFaults exercises the headline usage: scenarios cycled across
+// shards with a fault-free control, verdict column and fault-event summary.
+func TestRunMixedFaults(t *testing.T) {
+	out := runWith(t, "faultsim", "-shards", "4", "-algo", "cas",
+		"-keys", "16", "-ops", "32", "-valuebytes", "64",
+		"-faults", "crash-f@10,lossy=0.05,none")
+	for _, want := range []string{"verdict", "fault events", "fingerprint", "crash-f@10", "lossy=0.05"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestRunQuorumKilling checks that a quorum-killing scenario surfaces as a
+// quiescent verdict rather than an error.
+func TestRunQuorumKilling(t *testing.T) {
+	out := runWith(t, "faultsim", "-shards", "1", "-algo", "abd-mwmr",
+		"-n", "3", "-f", "1", "-keys", "4", "-ops", "12", "-valuebytes", "64",
+		"-faults", "crash-majority@0")
+	if !strings.Contains(out, "quiescent") {
+		t.Errorf("quorum-killing run did not report a quiescent shard:\n%s", out)
+	}
+}
+
+// TestRunReproducibleAcrossWorkers verifies the acceptance criterion end to
+// end: identical fingerprints under faults regardless of worker count.
+func TestRunReproducibleAcrossWorkers(t *testing.T) {
+	args := []string{"faultsim", "-shards", "6", "-algo", "cas,abd-mwmr",
+		"-keys", "16", "-ops", "48", "-valuebytes", "64", "-seed", "5",
+		"-faults", "crash-f@10,partition@40:2500,delay=1:16,none"}
+	fingerprint := func(out string) string {
+		for _, line := range strings.Split(out, "\n") {
+			if strings.HasPrefix(line, "fingerprint") {
+				fields := strings.Fields(line)
+				return fields[len(fields)-1]
+			}
+		}
+		t.Fatalf("no fingerprint line in output:\n%s", out)
+		return ""
+	}
+	serial := fingerprint(runWith(t, append(args, "-workers", "1")...))
+	parallel := fingerprint(runWith(t, append(args, "-workers", "16")...))
+	if serial != parallel {
+		t.Errorf("fingerprint differs across worker counts: %s vs %s", serial, parallel)
+	}
+}
+
+// TestRunGrid smoke-tests the scenario-grid mode.
+func TestRunGrid(t *testing.T) {
+	out := runWith(t, "faultsim", "-grid", "-algo", "abd-mwmr",
+		"-n", "3", "-f", "1", "-keys", "8", "-ops", "16", "-valuebytes", "64")
+	for _, want := range []string{"crash-f", "crash-majority", "partition@", "lossy=", "delay=", "none"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("grid missing scenario %q:\n%s", want, out)
+		}
+	}
+	if !strings.Contains(out, "quiescent") {
+		t.Errorf("grid shows no quiescent cell (crash-majority must lose liveness):\n%s", out)
+	}
+}

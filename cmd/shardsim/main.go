@@ -44,7 +44,13 @@ func run() error {
 	crashes := flag.Int("crashes", 0, "per-shard random server crashes")
 	seed := flag.Int64("seed", 1, "workload seed")
 	workers := flag.Int("workers", 0, "parallel shard workers (0 = GOMAXPROCS)")
+	faultSpecs := flag.String("faults", "", "comma-separated fault scenarios, cycled per shard (see cmd/faultsim); grammar: "+shmem.FaultScenarioUsage())
 	flag.Parse()
+
+	var specs []string
+	if *faultSpecs != "" {
+		specs = strings.Split(*faultSpecs, ",")
+	}
 
 	res, err := shmem.RunStore(shmem.StoreOptions{
 		Shards:     *shards,
@@ -62,6 +68,7 @@ func run() error {
 			TargetNu:     *nu,
 			ValueBytes:   *valueBytes,
 			Crashes:      *crashes,
+			Faults:       specs,
 		},
 	})
 	if err != nil {

@@ -1,0 +1,393 @@
+package consistency_test
+
+// Differential tests for the consistency checkers: small random histories
+// are checked by CheckAtomic / CheckRegular and, independently, by
+// brute-force enumeration of every serialization the definitions admit. The
+// two verdicts must agree on every history. The brute force shares no code
+// or search strategy with the checkers (the production checker prunes with
+// minimal-candidate ordering and memoization; the brute force literally
+// tries all subset choices and permutations), so agreement over thousands of
+// adversarial histories pins the checkers' semantics, not their
+// implementation.
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/abd"
+	"repro/internal/consistency"
+	"repro/internal/ioa"
+	"repro/internal/workload"
+)
+
+// bruteForceAtomic reports whether the history linearizes, by exhaustive
+// enumeration: pending reads are discarded (they constrain nothing), every
+// subset of pending writes may take effect, and every permutation of the
+// chosen operations is tried against real-time order and register semantics.
+func bruteForceAtomic(h *ioa.History, initial []byte) bool {
+	ops := make([]ioa.Op, 0, len(h.Ops))
+	var pendingWrites []ioa.Op
+	for _, op := range h.Ops {
+		switch {
+		case op.Kind == ioa.OpRead && op.Pending():
+			// dropped
+		case op.Kind == ioa.OpWrite && op.Pending():
+			pendingWrites = append(pendingWrites, op)
+		default:
+			ops = append(ops, op)
+		}
+	}
+	for mask := 0; mask < 1<<len(pendingWrites); mask++ {
+		chosen := append([]ioa.Op(nil), ops...)
+		for i, w := range pendingWrites {
+			if mask&(1<<i) != 0 {
+				chosen = append(chosen, w)
+			}
+		}
+		if permuteAtomic(chosen, nil, initial) {
+			return true
+		}
+	}
+	return false
+}
+
+// permuteAtomic recursively enumerates all orderings of remaining, appending
+// to prefix, and reports whether any ordering is a legal linearization.
+func permuteAtomic(remaining, prefix []ioa.Op, lastVal []byte) bool {
+	if len(remaining) == 0 {
+		return true
+	}
+	for i, op := range remaining {
+		// Real-time order: op may come next only if no remaining operation
+		// completed before op was invoked.
+		ok := true
+		for j, other := range remaining {
+			if j != i && other.PrecedesOp(op) {
+				ok = false
+				break
+			}
+		}
+		if !ok {
+			continue
+		}
+		next := lastVal
+		if op.Kind == ioa.OpWrite {
+			next = op.Input
+		} else if !bytes.Equal(op.Output, lastVal) {
+			continue // read must return the current register value
+		}
+		rest := make([]ioa.Op, 0, len(remaining)-1)
+		rest = append(rest, remaining[:i]...)
+		rest = append(rest, remaining[i+1:]...)
+		if permuteAtomic(rest, append(prefix, op), next) {
+			return true
+		}
+	}
+	return false
+}
+
+// bruteForceRegular checks single-writer regularity by enumeration: the
+// writes of a single writer are totally ordered in real time, and a read is
+// regular iff it can be inserted at some position in that order — consistent
+// with real time — where it returns the immediately preceding write's value
+// (or initial at position zero).
+func bruteForceRegular(h *ioa.History, initial []byte) bool {
+	var writes []ioa.Op
+	for _, op := range h.Ops {
+		if op.Kind == ioa.OpWrite {
+			writes = append(writes, op)
+		}
+	}
+	for i := 1; i < len(writes); i++ {
+		if writes[i].InvokeStep < writes[i-1].InvokeStep {
+			writes[i], writes[i-1] = writes[i-1], writes[i]
+			i = 0
+		}
+	}
+	for _, r := range h.Ops {
+		if r.Kind != ioa.OpRead || r.Pending() {
+			continue
+		}
+		ok := false
+		for pos := 0; pos <= len(writes); pos++ {
+			valid := true
+			for j, w := range writes {
+				inPrefix := j < pos
+				if w.PrecedesOp(r) && !inPrefix {
+					valid = false // write finished before the read began
+				}
+				if r.PrecedesOp(w) && inPrefix {
+					valid = false // write began after the read finished
+				}
+			}
+			if !valid {
+				continue
+			}
+			want := initial
+			if pos > 0 {
+				want = writes[pos-1].Input
+			}
+			if bytes.Equal(r.Output, want) {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// genHistory builds a random history of at most maxOps operations with
+// distinct invoke/respond steps, unique write values and adversarial read
+// outputs (written values, the initial value, or garbage). When
+// sequentialWrites is set, writes come from one client and never overlap —
+// the shape CheckRegular requires.
+func genHistory(rng *rand.Rand, maxOps int, sequentialWrites bool) *ioa.History {
+	k := 2 + rng.Intn(maxOps-1)
+	steps := rng.Perm(64)[: 2*k : 2*k] // distinct step numbers
+	next := 0
+	takeStep := func() int { s := steps[next]; next++; return s }
+
+	var values [][]byte
+	h := &ioa.History{}
+	writeSlot := 0 // monotone window for sequential writes
+	for i := 0; i < k; i++ {
+		op := ioa.Op{ID: i, Client: ioa.NodeID(10 + i)}
+		if rng.Intn(2) == 0 {
+			op.Kind = ioa.OpWrite
+			op.Input = []byte(fmt.Sprintf("v%d", i))
+			values = append(values, op.Input)
+		} else {
+			op.Kind = ioa.OpRead
+		}
+		a, b := takeStep(), takeStep()
+		if a > b {
+			a, b = b, a
+		}
+		op.InvokeStep, op.RespondStep = a, b
+		if op.Kind == ioa.OpWrite && sequentialWrites {
+			// Re-base the write into its own non-overlapping window. Writes
+			// get even steps and reads odd ones below: kernel histories
+			// never share a step between two events, and at exact ties the
+			// notions of "overlaps" and "precedes" are ill-defined.
+			op.Client = 1
+			op.InvokeStep = 4 * writeSlot
+			op.RespondStep = 4*writeSlot + 2
+			writeSlot++
+		}
+		// A write may go pending only when writes are unconstrained: a
+		// single sequential writer can have at most its last write pending
+		// (handled below), since a busy client cannot invoke again.
+		if rng.Intn(6) == 0 && !(sequentialWrites && op.Kind == ioa.OpWrite) {
+			op.RespondStep = -1 // pending
+		}
+		h.Ops = append(h.Ops, op)
+	}
+	if sequentialWrites && writeSlot > 0 && rng.Intn(6) == 0 {
+		for i := range h.Ops {
+			if h.Ops[i].Kind == ioa.OpWrite && h.Ops[i].InvokeStep == 4*(writeSlot-1) {
+				h.Ops[i].RespondStep = -1
+			}
+		}
+	}
+	if sequentialWrites {
+		// Interleave reads with the write windows (odd steps only, so no
+		// read event ever ties with a write event) so overlap cases occur.
+		for i := range h.Ops {
+			if h.Ops[i].Kind == ioa.OpRead {
+				h.Ops[i].InvokeStep = 2*rng.Intn(2*writeSlot+4) - 1
+				if h.Ops[i].RespondStep >= 0 {
+					h.Ops[i].RespondStep = h.Ops[i].InvokeStep + 2*(1+rng.Intn(2*writeSlot+4))
+				}
+			}
+		}
+	}
+	// Assign read outputs after all writes exist.
+	for i := range h.Ops {
+		if h.Ops[i].Kind != ioa.OpRead || h.Ops[i].Pending() {
+			continue
+		}
+		switch pick := rng.Intn(8); {
+		case pick == 0:
+			h.Ops[i].Output = nil // initial value
+		case pick == 1:
+			h.Ops[i].Output = []byte("never-written")
+		case len(values) > 0:
+			h.Ops[i].Output = values[rng.Intn(len(values))]
+		}
+	}
+	return h
+}
+
+// TestAtomicDifferential compares CheckAtomic against the brute force over
+// thousands of random small histories.
+func TestAtomicDifferential(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	agreeViolating, agreeLinearizable := 0, 0
+	for i := 0; i < 3000; i++ {
+		h := genHistory(rng, 6, false)
+		got := consistency.CheckAtomic(h, nil) == nil
+		want := bruteForceAtomic(h, nil)
+		if got != want {
+			t.Fatalf("case %d: CheckAtomic says %t, brute force says %t, history:\n%v", i, got, want, h.Ops)
+		}
+		if want {
+			agreeLinearizable++
+		} else {
+			agreeViolating++
+		}
+	}
+	// The generator must actually exercise both verdicts for the
+	// differential to mean anything.
+	if agreeViolating == 0 || agreeLinearizable == 0 {
+		t.Fatalf("degenerate sample: %d linearizable, %d violating", agreeLinearizable, agreeViolating)
+	}
+}
+
+// TestRegularDifferential compares CheckRegular against the brute force on
+// single-writer histories.
+func TestRegularDifferential(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	agreeViolating, agreeRegular := 0, 0
+	for i := 0; i < 3000; i++ {
+		h := genHistory(rng, 6, true)
+		got := consistency.CheckRegular(h, nil) == nil
+		want := bruteForceRegular(h, nil)
+		if got != want {
+			t.Fatalf("case %d: CheckRegular says %t, brute force says %t, history:\n%v", i, got, want, h.Ops)
+		}
+		if want {
+			agreeRegular++
+		} else {
+			agreeViolating++
+		}
+	}
+	if agreeViolating == 0 || agreeRegular == 0 {
+		t.Fatalf("degenerate sample: %d regular, %d violating", agreeRegular, agreeViolating)
+	}
+}
+
+// op builds a completed operation for the known-history table.
+func op(id int, client ioa.NodeID, kind ioa.OpKind, val string, invoke, respond int) ioa.Op {
+	o := ioa.Op{ID: id, Client: client, Kind: kind, InvokeStep: invoke, RespondStep: respond}
+	if kind == ioa.OpWrite {
+		o.Input = []byte(val)
+	} else if val != "" {
+		o.Output = []byte(val)
+	}
+	return o
+}
+
+// TestKnownHistories pins the checkers (and the brute forces) to hand-built
+// histories with known verdicts, including the classic violations.
+func TestKnownHistories(t *testing.T) {
+	cases := []struct {
+		name            string
+		ops             []ioa.Op
+		atomic, regular bool
+	}{
+		{
+			name: "stale read after completed write",
+			ops: []ioa.Op{
+				op(0, 1, ioa.OpWrite, "a", 0, 1),
+				op(1, 2, ioa.OpRead, "", 2, 3), // returns initial after write completed
+			},
+			atomic: false, regular: false,
+		},
+		{
+			name: "read of overlapping write",
+			ops: []ioa.Op{
+				op(0, 1, ioa.OpWrite, "a", 0, 5),
+				op(1, 2, ioa.OpRead, "a", 1, 2),
+			},
+			atomic: true, regular: true,
+		},
+		{
+			name: "new-old inversion between two reads",
+			ops: []ioa.Op{
+				op(0, 1, ioa.OpWrite, "a", 0, 1),
+				op(1, 1, ioa.OpWrite, "b", 2, 9),
+				op(2, 2, ioa.OpRead, "b", 3, 4), // sees the overlapping write...
+				op(3, 3, ioa.OpRead, "a", 5, 6), // ...then a later read regresses
+			},
+			atomic: false, regular: true, // the regression is legal under regularity
+		},
+		{
+			name: "read returns never-written value",
+			ops: []ioa.Op{
+				op(0, 1, ioa.OpWrite, "a", 0, 1),
+				op(1, 2, ioa.OpRead, "zz", 2, 3),
+			},
+			atomic: false, regular: false,
+		},
+		{
+			name: "pending write may take effect",
+			ops: []ioa.Op{
+				op(0, 1, ioa.OpWrite, "a", 0, -1),
+				op(1, 2, ioa.OpRead, "a", 1, 2),
+			},
+			atomic: true, regular: true,
+		},
+		{
+			name: "value from the future",
+			ops: []ioa.Op{
+				op(0, 2, ioa.OpRead, "a", 0, 1),
+				op(1, 1, ioa.OpWrite, "a", 2, 3), // write invoked after the read completed
+			},
+			atomic: false, regular: false,
+		},
+		{
+			name: "sequential writes then fresh read",
+			ops: []ioa.Op{
+				op(0, 1, ioa.OpWrite, "a", 0, 1),
+				op(1, 1, ioa.OpWrite, "b", 2, 3),
+				op(2, 2, ioa.OpRead, "b", 4, 5),
+			},
+			atomic: true, regular: true,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			h := &ioa.History{Ops: tc.ops}
+			if got := consistency.CheckAtomic(h, nil) == nil; got != tc.atomic {
+				t.Errorf("CheckAtomic = %t, want %t", got, tc.atomic)
+			}
+			if got := bruteForceAtomic(h, nil); got != tc.atomic {
+				t.Errorf("bruteForceAtomic = %t, want %t", got, tc.atomic)
+			}
+			if got := consistency.CheckRegular(h, nil) == nil; got != tc.regular {
+				t.Errorf("CheckRegular = %t, want %t", got, tc.regular)
+			}
+			if got := bruteForceRegular(h, nil); got != tc.regular {
+				t.Errorf("bruteForceRegular = %t, want %t", got, tc.regular)
+			}
+		})
+	}
+}
+
+// TestSeededRunDifferential feeds real kernel histories (seeded ABD runs,
+// which must be atomic) through both the checker and the brute force.
+func TestSeededRunDifferential(t *testing.T) {
+	for seed := int64(1); seed <= 8; seed++ {
+		cl, err := abd.Deploy(abd.Options{Servers: 3, F: 1, Writers: 2, Readers: 2, MultiWriter: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := workload.Run(cl, workload.Spec{
+			Seed: seed, Writes: 3, Reads: 3, TargetNu: 2, ValueBytes: 16,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := consistency.CheckAtomic(res.History, nil); err != nil {
+			t.Errorf("seed %d: checker rejects a real ABD history: %v", seed, err)
+		}
+		if !bruteForceAtomic(res.History, nil) {
+			t.Errorf("seed %d: brute force rejects a real ABD history", seed)
+		}
+	}
+}

@@ -1,0 +1,52 @@
+package erasure
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzErasureRoundTrip checks the MDS contract on arbitrary inputs: encode a
+// value under an (n, k) code, lose up to n-k shards (chosen by a fuzzed bit
+// mask), and the remaining shards must decode to exactly the original value.
+func FuzzErasureRoundTrip(f *testing.F) {
+	f.Add(uint8(5), uint8(3), []byte("hello, world"), uint16(0b10001))
+	f.Add(uint8(1), uint8(1), []byte{}, uint16(0))
+	f.Add(uint8(9), uint8(5), bytes.Repeat([]byte{0xab}, 300), uint16(0b1111))
+	f.Add(uint8(12), uint8(4), []byte{0, 0, 0, 0}, uint16(0xffff))
+	f.Fuzz(func(t *testing.T, nRaw, kRaw uint8, value []byte, lossMask uint16) {
+		n := int(nRaw)%16 + 1
+		k := int(kRaw)%n + 1
+		if len(value) > 1<<12 {
+			value = value[:1<<12]
+		}
+		code, err := New(n, k)
+		if err != nil {
+			t.Fatalf("New(%d, %d): %v", n, k, err)
+		}
+		shards, err := code.Encode(value)
+		if err != nil {
+			t.Fatalf("Encode: %v", err)
+		}
+		if len(shards) != n {
+			t.Fatalf("Encode produced %d shards, want %d", len(shards), n)
+		}
+		// Lose shards where the mask has a 1 bit, stopping at the n-k
+		// erasure budget the MDS property guarantees against.
+		kept := make([]Shard, 0, n)
+		lost := 0
+		for i, s := range shards {
+			if lossMask&(1<<i) != 0 && lost < n-k {
+				lost++
+				continue
+			}
+			kept = append(kept, s)
+		}
+		got, err := code.Decode(kept)
+		if err != nil {
+			t.Fatalf("Decode with %d/%d shards lost: %v", lost, n, err)
+		}
+		if !bytes.Equal(got, value) {
+			t.Fatalf("round trip mismatch: n=%d k=%d lost=%d got %d bytes, want %d", n, k, lost, len(got), len(value))
+		}
+	})
+}

@@ -1,0 +1,278 @@
+package faults
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/cluster"
+)
+
+// Scenario is a named, parameterized recipe that expands into a concrete
+// Plan for a deployment of n servers tolerating f crashes. Scenarios use the
+// conventional node-id layout of package cluster (servers 1..n, writers from
+// 101, readers from 201), which every algorithm deployment follows.
+type Scenario interface {
+	// String renders the scenario in the grammar Parse accepts.
+	String() string
+	// Build expands the scenario into a plan for an (n, f) deployment.
+	Build(n, f int, seed int64) (*Plan, error)
+}
+
+// CrashServers crashes the Extra+f highest-numbered servers on a staggered
+// schedule. Extra = 0 is the quorum-preserving crash of exactly f servers
+// every algorithm must survive; Extra = 1 is the quorum-killing crash of f+1
+// that must cost liveness (but never safety).
+type CrashServers struct {
+	// Extra is added to f to get the crash count.
+	Extra int
+	// Step is the first crash step; each further crash lands crashStagger
+	// steps later. The zero value crashes the first server at step 0.
+	Step int
+	// RecoverStep, when positive, revives every crashed server at
+	// RecoverStep + its own stagger offset.
+	RecoverStep int
+}
+
+// crashStagger spaces consecutive scheduled crashes so they interleave with
+// protocol rounds instead of landing on one step.
+const crashStagger = 17
+
+func (c CrashServers) String() string {
+	name := "crash-f"
+	if c.Extra > 0 {
+		name = "crash-majority"
+	}
+	if c.RecoverStep > 0 {
+		return fmt.Sprintf("%s@%d:%d", name, c.Step, c.RecoverStep)
+	}
+	if c.Step > 0 {
+		return fmt.Sprintf("%s@%d", name, c.Step)
+	}
+	return name
+}
+
+// Build implements Scenario.
+func (c CrashServers) Build(n, f int, seed int64) (*Plan, error) {
+	count := f + c.Extra
+	if count < 0 || count > n {
+		return nil, fmt.Errorf("faults: cannot crash %d of %d servers", count, n)
+	}
+	plan := &Plan{Seed: seed}
+	servers := cluster.ServerIDs(n)
+	for i := 0; i < count; i++ {
+		cr := Crash{Node: servers[n-1-i], Step: c.Step + i*crashStagger}
+		if c.RecoverStep > 0 {
+			cr.RecoverStep = c.RecoverStep + i*crashStagger
+		}
+		plan.Crashes = append(plan.Crashes, cr)
+	}
+	return plan, plan.Validate()
+}
+
+// Partition symmetrically isolates the f+1 highest-numbered servers from
+// every other node during [Start, Heal): a quorum-killing partition that
+// stalls operations until it heals, after which the held messages flow and
+// the history must still check atomic.
+type Partition struct {
+	Start, Heal int
+	// Isolate overrides the number of isolated servers (default f+1).
+	Isolate int
+}
+
+func (p Partition) String() string {
+	if p.Isolate > 0 {
+		return fmt.Sprintf("partition@%d:%d:%d", p.Start, p.Heal, p.Isolate)
+	}
+	return fmt.Sprintf("partition@%d:%d", p.Start, p.Heal)
+}
+
+// Build implements Scenario.
+func (p Partition) Build(n, f int, seed int64) (*Plan, error) {
+	isolate := p.Isolate
+	if isolate == 0 {
+		isolate = f + 1
+	}
+	if isolate < 0 || isolate > n {
+		return nil, fmt.Errorf("faults: cannot isolate %d of %d servers", isolate, n)
+	}
+	servers := cluster.ServerIDs(n)
+	island := NodeSet(servers[n-isolate:])
+	plan := &Plan{
+		Seed:    seed,
+		Outages: []Outage{{From: island, To: nil, Start: p.Start, End: p.Heal, Symmetric: true}},
+	}
+	return plan, plan.Validate()
+}
+
+// Lossy drops every message independently with probability P on all links.
+type Lossy struct{ P float64 }
+
+func (l Lossy) String() string { return fmt.Sprintf("lossy=%g", l.P) }
+
+// Build implements Scenario.
+func (l Lossy) Build(n, f int, seed int64) (*Plan, error) {
+	plan := &Plan{Seed: seed, Rules: []Rule{{DropProb: l.P}}}
+	return plan, plan.Validate()
+}
+
+// Delay holds every message for a uniform random number of steps in
+// [Min, Max], reordering every link.
+type Delay struct{ Min, Max int }
+
+func (d Delay) String() string { return fmt.Sprintf("delay=%d:%d", d.Min, d.Max) }
+
+// Build implements Scenario.
+func (d Delay) Build(n, f int, seed int64) (*Plan, error) {
+	plan := &Plan{Seed: seed, Rules: []Rule{{DelayMin: d.Min, DelayMax: d.Max}}}
+	return plan, plan.Validate()
+}
+
+// Compose overlays several scenarios into one plan (e.g. a lossy network
+// that also suffers a healing partition).
+type Compose []Scenario
+
+func (c Compose) String() string {
+	parts := make([]string, len(c))
+	for i, s := range c {
+		parts[i] = s.String()
+	}
+	return strings.Join(parts, "+")
+}
+
+// Build implements Scenario.
+func (c Compose) Build(n, f int, seed int64) (*Plan, error) {
+	if len(c) == 0 {
+		return nil, fmt.Errorf("faults: empty composition")
+	}
+	var merged *Plan
+	for _, s := range c {
+		p, err := s.Build(n, f, seed)
+		if err != nil {
+			return nil, err
+		}
+		if merged == nil {
+			merged = p
+		} else {
+			merged = merged.Merge(p)
+		}
+	}
+	return merged, merged.Validate()
+}
+
+// Usage describes the scenario grammar Parse accepts, for CLI help text.
+func Usage() string {
+	return "none | crash-f[@STEP[:RECOVER]] | crash-majority[@STEP[:RECOVER]] | " +
+		"partition@START:HEAL[:ISOLATE] | lossy=PROB | delay=MIN:MAX " +
+		"(combine with +, e.g. lossy=0.02+delay=1:20)"
+}
+
+// Library returns the standard scenario grid: the quorum-preserving crash of
+// f servers, the quorum-killing crash of f+1, a healing partition, a lossy
+// link sweep point and a delay/reorder sweep point.
+func Library() []Scenario {
+	return []Scenario{
+		CrashServers{},
+		CrashServers{Extra: 1},
+		Partition{Start: 40, Heal: 4000},
+		Lossy{P: 0.02},
+		Delay{Min: 1, Max: 24},
+	}
+}
+
+// Parse turns a scenario spec (see Usage) into a Scenario. The empty string
+// and "none" parse to nil: no faults.
+func Parse(spec string) (Scenario, error) {
+	spec = strings.TrimSpace(spec)
+	if spec == "" || spec == "none" {
+		return nil, nil
+	}
+	parts := strings.Split(spec, "+")
+	if len(parts) > 1 {
+		comp := make(Compose, 0, len(parts))
+		for _, part := range parts {
+			s, err := Parse(part)
+			if err != nil {
+				return nil, err
+			}
+			if s == nil {
+				return nil, fmt.Errorf("faults: empty term in composition %q", spec)
+			}
+			comp = append(comp, s)
+		}
+		return comp, nil
+	}
+	name, args := spec, ""
+	for _, sep := range []string{"@", "="} {
+		if i := strings.Index(spec, sep); i >= 0 {
+			name, args = spec[:i], spec[i+1:]
+			break
+		}
+	}
+	switch name {
+	case "crash-f", "crash-majority":
+		extra := 0
+		if name == "crash-majority" {
+			extra = 1
+		}
+		steps, err := parseInts(args, 0, 2)
+		if err != nil {
+			return nil, fmt.Errorf("faults: %s: %w", name, err)
+		}
+		sc := CrashServers{Extra: extra}
+		if len(steps) > 0 {
+			sc.Step = steps[0]
+		}
+		if len(steps) > 1 {
+			sc.RecoverStep = steps[1]
+		}
+		return sc, nil
+	case "partition":
+		steps, err := parseInts(args, 2, 3)
+		if err != nil {
+			return nil, fmt.Errorf("faults: partition: %w", err)
+		}
+		sc := Partition{Start: steps[0], Heal: steps[1]}
+		if len(steps) > 2 {
+			sc.Isolate = steps[2]
+		}
+		return sc, nil
+	case "lossy":
+		p, err := strconv.ParseFloat(args, 64)
+		if err != nil || p < 0 || p > 1 {
+			return nil, fmt.Errorf("faults: lossy probability %q outside [0,1]", args)
+		}
+		return Lossy{P: p}, nil
+	case "delay":
+		steps, err := parseInts(args, 2, 2)
+		if err != nil {
+			return nil, fmt.Errorf("faults: delay: %w", err)
+		}
+		return Delay{Min: steps[0], Max: steps[1]}, nil
+	default:
+		return nil, fmt.Errorf("faults: unknown scenario %q (grammar: %s)", spec, Usage())
+	}
+}
+
+// parseInts parses between min and max colon-separated non-negative ints.
+func parseInts(args string, min, max int) ([]int, error) {
+	if args == "" {
+		if min > 0 {
+			return nil, fmt.Errorf("expected %d argument(s)", min)
+		}
+		return nil, nil
+	}
+	parts := strings.Split(args, ":")
+	if len(parts) < min || len(parts) > max {
+		return nil, fmt.Errorf("expected between %d and %d arguments, got %d", min, max, len(parts))
+	}
+	out := make([]int, len(parts))
+	for i, p := range parts {
+		v, err := strconv.Atoi(p)
+		if err != nil || v < 0 {
+			return nil, fmt.Errorf("bad argument %q", p)
+		}
+		out[i] = v
+	}
+	return out, nil
+}

@@ -34,10 +34,15 @@ func (o Op) String() string {
 }
 
 // History is the sequence of operations observed at the clients of an
-// execution, in invocation order.
+// execution, in invocation order, together with the fault events the kernel
+// applied while producing it.
 type History struct {
-	Ops  []Op
-	open map[NodeID]int // client -> index in Ops of its outstanding op
+	Ops []Op
+	// Faults records the injected fault events (drops, delays, scheduled
+	// crashes and recoveries) in the order they occurred. It is empty for
+	// fault-free runs.
+	Faults []FaultRecord
+	open   map[NodeID]int // client -> index in Ops of its outstanding op
 }
 
 // NewHistory returns an empty history.
@@ -49,8 +54,9 @@ func NewHistory() *History {
 // are immutable by the kernel's message contract).
 func (h *History) clone() *History {
 	out := &History{
-		Ops:  make([]Op, len(h.Ops)),
-		open: make(map[NodeID]int, len(h.open)),
+		Ops:    make([]Op, len(h.Ops)),
+		Faults: append([]FaultRecord(nil), h.Faults...),
+		open:   make(map[NodeID]int, len(h.open)),
 	}
 	copy(out.Ops, h.Ops)
 	for k, v := range h.open {
@@ -58,6 +64,9 @@ func (h *History) clone() *History {
 	}
 	return out
 }
+
+// addFault appends a fault record.
+func (h *History) addFault(r FaultRecord) { h.Faults = append(h.Faults, r) }
 
 // beginOp appends a new pending operation and returns its ID.
 func (h *History) beginOp(client NodeID, inv Invocation, step int) (int, error) {

@@ -116,6 +116,97 @@ type Digester interface {
 	StateDigest() string
 }
 
+// FaultPlan is a deterministic delivery filter and failure schedule consulted
+// by the kernel when one is installed with System.SetFaultPlan. All methods
+// must be pure functions of their arguments (plus the plan's own immutable
+// configuration): the kernel calls them at deterministic points of the
+// schedule, and two runs of the same seeded schedule with the same plan must
+// make identical fault decisions. The internal/faults package provides the
+// standard implementation.
+type FaultPlan interface {
+	// MessageFate decides, at send time, what happens to the message with
+	// the given global send sequence number on the from->to link: dropped
+	// (never enqueued) or held for delaySteps additional steps before it
+	// becomes deliverable. A zero fate (false, 0) is normal delivery.
+	MessageFate(from, to NodeID, seq uint64, step int) (drop bool, delaySteps int)
+	// LinkBlocked reports whether the from->to link is inside an outage
+	// (partition) window at the given step. Blocked messages are held, not
+	// dropped, and flow again when the window closes.
+	LinkBlocked(from, to NodeID, step int) bool
+	// NextLinkChange returns the earliest step strictly after step at which
+	// the from->to link's blocked status may change, or -1 when it never
+	// changes again. The kernel uses it to fast-forward logical time across
+	// outage windows when nothing else is deliverable.
+	NextLinkChange(from, to NodeID, step int) int
+	// NodeEvents returns the scheduled crash/recovery events, ascending by
+	// Step. The kernel applies an event once the step counter reaches it.
+	NodeEvents() []NodeFaultEvent
+}
+
+// NodeFaultEvent schedules a node crash or recovery at a step.
+type NodeFaultEvent struct {
+	Step    int
+	Node    NodeID
+	Recover bool
+}
+
+// FaultKind classifies a recorded fault event.
+type FaultKind int
+
+// Fault event kinds recorded in the history.
+const (
+	FaultDrop FaultKind = iota + 1
+	FaultDelay
+	FaultCrash
+	FaultRecover
+)
+
+// String names the fault kind.
+func (k FaultKind) String() string {
+	switch k {
+	case FaultDrop:
+		return "drop"
+	case FaultDelay:
+		return "delay"
+	case FaultCrash:
+		return "crash"
+	case FaultRecover:
+		return "recover"
+	default:
+		return fmt.Sprintf("FaultKind(%d)", int(k))
+	}
+}
+
+// FaultRecord is one fault event as it occurred in an execution. Records are
+// appended to the history so a run's fault trace is as replayable and
+// fingerprintable as its operation trace.
+type FaultRecord struct {
+	Step int
+	Kind FaultKind
+	// From and To identify the affected link for drop/delay records; for
+	// crash/recover records From is the affected node and To is unused.
+	From, To NodeID
+	// Delay is the number of steps a delayed message was held.
+	Delay int
+}
+
+// FaultStats aggregates an execution's fault events.
+type FaultStats struct {
+	// Drops counts messages discarded at send time.
+	Drops int
+	// DelayedMessages counts messages assigned a nonzero delivery delay, and
+	// DelayStepsTotal sums those delays.
+	DelayedMessages int
+	DelayStepsTotal int
+	// Crashes and Recoveries count applied scheduled node events.
+	Crashes    int
+	Recoveries int
+	// FastForwards counts the times a scheduler advanced logical time
+	// because every queued message was delayed, blocked or addressed to a
+	// crashed node.
+	FastForwards int
+}
+
 // ValueBearer marks messages that carry information about a written value
 // (the "value-dependent messages" of Definition 6.4). The Theorem 6.5
 // execution construction withholds exactly these messages.

@@ -46,6 +46,13 @@ func (s *System) FairRun(maxSteps int, stop StopFunc) error {
 	for {
 		keys := s.DeliverableChannels()
 		if len(keys) == 0 {
+			// Under a fault plan the system may be only temporarily idle:
+			// every queued message delayed, link-blocked or addressed to a
+			// crashed node with a recovery ahead. Advance logical time to
+			// the next scheduled fault boundary before giving up.
+			if s.FaultForward() {
+				continue
+			}
 			return ErrQuiescent
 		}
 		for _, k := range keys {
@@ -74,15 +81,19 @@ func (s *System) RandomRun(rng *rand.Rand, maxSteps int, stop StopFunc) error {
 	if stop != nil && stop(s) {
 		return nil
 	}
-	for delivered := 0; delivered < maxSteps; delivered++ {
+	for delivered := 0; delivered < maxSteps; {
 		keys := s.DeliverableChannels()
 		if len(keys) == 0 {
+			if s.FaultForward() {
+				continue // fast-forwards do not consume the delivery budget
+			}
 			return ErrQuiescent
 		}
 		k := keys[rng.Intn(len(keys))]
 		if err := s.Deliver(k.From, k.To); err != nil {
 			return fmt.Errorf("random run: %w", err)
 		}
+		delivered++
 		if stop != nil && stop(s) {
 			return nil
 		}
@@ -109,8 +120,11 @@ func NewStepper(sys *System) *Stepper { return &Stepper{sys: sys} }
 // message is deliverable.
 func (st *Stepper) Step() (bool, error) {
 	keys := st.sys.DeliverableChannels()
-	if len(keys) == 0 {
-		return false, nil
+	for len(keys) == 0 {
+		if !st.sys.FaultForward() {
+			return false, nil
+		}
+		keys = st.sys.DeliverableChannels()
 	}
 	pick := keys[0]
 	if st.init {
@@ -154,6 +168,11 @@ func (s *System) DrainMatching(maxSteps int, match func(from, to NodeID) bool) (
 			}
 		}
 		if !progressed {
+			// Give fault-delayed or link-blocked matching messages a chance
+			// to become deliverable before concluding the drain is done.
+			if s.FaultForward() {
+				continue
+			}
 			return delivered, nil
 		}
 	}

@@ -10,6 +10,17 @@ type ChanKey struct {
 	From, To NodeID
 }
 
+// queued is one in-flight message with its fault metadata: the global send
+// sequence number (for deterministic fault decisions) and the earliest step
+// at which it may be delivered (send step plus any fault-assigned delay).
+// Without a fault plan readyAt equals the send step, so every queued message
+// is immediately deliverable and the kernel behaves exactly as before.
+type queued struct {
+	msg     Message
+	seq     uint64
+	readyAt int
+}
+
 // System is the composed automaton: nodes plus channels plus failure state,
 // advanced one discrete step at a time. The zero value is not usable; create
 // systems with NewSystem.
@@ -17,12 +28,19 @@ type System struct {
 	nodes    map[NodeID]Node
 	ids      []NodeID // sorted, for deterministic iteration
 	servers  map[NodeID]bool
-	queues   map[ChanKey][]Message
+	queues   map[ChanKey][]queued
 	crashed  map[NodeID]bool
 	silenced map[NodeID]bool
 	frozen   map[ChanKey]bool
 	steps    int
 	hist     *History
+
+	// Fault injection (nil plan means a fault-free run).
+	faults      FaultPlan
+	faultEvents []NodeFaultEvent // plan's node events, sorted by Step
+	faultEvIdx  int              // first not-yet-applied event
+	faultStats  FaultStats
+	nextSeq     uint64 // global send sequence number
 
 	// Storage accounting (servers implementing StorageMeter only).
 	curBits      map[NodeID]int
@@ -36,7 +54,7 @@ func NewSystem() *System {
 	return &System{
 		nodes:    make(map[NodeID]Node),
 		servers:  make(map[NodeID]bool),
-		queues:   make(map[ChanKey][]Message),
+		queues:   make(map[ChanKey][]queued),
 		crashed:  make(map[NodeID]bool),
 		silenced: make(map[NodeID]bool),
 		frozen:   make(map[ChanKey]bool),
@@ -109,6 +127,118 @@ func (s *System) Crash(id NodeID) { s.crashed[id] = true }
 // Crashed reports whether the node has crashed.
 func (s *System) Crashed(id NodeID) bool { return s.crashed[id] }
 
+// Recover lifts a Crash: the node resumes taking steps with its state intact,
+// modeling a crash-recovery (long unresponsive pause) failure rather than the
+// paper's permanent crash. Messages addressed to the node while it was down
+// were held in the channels and become deliverable again.
+func (s *System) Recover(id NodeID) { delete(s.crashed, id) }
+
+// SetFaultPlan installs (or, with nil, removes) a fault plan. The plan's
+// decisions apply to messages sent after this call; node events scheduled at
+// or before the current step are applied immediately.
+func (s *System) SetFaultPlan(p FaultPlan) {
+	s.faults = p
+	s.faultEvents = nil
+	s.faultEvIdx = 0
+	if p == nil {
+		return
+	}
+	s.faultEvents = append([]NodeFaultEvent(nil), p.NodeEvents()...)
+	sort.SliceStable(s.faultEvents, func(i, j int) bool {
+		return s.faultEvents[i].Step < s.faultEvents[j].Step
+	})
+	s.applyNodeFaultEvents()
+}
+
+// FaultStats returns the fault events accounted so far.
+func (s *System) FaultStats() FaultStats { return s.faultStats }
+
+// applyNodeFaultEvents applies every scheduled crash/recovery whose step has
+// been reached. Events that would not change the node's state (crashing an
+// already-crashed node) are consumed silently.
+func (s *System) applyNodeFaultEvents() {
+	for s.faultEvIdx < len(s.faultEvents) {
+		ev := s.faultEvents[s.faultEvIdx]
+		if ev.Step > s.steps {
+			return
+		}
+		s.faultEvIdx++
+		if ev.Recover {
+			if s.crashed[ev.Node] {
+				delete(s.crashed, ev.Node)
+				s.faultStats.Recoveries++
+				s.hist.addFault(FaultRecord{Step: s.steps, Kind: FaultRecover, From: ev.Node})
+			}
+		} else if !s.crashed[ev.Node] {
+			s.crashed[ev.Node] = true
+			s.faultStats.Crashes++
+			s.hist.addFault(FaultRecord{Step: s.steps, Kind: FaultCrash, From: ev.Node})
+		}
+	}
+}
+
+// linkBlocked reports whether the fault plan holds the link closed right now.
+func (s *System) linkBlocked(k ChanKey) bool {
+	return s.faults != nil && s.faults.LinkBlocked(k.From, k.To, s.steps)
+}
+
+// firstReady returns the index of the first queued message on k whose delay
+// has elapsed, or -1. Delivering the first ready message (rather than the
+// strict head) is what lets per-message delays reorder a link, matching the
+// unordered asynchronous channels of the paper's model.
+func (s *System) firstReady(k ChanKey) int {
+	for i, e := range s.queues[k] {
+		if e.readyAt <= s.steps {
+			return i
+		}
+	}
+	return -1
+}
+
+// FaultForward advances logical time when faults have made the system
+// temporarily idle: every queued message is delayed, link-blocked or
+// addressed to a crashed node, but a scheduled event (delay expiry, outage
+// boundary, node crash/recovery) lies ahead. It jumps the step counter to the
+// earliest such point, applies due node events, and reports whether it
+// advanced. Schedulers call it before declaring the system quiescent; without
+// a fault plan it always reports false.
+func (s *System) FaultForward() bool {
+	if s.faults == nil {
+		return false
+	}
+	target := -1
+	consider := func(t int) {
+		if t > s.steps && (target == -1 || t < target) {
+			target = t
+		}
+	}
+	for i := s.faultEvIdx; i < len(s.faultEvents); i++ {
+		consider(s.faultEvents[i].Step)
+	}
+	for k, q := range s.queues {
+		if len(q) == 0 {
+			continue
+		}
+		minReady := q[0].readyAt
+		for _, e := range q[1:] {
+			if e.readyAt < minReady {
+				minReady = e.readyAt
+			}
+		}
+		consider(minReady)
+		if t := s.faults.NextLinkChange(k.From, k.To, s.steps); t > 0 {
+			consider(t)
+		}
+	}
+	if target == -1 {
+		return false
+	}
+	s.steps = target
+	s.faultStats.FastForwards++
+	s.applyNodeFaultEvents()
+	return true
+}
+
 // Silence delays all messages from and to the node indefinitely and stops
 // the node from taking steps. This is the construction used throughout the
 // paper's proofs ("after point P all the messages from and to the writer are
@@ -132,8 +262,10 @@ func (s *System) Unfreeze(from, to NodeID) { delete(s.frozen, ChanKey{from, to})
 // QueueLen returns the number of undelivered messages on from->to.
 func (s *System) QueueLen(from, to NodeID) int { return len(s.queues[ChanKey{from, to}]) }
 
-// CanDeliver reports whether the head message of from->to may be delivered
-// under the current failure/silence/freeze state.
+// CanDeliver reports whether some message of from->to may be delivered under
+// the current failure/silence/freeze/fault state: the channel must hold a
+// message whose fault delay has elapsed, and the link must not be inside an
+// outage window.
 func (s *System) CanDeliver(from, to NodeID) bool {
 	k := ChanKey{from, to}
 	if len(s.queues[k]) == 0 {
@@ -145,11 +277,14 @@ func (s *System) CanDeliver(from, to NodeID) bool {
 	if s.crashed[to] || s.silenced[to] || s.silenced[from] {
 		return false
 	}
-	return true
+	if s.linkBlocked(k) {
+		return false
+	}
+	return s.firstReady(k) >= 0
 }
 
-// DeliverableChannels returns all channels whose head message may currently
-// be delivered, in deterministic (From, To) order.
+// DeliverableChannels returns all channels with some currently deliverable
+// message (see CanDeliver), in deterministic (From, To) order.
 func (s *System) DeliverableChannels() []ChanKey {
 	keys := make([]ChanKey, 0, len(s.queues))
 	for k, q := range s.queues {
@@ -169,16 +304,22 @@ func (s *System) DeliverableChannels() []ChanKey {
 	return keys
 }
 
-// Deliver pops the head message of the from->to channel and delivers it,
-// advancing the execution by one step.
+// Deliver pops the first ready message of the from->to channel and delivers
+// it, advancing the execution by one step. Without a fault plan every message
+// is immediately ready, so this is plain FIFO delivery.
 func (s *System) Deliver(from, to NodeID) error {
 	if !s.CanDeliver(from, to) {
 		return fmt.Errorf("ioa: channel %d->%d has no deliverable message", from, to)
 	}
 	k := ChanKey{from, to}
 	q := s.queues[k]
-	msg := q[0]
-	s.queues[k] = q[1:]
+	i := s.firstReady(k)
+	msg := q[i].msg
+	if i == 0 {
+		s.queues[k] = q[1:]
+	} else {
+		s.queues[k] = append(append([]queued(nil), q[:i]...), q[i+1:]...)
+	}
 	node := s.nodes[to]
 	eff := node.Deliver(from, msg)
 	return s.applyEffects(to, eff)
@@ -196,16 +337,16 @@ func (s *System) DeliverSelect(from, to NodeID, match func(Message) bool) (bool,
 	if len(q) == 0 {
 		return false, nil
 	}
-	if s.frozen[k] || s.crashed[to] || s.silenced[to] || s.silenced[from] {
+	if s.frozen[k] || s.crashed[to] || s.silenced[to] || s.silenced[from] || s.linkBlocked(k) {
 		return false, nil
 	}
-	for i, msg := range q {
-		if !match(msg) {
+	for i, e := range q {
+		if e.readyAt > s.steps || !match(e.msg) {
 			continue
 		}
-		s.queues[k] = append(append([]Message(nil), q[:i]...), q[i+1:]...)
+		s.queues[k] = append(append([]queued(nil), q[:i]...), q[i+1:]...)
 		node := s.nodes[to]
-		eff := node.Deliver(from, msg)
+		eff := node.Deliver(from, e.msg)
 		if err := s.applyEffects(to, eff); err != nil {
 			return false, err
 		}
@@ -242,16 +383,37 @@ func (s *System) Invoke(client NodeID, inv Invocation) (int, error) {
 	return id, nil
 }
 
-// applyEffects enqueues sends, records responses, bumps the step counter and
-// refreshes storage accounting for the acting node.
+// applyEffects enqueues sends (subjecting each to the fault plan's drop and
+// delay decisions), records responses, bumps the step counter, applies due
+// scheduled node faults and refreshes storage accounting for the acting node.
 func (s *System) applyEffects(actor NodeID, eff Effects) error {
 	s.steps++
 	for _, send := range eff.Sends {
 		if _, ok := s.nodes[send.To]; !ok {
 			return fmt.Errorf("ioa: node %d sent to unknown node %d", actor, send.To)
 		}
+		seq := s.nextSeq
+		s.nextSeq++
+		readyAt := s.steps
+		if s.faults != nil {
+			drop, delay := s.faults.MessageFate(actor, send.To, seq, s.steps)
+			if drop {
+				s.faultStats.Drops++
+				s.hist.addFault(FaultRecord{Step: s.steps, Kind: FaultDrop, From: actor, To: send.To})
+				continue
+			}
+			if delay > 0 {
+				readyAt += delay
+				s.faultStats.DelayedMessages++
+				s.faultStats.DelayStepsTotal += delay
+				s.hist.addFault(FaultRecord{Step: s.steps, Kind: FaultDelay, From: actor, To: send.To, Delay: delay})
+			}
+		}
 		k := ChanKey{From: actor, To: send.To}
-		s.queues[k] = append(s.queues[k], send.Msg)
+		s.queues[k] = append(s.queues[k], queued{msg: send.Msg, seq: seq, readyAt: readyAt})
+	}
+	if s.faults != nil {
+		s.applyNodeFaultEvents()
 	}
 	if eff.Response != nil {
 		if err := s.hist.endOp(actor, *eff.Response, s.steps); err != nil {
@@ -335,12 +497,17 @@ func (s *System) cloneState() *System {
 		nodes:        make(map[NodeID]Node, len(s.nodes)),
 		ids:          append([]NodeID(nil), s.ids...),
 		servers:      make(map[NodeID]bool, len(s.servers)),
-		queues:       make(map[ChanKey][]Message, len(s.queues)),
+		queues:       make(map[ChanKey][]queued, len(s.queues)),
 		crashed:      make(map[NodeID]bool, len(s.crashed)),
 		silenced:     make(map[NodeID]bool, len(s.silenced)),
 		frozen:       make(map[ChanKey]bool, len(s.frozen)),
 		steps:        s.steps,
 		hist:         s.hist.clone(),
+		faults:       s.faults, // plans are immutable, safe to share
+		faultEvents:  s.faultEvents,
+		faultEvIdx:   s.faultEvIdx,
+		faultStats:   s.faultStats,
+		nextSeq:      s.nextSeq,
 		curBits:      make(map[NodeID]int, len(s.curBits)),
 		maxBits:      make(map[NodeID]int, len(s.maxBits)),
 		curTotalBits: s.curTotalBits,
@@ -356,7 +523,7 @@ func (s *System) cloneState() *System {
 		if len(q) == 0 {
 			continue
 		}
-		out.queues[k] = append([]Message(nil), q...)
+		out.queues[k] = append([]queued(nil), q...)
 	}
 	for id := range s.crashed {
 		out.crashed[id] = true

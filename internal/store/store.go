@@ -73,6 +73,16 @@ type ShardResult struct {
 	// Algorithm and Condition name what ran and what was verified.
 	Algorithm string
 	Condition string
+	// FaultSpec is the fault scenario the shard ran under ("" = fault-free)
+	// and Faults aggregates the fault events its kernel applied.
+	FaultSpec string
+	Faults    ioa.FaultStats
+	// Quiescent reports that the shard lost liveness under its faults; its
+	// completed operations still passed the consistency check.
+	Quiescent bool
+	// PendingOps counts operations that never completed (nonzero only for
+	// quiescent shards).
+	PendingOps int
 	// Keys is the number of distinct keys that received operations.
 	Keys int
 	// Writes and Reads count the shard's operations.
@@ -104,6 +114,10 @@ type Result struct {
 	// PeakActiveWrites sums the per-shard peaks: an upper estimate of the
 	// store-level concurrent write load.
 	PeakActiveWrites int
+	// QuiescentShards counts shards that lost liveness under their fault
+	// scenarios, and Faults sums the per-shard fault event counts.
+	QuiescentShards int
+	Faults          ioa.FaultStats
 	// Log2V is 8*ValueBytes.
 	Log2V float64
 	// NormalizedTotal is AggregateMaxTotalBits / Log2V — the store-level
@@ -126,9 +140,12 @@ type Result struct {
 func (r *Result) Fingerprint() string {
 	var b strings.Builder
 	for _, s := range r.PerShard {
-		fmt.Fprintf(&b, "shard=%d alg=%s cond=%s keys=%d w=%d r=%d peak=%d total=%d maxsrv=%d norm=%.9f servers=",
+		fmt.Fprintf(&b, "shard=%d alg=%s cond=%s keys=%d w=%d r=%d peak=%d total=%d maxsrv=%d norm=%.9f",
 			s.Shard, s.Algorithm, s.Condition, s.Keys, s.Writes, s.Reads,
 			s.PeakActiveWrites, s.Storage.MaxTotalBits, s.Storage.MaxServerBits, s.NormalizedTotal)
+		fmt.Fprintf(&b, " faults=%q q=%t pending=%d drops=%d delayed=%d delaysteps=%d crashes=%d recoveries=%d servers=",
+			s.FaultSpec, s.Quiescent, s.PendingOps, s.Faults.Drops, s.Faults.DelayedMessages,
+			s.Faults.DelayStepsTotal, s.Faults.Crashes, s.Faults.Recoveries)
 		ids := make([]int, 0, len(s.Storage.PerServerMaxBits))
 		for id := range s.Storage.PerServerMaxBits {
 			ids = append(ids, int(id))
@@ -139,26 +156,37 @@ func (r *Result) Fingerprint() string {
 		}
 		b.WriteByte('\n')
 	}
-	fmt.Fprintf(&b, "agg w=%d r=%d ops=%d total=%d maxshard=%d maxsrv=%d peak=%d log2v=%.1f norm=%.9f\n",
+	fmt.Fprintf(&b, "agg w=%d r=%d ops=%d total=%d maxshard=%d maxsrv=%d peak=%d log2v=%.1f norm=%.9f quiescent=%d drops=%d\n",
 		r.TotalWrites, r.TotalReads, r.TotalOps, r.AggregateMaxTotalBits,
-		r.MaxShardTotalBits, r.MaxServerBits, r.PeakActiveWrites, r.Log2V, r.NormalizedTotal)
+		r.MaxShardTotalBits, r.MaxServerBits, r.PeakActiveWrites, r.Log2V, r.NormalizedTotal,
+		r.QuiescentShards, r.Faults.Drops)
 	sum := sha256.Sum256([]byte(b.String()))
 	return hex.EncodeToString(sum[:])
 }
 
 // Table formats the per-shard results and the aggregate as a text table.
+// The verdict column reads "ok" for a live shard and "quiescent" for one
+// that lost liveness under its fault scenario.
 func (r *Result) Table() string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "%-6s %-18s %-8s %5s %6s %6s %5s %12s %10s\n",
-		"shard", "algorithm", "cond", "keys", "writes", "reads", "nu", "totalbits", "normcost")
+	fmt.Fprintf(&b, "%-6s %-18s %-8s %5s %6s %6s %5s %12s %10s %-22s %-9s\n",
+		"shard", "algorithm", "cond", "keys", "writes", "reads", "nu", "totalbits", "normcost", "faults", "verdict")
 	for _, s := range r.PerShard {
-		fmt.Fprintf(&b, "%-6d %-18s %-8s %5d %6d %6d %5d %12d %10.4f\n",
+		spec := s.FaultSpec
+		if spec == "" {
+			spec = "-"
+		}
+		verdict := "ok"
+		if s.Quiescent {
+			verdict = "quiescent"
+		}
+		fmt.Fprintf(&b, "%-6d %-18s %-8s %5d %6d %6d %5d %12d %10.4f %-22s %-9s\n",
 			s.Shard, s.Algorithm, s.Condition, s.Keys, s.Writes, s.Reads,
-			s.PeakActiveWrites, s.Storage.MaxTotalBits, s.NormalizedTotal)
+			s.PeakActiveWrites, s.Storage.MaxTotalBits, s.NormalizedTotal, spec, verdict)
 	}
-	fmt.Fprintf(&b, "%-6s %-18s %-8s %5s %6d %6d %5d %12d %10.4f\n",
+	fmt.Fprintf(&b, "%-6s %-18s %-8s %5s %6d %6d %5d %12d %10.4f %-22s %d quiescent\n",
 		"TOTAL", "-", "-", "-", r.TotalWrites, r.TotalReads,
-		r.PeakActiveWrites, r.AggregateMaxTotalBits, r.NormalizedTotal)
+		r.PeakActiveWrites, r.AggregateMaxTotalBits, r.NormalizedTotal, "-", r.QuiescentShards)
 	return b.String()
 }
 
@@ -231,6 +259,15 @@ func Run(o Options) (*Result, error) {
 		res.TotalReads += s.Reads
 		res.AggregateMaxTotalBits += s.Storage.MaxTotalBits
 		res.PeakActiveWrites += s.PeakActiveWrites
+		if s.Quiescent {
+			res.QuiescentShards++
+		}
+		res.Faults.Drops += s.Faults.Drops
+		res.Faults.DelayedMessages += s.Faults.DelayedMessages
+		res.Faults.DelayStepsTotal += s.Faults.DelayStepsTotal
+		res.Faults.Crashes += s.Faults.Crashes
+		res.Faults.Recoveries += s.Faults.Recoveries
+		res.Faults.FastForwards += s.Faults.FastForwards
 		if s.Storage.MaxTotalBits > res.MaxShardTotalBits {
 			res.MaxShardTotalBits = s.Storage.MaxTotalBits
 		}
@@ -251,10 +288,20 @@ func runShard(o Options, alg string, load workload.ShardLoad) (ShardResult, erro
 	if err != nil {
 		return ShardResult{}, err
 	}
-	wres, err := workload.Run(cl, load.Spec(o.Workload))
+	spec := load.Spec(o.Workload)
+	plan, err := o.Workload.ShardFaultPlan(load.Shard, o.Servers, o.F)
 	if err != nil {
 		return ShardResult{}, err
 	}
+	if plan != nil {
+		spec.FaultPlan = plan
+	}
+	wres, err := workload.Run(cl, spec)
+	if err != nil {
+		return ShardResult{}, err
+	}
+	// Safety must hold whatever the faults did: the completed operations of
+	// even a quiescent shard are checked against the algorithm's condition.
 	if err := wres.CheckConsistency(cond); err != nil {
 		return ShardResult{}, fmt.Errorf("consistency (%s): %w", cond, err)
 	}
@@ -262,6 +309,10 @@ func runShard(o Options, alg string, load workload.ShardLoad) (ShardResult, erro
 		Shard:            load.Shard,
 		Algorithm:        alg,
 		Condition:        cond,
+		FaultSpec:        o.Workload.ShardFault(load.Shard),
+		Faults:           wres.Faults,
+		Quiescent:        wres.Quiescent,
+		PendingOps:       len(wres.History.PendingOps()),
 		Keys:             load.DistinctKeys(),
 		Writes:           load.Writes,
 		Reads:            load.Reads,

@@ -4,6 +4,7 @@ import (
 	"strings"
 	"testing"
 
+	"repro/internal/ioa"
 	"repro/internal/workload"
 )
 
@@ -219,5 +220,111 @@ func TestCrashesWithinBudget(t *testing.T) {
 	}
 	if res.TotalOps != 128 {
 		t.Errorf("ops = %d, want 128", res.TotalOps)
+	}
+}
+
+// faultedOptions is the fault acceptance scenario: six shards cycling over a
+// quorum-preserving crash, a lossy network, a healing partition and a
+// fault-free control, with a worker-count knob.
+func faultedOptions(workers int) Options {
+	return Options{
+		Shards:     6,
+		Algorithms: []string{AlgCAS, AlgABDMW},
+		Servers:    5,
+		F:          1,
+		Workers:    workers,
+		Workload: workload.MultiSpec{
+			Seed:         3,
+			Keys:         24,
+			Ops:          60,
+			ReadFraction: 0.3,
+			TargetNu:     2,
+			ValueBytes:   64,
+			Faults:       []string{"crash-f@10", "lossy=0.05", "partition@40:2500", ""},
+		},
+	}
+}
+
+// TestFaultedDeterministicAcrossWorkerCounts verifies the ISSUE's last
+// acceptance criterion: the same seed plus the same per-shard fault plans
+// produce an identical fingerprint at 1, 4 and 16 workers.
+func TestFaultedDeterministicAcrossWorkerCounts(t *testing.T) {
+	var prints []string
+	var tables []string
+	for _, workers := range []int{1, 4, 16} {
+		res, err := Run(faultedOptions(workers))
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		prints = append(prints, res.Fingerprint())
+		tables = append(tables, res.Table())
+	}
+	if prints[0] != prints[1] || prints[1] != prints[2] {
+		t.Errorf("fingerprints differ across 1/4/16 workers under faults:\n%s\n%s\n%s",
+			prints[0], prints[1], prints[2])
+	}
+	if tables[0] != tables[1] || tables[1] != tables[2] {
+		t.Errorf("tables differ across worker counts:\n%s\n%s", tables[0], tables[2])
+	}
+}
+
+// TestMixedFaultScenarios checks the per-shard fault plumbing: scenario
+// specs cycle across shards, fault stats land on the right shards, and the
+// fault-free control shards record no events.
+func TestMixedFaultScenarios(t *testing.T) {
+	res, err := Run(faultedOptions(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	specs := []string{"crash-f@10", "lossy=0.05", "partition@40:2500", ""}
+	sawCrash, sawDrop := false, false
+	for i, s := range res.PerShard {
+		want := specs[i%len(specs)]
+		if s.FaultSpec != want {
+			t.Errorf("shard %d fault spec %q, want %q", i, s.FaultSpec, want)
+		}
+		zero := ioa.FaultStats{}
+		switch want {
+		case "crash-f@10":
+			if s.Writes+s.Reads > 0 && s.Faults.Crashes != 1 {
+				t.Errorf("shard %d: crashes = %d, want 1", i, s.Faults.Crashes)
+			}
+			sawCrash = sawCrash || s.Faults.Crashes > 0
+		case "":
+			if s.Faults != zero {
+				t.Errorf("fault-free shard %d has fault stats %+v", i, s.Faults)
+			}
+			if s.Quiescent {
+				t.Errorf("fault-free shard %d reported quiescent", i)
+			}
+		}
+		sawDrop = sawDrop || s.Faults.Drops > 0
+	}
+	if !sawCrash {
+		t.Error("no shard recorded a scheduled crash")
+	}
+	if !sawDrop {
+		t.Error("no shard recorded a dropped message")
+	}
+	if got := res.Faults.Crashes; got < 2 {
+		t.Errorf("aggregate crashes = %d, want >= 2 (two crash-f shards)", got)
+	}
+}
+
+// TestFingerprintSeesFaults checks that the fingerprint distinguishes a
+// faulted run from a fault-free run of the same workload.
+func TestFingerprintSeesFaults(t *testing.T) {
+	faulted, err := Run(faultedOptions(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	clean := faultedOptions(1)
+	clean.Workload.Faults = nil
+	cleanRes, err := Run(clean)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if faulted.Fingerprint() == cleanRes.Fingerprint() {
+		t.Error("fingerprint identical with and without fault plans")
 	}
 }

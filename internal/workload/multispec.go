@@ -3,6 +3,8 @@ package workload
 import (
 	"fmt"
 	"math/rand"
+
+	"repro/internal/faults"
 )
 
 // Key-popularity skews accepted by MultiSpec.Skew.
@@ -44,6 +46,13 @@ type MultiSpec struct {
 	Crashes int
 	// MaxSteps bounds deliveries per shard (default as in Spec).
 	MaxSteps int
+	// Faults assigns a fault scenario per shard, cycling when shorter than
+	// the shard count exactly as store.Options.Algorithms does (shard i runs
+	// Faults[i mod len]); "" or "none" leaves a shard fault-free. Specs
+	// follow the grammar of internal/faults.Parse (e.g. "crash-f",
+	// "partition@40:4000", "lossy=0.02+delay=1:20"), so one store run can
+	// mix scenarios — a partitioned shard next to a lossy one.
+	Faults []string
 }
 
 const defaultZipfS = 1.2
@@ -92,7 +101,46 @@ func (m MultiSpec) Validate() error {
 	if m.Crashes < 0 {
 		return fmt.Errorf("workload: negative crash budget")
 	}
+	for i, spec := range m.Faults {
+		if _, err := faults.Parse(spec); err != nil {
+			return fmt.Errorf("workload: Faults[%d]: %w", i, err)
+		}
+	}
 	return nil
+}
+
+// ShardFault returns the fault scenario spec assigned to the shard ("" when
+// the spec declares no faults), cycling the Faults list per shard.
+func (m MultiSpec) ShardFault(shard int) string {
+	if len(m.Faults) == 0 {
+		return ""
+	}
+	return m.Faults[shard%len(m.Faults)]
+}
+
+// faultSeedSalt decorrelates a shard's fault-decision stream from its
+// workload stream: both derive from (Seed, shard) via ShardSeed, and without
+// a salt the fault plan would hash the same values the workload rng draws.
+const faultSeedSalt = 0x7fa17b1a5
+
+// ShardFaultPlan builds the shard's fault plan for an (n, f) deployment, or
+// nil when the shard is fault-free. The plan's seed derives from (Seed,
+// shard) so same-seed runs replay identical faults on every shard at any
+// worker count.
+func (m MultiSpec) ShardFaultPlan(shard, n, f int) (*faults.Plan, error) {
+	spec := m.ShardFault(shard)
+	sc, err := faults.Parse(spec)
+	if err != nil {
+		return nil, fmt.Errorf("workload: shard %d faults: %w", shard, err)
+	}
+	if sc == nil {
+		return nil, nil
+	}
+	plan, err := sc.Build(n, f, ShardSeed(m.Seed^faultSeedSalt, shard))
+	if err != nil {
+		return nil, fmt.Errorf("workload: shard %d faults %q: %w", shard, spec, err)
+	}
+	return plan, nil
 }
 
 func (m MultiSpec) readFraction(key int) float64 {

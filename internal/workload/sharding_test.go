@@ -1,0 +1,170 @@
+package workload
+
+import "testing"
+
+// TestKeyShardRangeAndDeterminism checks the routing function's basic
+// invariants: every key maps into [0, shards), and the mapping is a pure
+// function (same key, same shard, every time).
+func TestKeyShardRangeAndDeterminism(t *testing.T) {
+	for _, shards := range []int{1, 2, 3, 7, 8, 16, 64} {
+		for key := 0; key < 4096; key++ {
+			s := KeyShard(key, shards)
+			if s < 0 || s >= shards {
+				t.Fatalf("KeyShard(%d, %d) = %d out of range", key, shards, s)
+			}
+			if again := KeyShard(key, shards); again != s {
+				t.Fatalf("KeyShard(%d, %d) unstable: %d then %d", key, shards, s, again)
+			}
+		}
+	}
+}
+
+// TestPartitionRoutesEveryKeyToOneShard checks the partition invariant:
+// every key with operations appears in exactly one shard's load, that shard
+// is the key's KeyShard, and no operation is lost or duplicated.
+func TestPartitionRoutesEveryKeyToOneShard(t *testing.T) {
+	for _, skew := range []string{SkewUniform, SkewZipf} {
+		m := MultiSpec{Seed: 9, Keys: 256, Ops: 5000, Skew: skew, ReadFraction: 0.4, TargetNu: 1, ValueBytes: 8}
+		const shards = 8
+		loads, err := m.Partition(shards)
+		if err != nil {
+			t.Fatal(err)
+		}
+		owner := make(map[int]int)
+		totalOps, keyOps := 0, 0
+		for _, l := range loads {
+			totalOps += l.Writes + l.Reads
+			for key, n := range l.KeyOps {
+				if prev, dup := owner[key]; dup {
+					t.Fatalf("%s: key %d appears in shards %d and %d", skew, key, prev, l.Shard)
+				}
+				owner[key] = l.Shard
+				if want := KeyShard(key, shards); want != l.Shard {
+					t.Fatalf("%s: key %d landed on shard %d, KeyShard says %d", skew, key, l.Shard, want)
+				}
+				if n <= 0 {
+					t.Fatalf("%s: key %d recorded %d ops", skew, key, n)
+				}
+				keyOps += n
+			}
+		}
+		if totalOps != m.Ops {
+			t.Errorf("%s: %d ops routed, want %d", skew, totalOps, m.Ops)
+		}
+		if keyOps != m.Ops {
+			t.Errorf("%s: per-key op counts sum to %d, want %d", skew, keyOps, m.Ops)
+		}
+	}
+}
+
+// zipfSpread partitions a large seeded Zipf workload and returns the
+// heaviest and lightest shard loads, the hottest single key's mass, and the
+// total.
+func zipfSpread(t *testing.T, shards int) (max, min, hottest, total int) {
+	t.Helper()
+	m := MultiSpec{Seed: 1, Keys: 1024, Ops: 100000, Skew: SkewZipf, TargetNu: 1, ValueBytes: 8}
+	loads, err := m.Partition(shards)
+	if err != nil {
+		t.Fatal(err)
+	}
+	min = m.Ops
+	for _, l := range loads {
+		ops := l.Writes + l.Reads
+		total += ops
+		if ops > max {
+			max = ops
+		}
+		if ops < min {
+			min = ops
+		}
+		for _, n := range l.KeyOps {
+			if n > hottest {
+				hottest = n
+			}
+		}
+	}
+	return max, min, hottest, total
+}
+
+// TestZipfSpreadWithinDocumentedBound documents and enforces the load
+// spread the bit-mixing router guarantees under the default Zipf skew
+// (s = 1.2, 1024 keys): the heaviest shard carries at most the hottest
+// key's own mass (which is indivisible — a key lives on exactly one shard)
+// plus twice the per-shard mean of the remaining traffic, and no shard
+// starves. With key-mod-shards routing the hot keys 0, 1, 2, ... would pile
+// onto the low shards and break this bound immediately.
+func TestZipfSpreadWithinDocumentedBound(t *testing.T) {
+	for _, shards := range []int{4, 8, 16} {
+		max, min, hottest, total := zipfSpread(t, shards)
+		bound := hottest + 2*(total-hottest)/shards
+		if max > bound {
+			t.Errorf("shards=%d: heaviest shard %d exceeds documented bound %d (hottest key %d)",
+				shards, max, bound, hottest)
+		}
+		if min == 0 {
+			t.Errorf("shards=%d: a shard received no operations", shards)
+		}
+	}
+}
+
+// TestUniformSpreadTight checks the router keeps uniform traffic within 15%
+// of the per-shard mean at this seeded configuration.
+func TestUniformSpreadTight(t *testing.T) {
+	m := MultiSpec{Seed: 1, Keys: 1024, Ops: 100000, Skew: SkewUniform, TargetNu: 1, ValueBytes: 8}
+	const shards = 8
+	loads, err := m.Partition(shards)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mean := m.Ops / shards
+	for _, l := range loads {
+		ops := l.Writes + l.Reads
+		if ops < mean*85/100 || ops > mean*115/100 {
+			t.Errorf("shard %d load %d outside 15%% of mean %d under uniform skew", l.Shard, ops, mean)
+		}
+	}
+}
+
+// TestShardSeedsPairwiseDistinct checks that derived per-shard seeds never
+// collide across a wide shard range for several base seeds (collisions
+// would make two shards replay correlated schedules).
+func TestShardSeedsPairwiseDistinct(t *testing.T) {
+	for _, base := range []int64{0, 1, -5, 42, 1<<62 - 1} {
+		seen := make(map[int64]int, 2048)
+		for shard := 0; shard < 2048; shard++ {
+			s := ShardSeed(base, shard)
+			if prev, dup := seen[s]; dup {
+				t.Fatalf("base %d: shards %d and %d share seed %d", base, prev, shard, s)
+			}
+			seen[s] = shard
+		}
+	}
+}
+
+// TestShardFaultCycling checks the per-shard fault spec assignment mirrors
+// the algorithm cycling rule.
+func TestShardFaultCycling(t *testing.T) {
+	m := MultiSpec{Faults: []string{"crash-f", "lossy=0.1", "none"}}
+	want := []string{"crash-f", "lossy=0.1", "none", "crash-f", "lossy=0.1"}
+	for shard, w := range want {
+		if got := m.ShardFault(shard); got != w {
+			t.Errorf("ShardFault(%d) = %q, want %q", shard, got, w)
+		}
+	}
+	if got := (MultiSpec{}).ShardFault(3); got != "" {
+		t.Errorf("empty Faults: ShardFault = %q, want \"\"", got)
+	}
+}
+
+// TestMultiSpecValidatesFaults checks malformed fault specs are rejected at
+// validation time, before any shard runs.
+func TestMultiSpecValidatesFaults(t *testing.T) {
+	m := MultiSpec{Seed: 1, Keys: 4, Ops: 8, TargetNu: 1, ValueBytes: 8, Faults: []string{"bogus"}}
+	if err := m.Validate(); err == nil {
+		t.Error("bogus fault spec accepted")
+	}
+	m.Faults = []string{"crash-f", "", "lossy=0.5"}
+	if err := m.Validate(); err != nil {
+		t.Errorf("valid fault specs rejected: %v", err)
+	}
+}

@@ -5,11 +5,13 @@
 package workload
 
 import (
+	"errors"
 	"fmt"
 	"math/rand"
 
 	"repro/internal/cluster"
 	"repro/internal/consistency"
+	"repro/internal/faults"
 	"repro/internal/ioa"
 	"repro/internal/register"
 )
@@ -33,6 +35,13 @@ type Spec struct {
 	Crashes int
 	// MaxSteps bounds the total deliveries (default 2,000,000).
 	MaxSteps int
+	// FaultPlan, when non-nil, is installed on the system before the run:
+	// messages may be dropped, delayed, reordered or partitioned and servers
+	// crashed/recovered on the plan's schedule (see internal/faults). With a
+	// plan installed, losing liveness is a reportable outcome
+	// (Result.Quiescent) rather than an error, because scenarios such as
+	// crashing f+1 servers exist precisely to demonstrate it.
+	FaultPlan *faults.Plan
 }
 
 func (s Spec) maxSteps() int {
@@ -74,6 +83,13 @@ type Result struct {
 	// NormalizedTotal is Storage.MaxTotalBits / Log2V — directly comparable
 	// to the Figure 1 series.
 	NormalizedTotal float64
+	// Quiescent reports that the run lost liveness under its fault plan:
+	// some operations are still pending and no message can ever become
+	// deliverable again. It is always false for fault-free runs, which
+	// surface quiescence as an error instead.
+	Quiescent bool
+	// Faults aggregates the fault events the kernel applied during the run.
+	Faults ioa.FaultStats
 }
 
 // Run drives the cluster through the workload.
@@ -86,6 +102,9 @@ func Run(cl *cluster.Cluster, spec Spec) (*Result, error) {
 	}
 	rng := rand.New(rand.NewSource(spec.Seed))
 	sys := cl.Sys
+	if spec.FaultPlan != nil {
+		sys.SetFaultPlan(spec.FaultPlan)
+	}
 
 	writesLeft := spec.Writes
 	readsLeft := spec.Reads
@@ -156,7 +175,22 @@ func Run(cl *cluster.Cluster, spec Spec) (*Result, error) {
 		// Deliver a random message.
 		keys := sys.DeliverableChannels()
 		if len(keys) == 0 {
+			// Faults may have made the system only temporarily idle; let
+			// logical time jump to the next delay expiry, outage boundary
+			// or scheduled recovery before concluding anything.
+			if sys.FaultForward() {
+				continue
+			}
 			if writesLeft == 0 && readsLeft == 0 {
+				break
+			}
+			// Nothing is deliverable and nothing ever will be unless a new
+			// invocation creates messages. If no client is free to invoke,
+			// the run is stuck; fall through to the drain, which reports
+			// quiescence.
+			canWrite := writesLeft > 0 && activeWrites < maxNu && anyIdle(cl.Writers, idle)
+			canRead := readsLeft > 0 && anyIdle(cl.Readers, idle)
+			if !canWrite && !canRead {
 				break
 			}
 			continue
@@ -175,8 +209,15 @@ func Run(cl *cluster.Cluster, spec Spec) (*Result, error) {
 		activeWrites = (spec.Writes - writesLeft) - completedWrites
 	}
 	// Let everything settle.
+	quiescent := false
 	if err := sys.FairRun(spec.maxSteps(), ioa.AllOpsDone); err != nil {
-		return nil, fmt.Errorf("workload: drain: %w", err)
+		if errors.Is(err, ioa.ErrQuiescent) && spec.FaultPlan != nil {
+			// Under a fault plan, lost liveness is a scenario verdict, not
+			// a driver failure: the partial history is still checkable.
+			quiescent = true
+		} else {
+			return nil, fmt.Errorf("workload: drain: %w", err)
+		}
 	}
 	log2V := float64(8 * spec.ValueBytes)
 	rep := sys.Storage()
@@ -186,7 +227,19 @@ func Run(cl *cluster.Cluster, spec Spec) (*Result, error) {
 		PeakActiveWrites: peak,
 		Log2V:            log2V,
 		NormalizedTotal:  float64(rep.MaxTotalBits) / log2V,
+		Quiescent:        quiescent,
+		Faults:           sys.FaultStats(),
 	}, nil
+}
+
+// anyIdle reports whether any of the clients can accept an invocation.
+func anyIdle(ids []ioa.NodeID, idle func(ioa.NodeID) bool) bool {
+	for _, id := range ids {
+		if idle(id) {
+			return true
+		}
+	}
+	return false
 }
 
 // CheckConsistency verifies the result's history against the named

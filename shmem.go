@@ -31,6 +31,7 @@ import (
 	"repro/internal/coded"
 	"repro/internal/consistency"
 	"repro/internal/core"
+	"repro/internal/faults"
 	"repro/internal/ioa"
 	"repro/internal/register"
 	"repro/internal/store"
@@ -62,6 +63,18 @@ type (
 	ShardResult = store.ShardResult
 	// Figure1Row is one ν-position of the Figure 1 series.
 	Figure1Row = core.Figure1Row
+	// FaultPlan is a deterministic, seeded fault schedule: message drops,
+	// bounded delays (which reorder links), link outages/partitions and
+	// scheduled server crashes/recoveries. Install one via
+	// WorkloadSpec.FaultPlan or per shard via MultiWorkloadSpec.Faults.
+	FaultPlan = faults.Plan
+	// FaultScenario is a named, parameterized recipe that expands into a
+	// FaultPlan for an (n, f) deployment.
+	FaultScenario = faults.Scenario
+	// FaultStats aggregates an execution's injected fault events.
+	FaultStats = ioa.FaultStats
+	// FaultRecord is one injected fault event as recorded in a History.
+	FaultRecord = ioa.FaultRecord
 	// StorageReport is the kernel's running-maximum storage accounting.
 	StorageReport = ioa.StorageReport
 	// History is an execution's operation history.
@@ -138,6 +151,30 @@ func DeployAlgorithm(alg string, n, f, nu int) (*Cluster, string, error) {
 
 // StoreAlgorithms lists the algorithm names DeployAlgorithm accepts.
 func StoreAlgorithms() []string { return store.Algorithms() }
+
+// ParseFaultScenario parses a fault scenario spec — "crash-f[@STEP[:RECOVER]]",
+// "crash-majority[@STEP[:RECOVER]]", "partition@START:HEAL[:ISOLATE]",
+// "lossy=PROB", "delay=MIN:MAX", combinable with "+" — into a FaultScenario.
+// "" and "none" parse to nil (no faults).
+func ParseFaultScenario(spec string) (FaultScenario, error) { return faults.Parse(spec) }
+
+// BuildFaultPlan parses a scenario spec and expands it into a concrete plan
+// for an (n, f) deployment. It returns nil for "" and "none".
+func BuildFaultPlan(spec string, n, f int, seed int64) (*FaultPlan, error) {
+	sc, err := faults.Parse(spec)
+	if err != nil || sc == nil {
+		return nil, err
+	}
+	return sc.Build(n, f, seed)
+}
+
+// FaultScenarioLibrary returns the standard scenario grid: quorum-preserving
+// crash of f, quorum-killing crash of f+1, healing partition, lossy links
+// and delay/reorder.
+func FaultScenarioLibrary() []FaultScenario { return faults.Library() }
+
+// FaultScenarioUsage describes the scenario spec grammar, for CLI help.
+func FaultScenarioUsage() string { return faults.Usage() }
 
 // Write performs one write operation to completion under a fair schedule.
 func Write(cl *Cluster, writer int, value []byte) error {

@@ -1,6 +1,12 @@
 GO ?= go
+DATE ?= $(shell date +%Y-%m-%d)
 
-.PHONY: build test race bench bench-smoke fuzz-smoke examples fmt fmt-check vet ci
+# The packages holding the hot-path micro-benchmarks (simulation kernel,
+# GF(2^8)/erasure coding, linearizability checker).
+MICRO_PKGS = ./internal/gf ./internal/erasure ./internal/ioa ./internal/consistency
+MICRO_BENCH = 'BenchmarkMulSlice|BenchmarkEncodeDecode|BenchmarkFairRunSweep|BenchmarkRandomRunSweep|BenchmarkCheckAtomicDense'
+
+.PHONY: build test race bench bench-smoke bench-micro bench-micro-smoke bench-json fuzz-smoke examples fmt fmt-check vet ci
 
 build:
 	$(GO) build ./...
@@ -18,6 +24,27 @@ bench:
 # One iteration of the headline benchmark — fast enough for every CI run.
 bench-smoke:
 	$(GO) test -run NONE -bench Figure1Series -benchtime 1x .
+
+# Hot-path micro-benchmarks (allocation-reporting) at measurement length.
+bench-micro:
+	$(GO) test -run NONE -bench $(MICRO_BENCH) -benchmem -benchtime 1s $(MICRO_PKGS)
+
+# One iteration of every micro-benchmark — the CI smoke step that keeps the
+# hot-path harnesses compiling and running.
+bench-micro-smoke:
+	$(GO) test -run NONE -bench $(MICRO_BENCH) -benchtime 1x $(MICRO_PKGS)
+
+# Machine-readable perf record: runs the micro-benchmarks plus the E9-E11
+# experiment benchmarks and writes BENCH_<date>.json for the repository's
+# perf trajectory. Override DATE to control the filename/stamp. Bench output
+# is staged in a temp file so a failing benchmark run aborts the target
+# instead of silently committing a partial baseline.
+bench-json:
+	$(GO) test -run NONE -bench $(MICRO_BENCH) -benchmem -benchtime 0.2s $(MICRO_PKGS) > bench-json.tmp
+	$(GO) test -run NONE -bench 'E9|E10ShardedStore|E11FaultScenarios' -benchmem -benchtime 2x . >> bench-json.tmp
+	$(GO) run ./cmd/benchjson -date $(DATE) < bench-json.tmp > BENCH_$(DATE).json
+	@rm -f bench-json.tmp
+	@echo wrote BENCH_$(DATE).json
 
 # Short native-fuzzing passes over the coding-theory kernels (one -fuzz
 # pattern per package run, as the fuzz engine requires).
@@ -45,4 +72,4 @@ vet:
 	$(GO) vet ./...
 
 # Exactly what CI runs.
-ci: build vet fmt-check race examples fuzz-smoke bench-smoke
+ci: build vet fmt-check race examples fuzz-smoke bench-smoke bench-micro-smoke

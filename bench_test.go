@@ -208,6 +208,7 @@ func BenchmarkE9CheckerThroughput(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if err := CheckAtomic(res.History, nil); err != nil {
@@ -224,6 +225,7 @@ func BenchmarkE9CheckerThroughput(b *testing.B) {
 func BenchmarkE10ShardedStore(b *testing.B) {
 	for _, shards := range []int{1, 2, 4, 8, 16} {
 		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			b.ReportAllocs()
 			var res *StoreResult
 			for i := 0; i < b.N; i++ {
 				var err error
@@ -264,6 +266,7 @@ func BenchmarkE11FaultScenarios(b *testing.B) {
 	for _, algo := range []string{"abd-mwmr", "cas"} {
 		for _, scenario := range scenarios {
 			b.Run(algo+"/"+scenario, func(b *testing.B) {
+				b.ReportAllocs()
 				var res *StoreResult
 				for i := 0; i < b.N; i++ {
 					var err error

@@ -1,0 +1,132 @@
+// Command benchjson converts `go test -bench` output on stdin into a JSON
+// benchmark record on stdout, so each PR can commit a BENCH_<date>.json
+// baseline and the repository accumulates a comparable perf trajectory
+// (see `make bench-json`).
+//
+// Usage:
+//
+//	go test -run NONE -bench . -benchmem ./... | benchjson -date 2026-07-27
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Benchmark is one parsed benchmark result line.
+type Benchmark struct {
+	// Package is the Go package the benchmark ran in (from the preceding
+	// "pkg:" context line).
+	Package string `json:"package"`
+	// Name is the benchmark name with the -GOMAXPROCS suffix stripped.
+	Name string `json:"name"`
+	// Iterations is b.N.
+	Iterations int64 `json:"iterations"`
+	// Metrics maps unit -> value for every reported pair: ns/op, B/op,
+	// allocs/op, MB/s and any b.ReportMetric custom units.
+	Metrics map[string]float64 `json:"metrics"`
+}
+
+// Record is the file layout of BENCH_<date>.json.
+type Record struct {
+	Date       string      `json:"date"`
+	GoOS       string      `json:"goos,omitempty"`
+	GoArch     string      `json:"goarch,omitempty"`
+	CPU        string      `json:"cpu,omitempty"`
+	Benchmarks []Benchmark `json:"benchmarks"`
+}
+
+// parse reads `go test -bench` output and collects the benchmark lines,
+// tracking goos/goarch/cpu/pkg context.
+func parse(r io.Reader) (*Record, error) {
+	rec := &Record{}
+	pkg := ""
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case strings.HasPrefix(line, "goos: "):
+			rec.GoOS = strings.TrimPrefix(line, "goos: ")
+		case strings.HasPrefix(line, "goarch: "):
+			rec.GoArch = strings.TrimPrefix(line, "goarch: ")
+		case strings.HasPrefix(line, "cpu: "):
+			rec.CPU = strings.TrimPrefix(line, "cpu: ")
+		case strings.HasPrefix(line, "pkg: "):
+			pkg = strings.TrimPrefix(line, "pkg: ")
+		case strings.HasPrefix(line, "Benchmark"):
+			b, ok := parseBenchLine(line)
+			if !ok {
+				continue
+			}
+			b.Package = pkg
+			rec.Benchmarks = append(rec.Benchmarks, b)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return rec, nil
+}
+
+// parseBenchLine parses one result line of the form
+//
+//	BenchmarkName-8   1566661   751.6 ns/op   5449.78 MB/s   0 B/op   0 allocs/op
+func parseBenchLine(line string) (Benchmark, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || len(fields)%2 != 0 {
+		return Benchmark{}, false
+	}
+	name := fields[0]
+	if i := strings.LastIndex(name, "-"); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			name = name[:i]
+		}
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Benchmark{}, false
+	}
+	b := Benchmark{Name: name, Iterations: iters, Metrics: make(map[string]float64)}
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return Benchmark{}, false
+		}
+		b.Metrics[fields[i+1]] = v
+	}
+	return b, true
+}
+
+func run() error {
+	date := flag.String("date", time.Now().Format("2006-01-02"), "date stamp recorded in the output")
+	flag.Parse()
+	rec, err := parse(os.Stdin)
+	if err != nil {
+		return err
+	}
+	rec.Date = *date
+	if len(rec.Benchmarks) == 0 {
+		return fmt.Errorf("benchjson: no benchmark lines found on stdin")
+	}
+	out, err := json.MarshalIndent(rec, "", "  ")
+	if err != nil {
+		return err
+	}
+	fmt.Println(string(out))
+	return nil
+}
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,54 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: repro/internal/gf
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkMulSlice/c=0x57-8         	  561081	      2176 ns/op	1882.18 MB/s	       0 B/op	       0 allocs/op
+PASS
+ok  	repro/internal/gf	3.630s
+pkg: repro
+BenchmarkE9CheckerThroughput 	    8563	    138480 ns/op	        80.00 ops
+PASS
+`
+
+func TestParse(t *testing.T) {
+	rec, err := parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.GoOS != "linux" || rec.GoArch != "amd64" {
+		t.Fatalf("context not captured: %+v", rec)
+	}
+	if len(rec.Benchmarks) != 2 {
+		t.Fatalf("want 2 benchmarks, got %d: %+v", len(rec.Benchmarks), rec.Benchmarks)
+	}
+	b := rec.Benchmarks[0]
+	if b.Name != "BenchmarkMulSlice/c=0x57" || b.Package != "repro/internal/gf" {
+		t.Fatalf("first benchmark misparsed: %+v", b)
+	}
+	if b.Iterations != 561081 || b.Metrics["ns/op"] != 2176 || b.Metrics["allocs/op"] != 0 {
+		t.Fatalf("metrics misparsed: %+v", b)
+	}
+	e9 := rec.Benchmarks[1]
+	if e9.Package != "repro" || e9.Metrics["ops"] != 80 {
+		t.Fatalf("custom metric misparsed: %+v", e9)
+	}
+}
+
+func TestParseBenchLineRejectsGarbage(t *testing.T) {
+	for _, line := range []string{
+		"BenchmarkBroken-8",
+		"BenchmarkBroken-8 notanumber 12 ns/op",
+		"BenchmarkBroken-8 10 nounit",
+	} {
+		if _, ok := parseBenchLine(line); ok {
+			t.Errorf("parseBenchLine accepted %q", line)
+		}
+	}
+}

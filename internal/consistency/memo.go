@@ -1,0 +1,91 @@
+package consistency
+
+// deadTable is an open-addressed hash set of fixed-width uint64 keys (the
+// linearizability checker's packed search states). Keys live contiguously in
+// a flat arena, so inserting a state appends keyWords words instead of
+// allocating a string per memo entry, and lookups are word compares with no
+// hashing of intermediate allocations.
+type deadTable struct {
+	keyWords int
+	arena    []uint64 // concatenated keys, keyWords each
+	slots    []int32  // index of key in arena / keyWords, plus 1; 0 = empty
+	n        int
+}
+
+const deadTableInitSlots = 256
+
+func (t *deadTable) init(keyWords int) {
+	t.keyWords = keyWords
+	t.slots = make([]int32, deadTableInitSlots)
+	t.arena = t.arena[:0]
+	t.n = 0
+}
+
+// hash mixes the key words with a splitmix64-style finalizer.
+func (t *deadTable) hash(key []uint64) uint64 {
+	h := uint64(0x9e3779b97f4a7c15)
+	for _, w := range key {
+		h ^= w
+		h *= 0xbf58476d1ce4e5b9
+		h ^= h >> 27
+		h *= 0x94d049bb133111eb
+		h ^= h >> 31
+	}
+	return h
+}
+
+func (t *deadTable) keyAt(slot int32) []uint64 {
+	off := int(slot-1) * t.keyWords
+	return t.arena[off : off+t.keyWords]
+}
+
+func equalKeys(a, b []uint64) bool {
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// contains reports whether the key is in the set.
+func (t *deadTable) contains(key []uint64) bool {
+	mask := uint64(len(t.slots) - 1)
+	for i := t.hash(key) & mask; ; i = (i + 1) & mask {
+		s := t.slots[i]
+		if s == 0 {
+			return false
+		}
+		if equalKeys(t.keyAt(s), key) {
+			return true
+		}
+	}
+}
+
+// add inserts the key (assumed absent — the checker only adds after a failed
+// contains).
+func (t *deadTable) add(key []uint64) {
+	if 4*(t.n+1) > 3*len(t.slots) {
+		t.grow()
+	}
+	t.arena = append(t.arena, key...)
+	t.n++
+	t.insertSlot(int32(t.n))
+}
+
+func (t *deadTable) insertSlot(s int32) {
+	key := t.keyAt(s)
+	mask := uint64(len(t.slots) - 1)
+	i := t.hash(key) & mask
+	for t.slots[i] != 0 {
+		i = (i + 1) & mask
+	}
+	t.slots[i] = s
+}
+
+func (t *deadTable) grow() {
+	t.slots = make([]int32, 2*len(t.slots))
+	for s := int32(1); s <= int32(t.n); s++ {
+		t.insertSlot(s)
+	}
+}

@@ -1,0 +1,35 @@
+package erasure
+
+import (
+	"bytes"
+	"testing"
+)
+
+// BenchmarkEncodeDecode measures a full encode of a 4 KiB value into an
+// (9, 5) code followed by a worst-case decode (all data shards lost, so the
+// decoder must invert a parity submatrix every iteration).
+func BenchmarkEncodeDecode(b *testing.B) {
+	c, err := New(9, 5)
+	if err != nil {
+		b.Fatal(err)
+	}
+	value := make([]byte, 4096)
+	for i := range value {
+		value[i] = byte(i * 131)
+	}
+	b.SetBytes(int64(len(value)))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		shards, err := c.Encode(value)
+		if err != nil {
+			b.Fatal(err)
+		}
+		got, err := c.Decode(shards[4:])
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 && !bytes.Equal(got, value) {
+			b.Fatal("round trip mismatch")
+		}
+	}
+}

@@ -15,17 +15,28 @@ package erasure
 import (
 	"encoding/binary"
 	"fmt"
-	"sort"
+	"sync"
 
 	"repro/internal/gf"
 )
 
 // Code is an (n, k) MDS erasure coder. It is immutable after construction
-// and safe for concurrent use.
+// (the decode-matrix cache is internally synchronized) and safe for
+// concurrent use.
 type Code struct {
 	n, k   int
 	field  *gf.Field
 	matrix *gf.Matrix // n x k encoding matrix; top k rows are identity
+
+	// invCache memoizes decode matrices by shard-index set: sweeps decode
+	// thousands of values under a handful of availability patterns, and
+	// inverting the k x k submatrix per value dwarfs the row multiplies
+	// themselves. Keys are string(indices), values are *gf.Matrix.
+	invCache sync.Map
+
+	// scratch pools the split buffer used by EncodeOne and Decode so the
+	// steady state of a sweep allocates only the bytes it returns.
+	scratch sync.Pool
 }
 
 // Shard is one coded symbol of a value, tagged with its index in [0, n).
@@ -39,7 +50,7 @@ func New(n, k int) (*Code, error) {
 	if k < 1 || n < k || n >= gf.Order {
 		return nil, fmt.Errorf("erasure: invalid parameters n=%d k=%d (need 1 <= k <= n < %d)", n, k, gf.Order)
 	}
-	field := gf.NewField()
+	field := gf.Default()
 	// Build a systematic encoding matrix: start from an n x k Vandermonde
 	// matrix, then multiply by the inverse of its top k x k block so the top
 	// becomes the identity. The MDS property is preserved by this row basis
@@ -79,19 +90,41 @@ func (c *Code) ShardSize(valueLen int) int {
 	return (valueLen + 4 + c.k - 1) / c.k
 }
 
+// getScratch returns a zeroed buffer of at least size bytes from the pool.
+func (c *Code) getScratch(size int) []byte {
+	if v := c.scratch.Get(); v != nil {
+		buf := *(v.(*[]byte))
+		if cap(buf) >= size {
+			buf = buf[:size]
+			clear(buf)
+			return buf
+		}
+	}
+	return make([]byte, size)
+}
+
+func (c *Code) putScratch(buf []byte) { c.scratch.Put(&buf) }
+
 // Encode splits value into k data shards and produces all n shards.
 // The returned shards do not alias value.
+//
+// All n shards are carved out of one contiguous block: the header and value
+// are laid down directly in the data-shard region, so encoding performs no
+// intermediate split copy and allocates exactly the bytes it returns. The
+// shards therefore alias each other's backing array — retaining one shard
+// long-term retains the whole block; callers keeping a single shard per
+// server should use EncodeOne, which allocates that shard alone.
 func (c *Code) Encode(value []byte) ([]Shard, error) {
-	splits := c.split(value)
-	shardLen := len(splits[0])
+	shardLen := c.ShardSize(len(value))
+	block := make([]byte, c.n*shardLen)
+	binary.BigEndian.PutUint32(block, uint32(len(value)))
+	copy(block[4:], value)
 	shards := make([]Shard, c.n)
 	for i := 0; i < c.n; i++ {
-		data := make([]byte, shardLen)
-		if i < c.k {
-			copy(data, splits[i])
-		} else {
+		data := block[i*shardLen : (i+1)*shardLen : (i+1)*shardLen]
+		if i >= c.k {
 			for j := 0; j < c.k; j++ {
-				c.field.MulSlice(c.matrix.At(i, j), splits[j], data)
+				c.field.MulSlice(c.matrix.At(i, j), block[j*shardLen:(j+1)*shardLen], data)
 			}
 		}
 		shards[i] = Shard{Index: i, Data: data}
@@ -105,15 +138,32 @@ func (c *Code) EncodeOne(value []byte, index int) (Shard, error) {
 	if index < 0 || index >= c.n {
 		return Shard{}, fmt.Errorf("erasure: shard index %d out of range [0,%d)", index, c.n)
 	}
-	splits := c.split(value)
-	data := make([]byte, len(splits[0]))
+	shardLen := c.ShardSize(len(value))
+	data := make([]byte, shardLen)
 	if index < c.k {
-		copy(data, splits[index])
-	} else {
-		for j := 0; j < c.k; j++ {
-			c.field.MulSlice(c.matrix.At(index, j), splits[j], data)
+		// Data shard: the index-th slice of header+value+padding, assembled
+		// by region copies (data is already zeroed, covering the padding).
+		off := index * shardLen
+		n := 0
+		if off < 4 {
+			var hdr [4]byte
+			binary.BigEndian.PutUint32(hdr[:], uint32(len(value)))
+			n = copy(data, hdr[off:])
 		}
+		if n < shardLen {
+			if vstart := off + n - 4; vstart >= 0 && vstart < len(value) {
+				copy(data[n:], value[vstart:])
+			}
+		}
+		return Shard{Index: index, Data: data}, nil
 	}
+	splits := c.getScratch(c.k * shardLen)
+	binary.BigEndian.PutUint32(splits, uint32(len(value)))
+	copy(splits[4:], value)
+	for j := 0; j < c.k; j++ {
+		c.field.MulSlice(c.matrix.At(index, j), splits[j*shardLen:(j+1)*shardLen], data)
+	}
+	c.putScratch(splits)
 	return Shard{Index: index, Data: data}, nil
 }
 
@@ -122,33 +172,70 @@ func (c *Code) EncodeOne(value []byte, index int) (Shard, error) {
 // than k distinct shard indices are supplied or the shards are inconsistent
 // in length.
 func (c *Code) Decode(shards []Shard) ([]byte, error) {
-	// Deduplicate by index, keeping deterministic order.
-	byIdx := make(map[int]Shard, len(shards))
+	// Deduplicate by index, keeping the k lowest distinct indices —
+	// deterministic, and identical to sorting the distinct set and taking
+	// its prefix.
+	var have [gf.Order][]byte
+	distinct := 0
 	for _, s := range shards {
 		if s.Index < 0 || s.Index >= c.n {
 			return nil, fmt.Errorf("erasure: shard index %d out of range [0,%d)", s.Index, c.n)
 		}
-		if _, dup := byIdx[s.Index]; !dup {
-			byIdx[s.Index] = s
+		if have[s.Index] == nil {
+			have[s.Index] = s.Data
+			distinct++
 		}
 	}
-	if len(byIdx) < c.k {
-		return nil, fmt.Errorf("erasure: need %d distinct shards, have %d", c.k, len(byIdx))
+	if distinct < c.k {
+		return nil, fmt.Errorf("erasure: need %d distinct shards, have %d", c.k, distinct)
 	}
-	idxs := make([]int, 0, len(byIdx))
-	for i := range byIdx {
-		idxs = append(idxs, i)
+	idxs := make([]int, 0, c.k)
+	for i := 0; i < c.n && len(idxs) < c.k; i++ {
+		if have[i] != nil {
+			idxs = append(idxs, i)
+		}
 	}
-	sort.Ints(idxs)
-	idxs = idxs[:c.k]
-
-	shardLen := len(byIdx[idxs[0]].Data)
+	shardLen := len(have[idxs[0]])
 	for _, i := range idxs {
-		if len(byIdx[i].Data) != shardLen {
-			return nil, fmt.Errorf("erasure: inconsistent shard lengths (%d vs %d)", len(byIdx[i].Data), shardLen)
+		if len(have[i]) != shardLen {
+			return nil, fmt.Errorf("erasure: inconsistent shard lengths (%d vs %d)", len(have[i]), shardLen)
 		}
 	}
 
+	// Fast path: all k data shards present — gather the value straight out
+	// of the shards, no matrix work and no intermediate split buffer.
+	if idxs[c.k-1] == c.k-1 {
+		return c.joinDataShards(&have, shardLen)
+	}
+
+	inv, err := c.decodeMatrix(idxs)
+	if err != nil {
+		return nil, err
+	}
+	// splits[j] = sum_i inv[j][i] * shard[idxs[i]], accumulated into one
+	// pooled buffer holding all k splits contiguously.
+	buf := c.getScratch(c.k * shardLen)
+	for j := 0; j < c.k; j++ {
+		dst := buf[j*shardLen : (j+1)*shardLen]
+		for i := 0; i < c.k; i++ {
+			c.field.MulSlice(inv.At(j, i), have[idxs[i]], dst)
+		}
+	}
+	out, err := c.join(buf, shardLen)
+	c.putScratch(buf)
+	return out, err
+}
+
+// decodeMatrix returns the inverse of the encoding submatrix for the given
+// ascending shard-index set, memoized per availability pattern.
+func (c *Code) decodeMatrix(idxs []int) (*gf.Matrix, error) {
+	key := make([]byte, len(idxs))
+	for i, idx := range idxs {
+		key[i] = byte(idx)
+	}
+	if m, ok := c.invCache.Load(string(key)); ok {
+		return m.(*gf.Matrix), nil
+	}
 	sub, err := c.matrix.SubMatrix(idxs)
 	if err != nil {
 		return nil, fmt.Errorf("erasure: %w", err)
@@ -157,39 +244,45 @@ func (c *Code) Decode(shards []Shard) ([]byte, error) {
 	if err != nil {
 		return nil, fmt.Errorf("erasure: %w", err)
 	}
-	// splits[j] = sum_i inv[j][i] * shard[idxs[i]]
-	splits := make([][]byte, c.k)
-	for j := 0; j < c.k; j++ {
-		splits[j] = make([]byte, shardLen)
-		for i := 0; i < c.k; i++ {
-			c.field.MulSlice(inv.At(j, i), byIdx[idxs[i]].Data, splits[j])
+	c.invCache.Store(string(key), inv)
+	return inv, nil
+}
+
+// joinDataShards reassembles the value directly from the k data shards
+// (have[0..k-1]), reading the possibly shard-spanning length header and
+// copying each byte exactly once.
+func (c *Code) joinDataShards(have *[gf.Order][]byte, shardLen int) ([]byte, error) {
+	total := c.k * shardLen
+	if total < 4 {
+		return nil, fmt.Errorf("erasure: decoded buffer too short (%d bytes)", total)
+	}
+	var hdr [4]byte
+	for i := 0; i < 4; i++ {
+		hdr[i] = have[i/shardLen][i%shardLen]
+	}
+	n := int(binary.BigEndian.Uint32(hdr[:]))
+	if n > total-4 {
+		return nil, fmt.Errorf("erasure: corrupt length header %d (buffer %d)", n, total-4)
+	}
+	out := make([]byte, n)
+	copied := 0
+	for j := 0; j < c.k && copied < n; j++ {
+		off := j * shardLen
+		if off+shardLen <= 4 {
+			continue // shard holds header bytes only
 		}
+		s := have[j]
+		if off < 4 {
+			s = s[4-off:]
+		}
+		copied += copy(out[copied:], s)
 	}
-	return c.join(splits)
+	return out, nil
 }
 
-// split prefixes value with a 4-byte big-endian length and pads to a multiple
-// of k, then slices into k equal splits.
-func (c *Code) split(value []byte) [][]byte {
-	total := len(value) + 4
-	shardLen := (total + c.k - 1) / c.k
-	buf := make([]byte, shardLen*c.k)
-	binary.BigEndian.PutUint32(buf, uint32(len(value)))
-	copy(buf[4:], value)
-	splits := make([][]byte, c.k)
-	for i := 0; i < c.k; i++ {
-		splits[i] = buf[i*shardLen : (i+1)*shardLen]
-	}
-	return splits
-}
-
-// join reassembles the splits and strips the length header and padding.
-func (c *Code) join(splits [][]byte) ([]byte, error) {
-	shardLen := len(splits[0])
-	buf := make([]byte, 0, shardLen*c.k)
-	for _, s := range splits {
-		buf = append(buf, s...)
-	}
+// join extracts the value from the contiguous splits buffer, stripping the
+// length header and padding.
+func (c *Code) join(buf []byte, shardLen int) ([]byte, error) {
 	if len(buf) < 4 {
 		return nil, fmt.Errorf("erasure: decoded buffer too short (%d bytes)", len(buf))
 	}

@@ -115,20 +115,27 @@ func TestEncodeOneMatchesEncode(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	value := bytes.Repeat([]byte("abc123"), 33)
-	all, err := c.Encode(value)
-	if err != nil {
-		t.Fatal(err)
-	}
-	for i := 0; i < 9; i++ {
-		one, err := c.EncodeOne(value, i)
+	// Tiny values make the shards shorter than the 4-byte header, so the
+	// header spans several data shards — the degenerate layout EncodeOne's
+	// region copies must handle.
+	for _, value := range [][]byte{
+		nil, {7}, {1, 2}, []byte("abc"), bytes.Repeat([]byte("abc123"), 33),
+	} {
+		all, err := c.Encode(value)
 		if err != nil {
 			t.Fatal(err)
 		}
-		if !bytes.Equal(one.Data, all[i].Data) {
-			t.Errorf("EncodeOne(%d) differs from Encode", i)
+		for i := 0; i < 9; i++ {
+			one, err := c.EncodeOne(value, i)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(one.Data, all[i].Data) {
+				t.Errorf("EncodeOne(%d) differs from Encode for %d-byte value", i, len(value))
+			}
 		}
 	}
+	value := bytes.Repeat([]byte("abc123"), 33)
 	if _, err := c.EncodeOne(value, 9); err == nil {
 		t.Error("EncodeOne out of range should fail")
 	}

@@ -43,6 +43,9 @@ type History struct {
 	// fault-free runs.
 	Faults []FaultRecord
 	open   map[NodeID]int // client -> index in Ops of its outstanding op
+	// doneWrites counts completed writes so drivers tracking write
+	// concurrency need not rescan Ops after every delivery.
+	doneWrites int
 }
 
 // NewHistory returns an empty history.
@@ -54,9 +57,10 @@ func NewHistory() *History {
 // are immutable by the kernel's message contract).
 func (h *History) clone() *History {
 	out := &History{
-		Ops:    make([]Op, len(h.Ops)),
-		Faults: append([]FaultRecord(nil), h.Faults...),
-		open:   make(map[NodeID]int, len(h.open)),
+		Ops:        make([]Op, len(h.Ops)),
+		Faults:     append([]FaultRecord(nil), h.Faults...),
+		open:       make(map[NodeID]int, len(h.open)),
+		doneWrites: h.doneWrites,
 	}
 	copy(out.Ops, h.Ops)
 	for k, v := range h.open {
@@ -98,9 +102,15 @@ func (h *History) endOp(client NodeID, resp Response, step int) error {
 	}
 	op.Output = resp.Value
 	op.RespondStep = step
+	if op.Kind == OpWrite {
+		h.doneWrites++
+	}
 	delete(h.open, client)
 	return nil
 }
+
+// CompletedWrites returns the number of completed write operations.
+func (h *History) CompletedWrites() int { return h.doneWrites }
 
 // OpByID returns the operation with the given ID.
 func (h *History) OpByID(id int) (Op, error) {

@@ -44,7 +44,7 @@ func (s *System) FairRun(maxSteps int, stop StopFunc) error {
 	}
 	delivered := 0
 	for {
-		keys := s.DeliverableChannels()
+		keys := s.deliverables()
 		if len(keys) == 0 {
 			// Under a fault plan the system may be only temporarily idle:
 			// every queued message delayed, link-blocked or addressed to a
@@ -82,7 +82,7 @@ func (s *System) RandomRun(rng *rand.Rand, maxSteps int, stop StopFunc) error {
 		return nil
 	}
 	for delivered := 0; delivered < maxSteps; {
-		keys := s.DeliverableChannels()
+		keys := s.deliverables()
 		if len(keys) == 0 {
 			if s.FaultForward() {
 				continue // fast-forwards do not consume the delivery budget
@@ -119,12 +119,12 @@ func NewStepper(sys *System) *Stepper { return &Stepper{sys: sys} }
 // Step delivers the next message in rotation. It returns false when no
 // message is deliverable.
 func (st *Stepper) Step() (bool, error) {
-	keys := st.sys.DeliverableChannels()
+	keys := st.sys.deliverables()
 	for len(keys) == 0 {
 		if !st.sys.FaultForward() {
 			return false, nil
 		}
-		keys = st.sys.DeliverableChannels()
+		keys = st.sys.deliverables()
 	}
 	pick := keys[0]
 	if st.init {
@@ -151,7 +151,7 @@ func (s *System) DrainMatching(maxSteps int, match func(from, to NodeID) bool) (
 	delivered := 0
 	for {
 		progressed := false
-		for _, k := range s.DeliverableChannels() {
+		for _, k := range s.deliverables() {
 			if !match(k.From, k.To) {
 				continue
 			}

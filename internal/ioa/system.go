@@ -21,6 +21,46 @@ type queued struct {
 	readyAt int
 }
 
+// channel is the kernel's per-link state: the message queue plus the
+// incrementally maintained readiness metadata that lets the schedulers avoid
+// rescanning every queue on every sweep.
+//
+// Invariants (enforced by the differential kernel tests):
+//
+//   - ready is the number of queued messages with readyAt <= steps; messages
+//     whose delay has not elapsed are represented by a message wake in the
+//     system's wake heap, and ready is incremented exactly when that wake
+//     pops.
+//   - deliverable mirrors CanDeliver for this channel at the current step; it
+//     is recomputed (refresh) after every event that can change any of its
+//     inputs: send, delivery, crash/recover, silence, freeze, fault-plan
+//     installation and link outage boundaries (via link wakes).
+//   - linkWake is the step of this channel's scheduled link-change wake (0 if
+//     none). At most one link wake per channel is outstanding, and while the
+//     channel stays non-empty it equals the plan's NextLinkChange.
+//
+// Queue storage is pooled: messages are removed in place, so a channel's
+// backing array is reused across its lifetime and steady-state delivery
+// allocates nothing.
+type channel struct {
+	key         ChanKey
+	q           []queued
+	ready       int  // queued messages with readyAt <= steps
+	frozen      bool // Freeze/Unfreeze state
+	linkWake    int  // scheduled link-change wake step (0 = none)
+	deliverable bool // cached CanDeliver, kept current by refresh
+}
+
+// wake is one entry of the system's min-heap over future scheduling
+// boundaries: either a delayed message becoming ready (link == false) or a
+// link outage boundary where a channel's blocked status may flip
+// (link == true).
+type wake struct {
+	t    int
+	ch   *channel
+	link bool
+}
+
 // System is the composed automaton: nodes plus channels plus failure state,
 // advanced one discrete step at a time. The zero value is not usable; create
 // systems with NewSystem.
@@ -28,12 +68,25 @@ type System struct {
 	nodes    map[NodeID]Node
 	ids      []NodeID // sorted, for deterministic iteration
 	servers  map[NodeID]bool
-	queues   map[ChanKey][]queued
 	crashed  map[NodeID]bool
 	silenced map[NodeID]bool
-	frozen   map[ChanKey]bool
 	steps    int
 	hist     *History
+
+	// Channel index: chans is sorted by (From, To) and is the deterministic
+	// iteration order of DeliverableChannels; chanIdx is the point lookup;
+	// byFrom/byTo group channels by endpoint so crash/silence events refresh
+	// only the affected links. nReady counts deliverable channels.
+	chans   []*channel
+	chanIdx map[ChanKey]*channel
+	byFrom  map[NodeID][]*channel
+	byTo    map[NodeID][]*channel
+	nReady  int
+
+	// wakes is the min-heap (by t) of future readiness boundaries; sweep is
+	// the schedulers' reusable deliverable-channel buffer.
+	wakes []wake
+	sweep []ChanKey
 
 	// Fault injection (nil plan means a fault-free run).
 	faults      FaultPlan
@@ -54,10 +107,11 @@ func NewSystem() *System {
 	return &System{
 		nodes:    make(map[NodeID]Node),
 		servers:  make(map[NodeID]bool),
-		queues:   make(map[ChanKey][]queued),
+		chanIdx:  make(map[ChanKey]*channel),
+		byFrom:   make(map[NodeID][]*channel),
+		byTo:     make(map[NodeID][]*channel),
 		crashed:  make(map[NodeID]bool),
 		silenced: make(map[NodeID]bool),
-		frozen:   make(map[ChanKey]bool),
 		hist:     NewHistory(),
 		curBits:  make(map[NodeID]int),
 		maxBits:  make(map[NodeID]int),
@@ -78,8 +132,11 @@ func (s *System) add(n Node, server bool) error {
 	}
 	s.nodes[id] = n
 	s.servers[id] = server
-	s.ids = append(s.ids, id)
-	sort.Slice(s.ids, func(i, j int) bool { return s.ids[i] < s.ids[j] })
+	// Insert at the sorted position instead of re-sorting the whole slice.
+	i := sort.Search(len(s.ids), func(i int) bool { return s.ids[i] > id })
+	s.ids = append(s.ids, 0)
+	copy(s.ids[i+1:], s.ids[i:])
+	s.ids[i] = id
 	if server {
 		s.meter(id)
 	}
@@ -120,9 +177,194 @@ func (s *System) Steps() int { return s.steps }
 // History returns the execution's operation history (live view).
 func (s *System) History() *History { return s.hist }
 
+// ensureChan returns the channel entry for k, creating it (at its sorted
+// index position) on first use.
+func (s *System) ensureChan(k ChanKey) *channel {
+	if ch := s.chanIdx[k]; ch != nil {
+		return ch
+	}
+	ch := &channel{key: k}
+	i := sort.Search(len(s.chans), func(i int) bool {
+		c := s.chans[i].key
+		if c.From != k.From {
+			return c.From > k.From
+		}
+		return c.To > k.To
+	})
+	s.chans = append(s.chans, nil)
+	copy(s.chans[i+1:], s.chans[i:])
+	s.chans[i] = ch
+	s.chanIdx[k] = ch
+	s.byFrom[k.From] = append(s.byFrom[k.From], ch)
+	s.byTo[k.To] = append(s.byTo[k.To], ch)
+	return ch
+}
+
+// refresh recomputes a channel's deliverable flag from the current failure,
+// silence, freeze and fault state, and maintains the channel's link wake:
+// while the channel is non-empty under a fault plan, a wake is scheduled at
+// the plan's next outage boundary so the flag is recomputed exactly when the
+// link's blocked status may change.
+func (s *System) refresh(ch *channel) {
+	d := ch.ready > 0 && !ch.frozen &&
+		!s.crashed[ch.key.To] && !s.silenced[ch.key.To] && !s.silenced[ch.key.From]
+	if s.faults != nil && len(ch.q) > 0 {
+		if d && s.faults.LinkBlocked(ch.key.From, ch.key.To, s.steps) {
+			d = false
+		}
+		if ch.linkWake <= s.steps {
+			if next := s.faults.NextLinkChange(ch.key.From, ch.key.To, s.steps); next > s.steps {
+				ch.linkWake = next
+				s.pushWake(wake{t: next, ch: ch, link: true})
+			} else {
+				ch.linkWake = 0
+			}
+		}
+	}
+	if d != ch.deliverable {
+		ch.deliverable = d
+		if d {
+			s.nReady++
+		} else {
+			s.nReady--
+		}
+	}
+}
+
+// refreshNode refreshes every channel touching the node (used by silence
+// changes, which affect both directions).
+func (s *System) refreshNode(id NodeID) {
+	for _, ch := range s.byFrom[id] {
+		s.refresh(ch)
+	}
+	for _, ch := range s.byTo[id] {
+		s.refresh(ch)
+	}
+}
+
+// pushWake inserts a wake into the min-heap.
+func (s *System) pushWake(w wake) {
+	s.wakes = append(s.wakes, w)
+	i := len(s.wakes) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if s.wakes[parent].t <= s.wakes[i].t {
+			break
+		}
+		s.wakes[parent], s.wakes[i] = s.wakes[i], s.wakes[parent]
+		i = parent
+	}
+}
+
+// popWake removes and returns the minimum wake.
+func (s *System) popWake() wake {
+	top := s.wakes[0]
+	last := len(s.wakes) - 1
+	s.wakes[0] = s.wakes[last]
+	s.wakes[last] = wake{}
+	s.wakes = s.wakes[:last]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		min := i
+		if l < len(s.wakes) && s.wakes[l].t < s.wakes[min].t {
+			min = l
+		}
+		if r < len(s.wakes) && s.wakes[r].t < s.wakes[min].t {
+			min = r
+		}
+		if min == i {
+			break
+		}
+		s.wakes[i], s.wakes[min] = s.wakes[min], s.wakes[i]
+		i = min
+	}
+	return top
+}
+
+// advance pops every wake whose step has been reached: delayed messages
+// become ready and link boundaries trigger a refresh. It is called after
+// every step-counter change so channel flags are always current.
+func (s *System) advance() {
+	for len(s.wakes) > 0 && s.wakes[0].t <= s.steps {
+		w := s.popWake()
+		if w.link {
+			w.ch.linkWake = 0
+		} else {
+			w.ch.ready++
+		}
+		s.refresh(w.ch)
+	}
+}
+
+// rebuildWakes recomputes every channel's ready count, the wake heap and the
+// deliverable flags from the raw queues — used after fault-plan installation
+// and snapshot restoration.
+func (s *System) rebuildWakes() {
+	s.wakes = s.wakes[:0]
+	for _, ch := range s.chans {
+		ch.linkWake = 0
+		ch.ready = 0
+		for _, e := range ch.q {
+			if e.readyAt <= s.steps {
+				ch.ready++
+			} else {
+				s.pushWake(wake{t: e.readyAt, ch: ch})
+			}
+		}
+		s.refresh(ch)
+	}
+}
+
+// CheckReadySetInvariants recomputes every channel's readiness from the raw
+// queues — the way the pre-index kernel did on every sweep — and compares it
+// against the incrementally maintained state. It returns an error describing
+// the first mismatch. The differential kernel tests call it after every
+// mutation; it is exported so engine-level tests outside this package can
+// assert the invariants mid-workload too.
+func (s *System) CheckReadySetInvariants() error {
+	nReady := 0
+	for i, ch := range s.chans {
+		if i > 0 {
+			prev := s.chans[i-1].key
+			if prev.From > ch.key.From || (prev.From == ch.key.From && prev.To >= ch.key.To) {
+				return fmt.Errorf("ioa: channel index out of order at %d: %v then %v", i, prev, ch.key)
+			}
+		}
+		ready := 0
+		for _, e := range ch.q {
+			if e.readyAt <= s.steps {
+				ready++
+			}
+		}
+		if ready != ch.ready {
+			return fmt.Errorf("ioa: channel %v ready count %d, recomputed %d (step %d)", ch.key, ch.ready, ready, s.steps)
+		}
+		want := ready > 0 && !ch.frozen &&
+			!s.crashed[ch.key.To] && !s.silenced[ch.key.To] && !s.silenced[ch.key.From] &&
+			!s.linkBlocked(ch.key)
+		if want != ch.deliverable {
+			return fmt.Errorf("ioa: channel %v deliverable flag %t, recomputed %t (step %d, q=%d ready=%d frozen=%t)",
+				ch.key, ch.deliverable, want, s.steps, len(ch.q), ready, ch.frozen)
+		}
+		if ch.deliverable {
+			nReady++
+		}
+	}
+	if nReady != s.nReady {
+		return fmt.Errorf("ioa: nReady %d, recomputed %d", s.nReady, nReady)
+	}
+	return nil
+}
+
 // Crash fails a node: it takes no further steps. In-flight messages it sent
 // earlier remain deliverable, matching the crash model of Section 3.
-func (s *System) Crash(id NodeID) { s.crashed[id] = true }
+func (s *System) Crash(id NodeID) {
+	s.crashed[id] = true
+	for _, ch := range s.byTo[id] {
+		s.refresh(ch)
+	}
+}
 
 // Crashed reports whether the node has crashed.
 func (s *System) Crashed(id NodeID) bool { return s.crashed[id] }
@@ -131,7 +373,12 @@ func (s *System) Crashed(id NodeID) bool { return s.crashed[id] }
 // modeling a crash-recovery (long unresponsive pause) failure rather than the
 // paper's permanent crash. Messages addressed to the node while it was down
 // were held in the channels and become deliverable again.
-func (s *System) Recover(id NodeID) { delete(s.crashed, id) }
+func (s *System) Recover(id NodeID) {
+	delete(s.crashed, id)
+	for _, ch := range s.byTo[id] {
+		s.refresh(ch)
+	}
+}
 
 // SetFaultPlan installs (or, with nil, removes) a fault plan. The plan's
 // decisions apply to messages sent after this call; node events scheduled at
@@ -140,14 +387,16 @@ func (s *System) SetFaultPlan(p FaultPlan) {
 	s.faults = p
 	s.faultEvents = nil
 	s.faultEvIdx = 0
-	if p == nil {
-		return
+	if p != nil {
+		s.faultEvents = append([]NodeFaultEvent(nil), p.NodeEvents()...)
+		sort.SliceStable(s.faultEvents, func(i, j int) bool {
+			return s.faultEvents[i].Step < s.faultEvents[j].Step
+		})
 	}
-	s.faultEvents = append([]NodeFaultEvent(nil), p.NodeEvents()...)
-	sort.SliceStable(s.faultEvents, func(i, j int) bool {
-		return s.faultEvents[i].Step < s.faultEvents[j].Step
-	})
-	s.applyNodeFaultEvents()
+	s.rebuildWakes()
+	if p != nil {
+		s.applyNodeFaultEvents()
+	}
 }
 
 // FaultStats returns the fault events accounted so far.
@@ -165,12 +414,12 @@ func (s *System) applyNodeFaultEvents() {
 		s.faultEvIdx++
 		if ev.Recover {
 			if s.crashed[ev.Node] {
-				delete(s.crashed, ev.Node)
+				s.Recover(ev.Node)
 				s.faultStats.Recoveries++
 				s.hist.addFault(FaultRecord{Step: s.steps, Kind: FaultRecover, From: ev.Node})
 			}
 		} else if !s.crashed[ev.Node] {
-			s.crashed[ev.Node] = true
+			s.Crash(ev.Node)
 			s.faultStats.Crashes++
 			s.hist.addFault(FaultRecord{Step: s.steps, Kind: FaultCrash, From: ev.Node})
 		}
@@ -182,17 +431,33 @@ func (s *System) linkBlocked(k ChanKey) bool {
 	return s.faults != nil && s.faults.LinkBlocked(k.From, k.To, s.steps)
 }
 
-// firstReady returns the index of the first queued message on k whose delay
-// has elapsed, or -1. Delivering the first ready message (rather than the
-// strict head) is what lets per-message delays reorder a link, matching the
-// unordered asynchronous channels of the paper's model.
-func (s *System) firstReady(k ChanKey) int {
-	for i, e := range s.queues[k] {
-		if e.readyAt <= s.steps {
+// firstReady returns the index of the first queued message on the channel
+// whose delay has elapsed. Delivering the first ready message (rather than
+// the strict head) is what lets per-message delays reorder a link, matching
+// the unordered asynchronous channels of the paper's model. In the common
+// fault-free case every queued message is ready and the head is returned
+// without scanning.
+func (ch *channel) firstReady(steps int) int {
+	if ch.ready == len(ch.q) {
+		return 0
+	}
+	for i := range ch.q {
+		if ch.q[i].readyAt <= steps {
 			return i
 		}
 	}
 	return -1
+}
+
+// removeAt deletes the i-th queued message in place, preserving FIFO order
+// and reusing the backing array.
+func (ch *channel) removeAt(i int) Message {
+	msg := ch.q[i].msg
+	copy(ch.q[i:], ch.q[i+1:])
+	ch.q[len(ch.q)-1] = queued{} // release the message reference
+	ch.q = ch.q[:len(ch.q)-1]
+	ch.ready--
+	return msg
 }
 
 // FaultForward advances logical time when faults have made the system
@@ -202,51 +467,85 @@ func (s *System) firstReady(k ChanKey) int {
 // earliest such point, applies due node events, and reports whether it
 // advanced. Schedulers call it before declaring the system quiescent; without
 // a fault plan it always reports false.
+//
+// The candidate set is the next scheduled node event plus the earliest valid
+// wake: a link wake counts while its channel is non-empty, and a message
+// wake counts only while its channel has no ready message (a channel that
+// already holds a ready-but-undeliverable message — say, addressed to a
+// crashed node — contributes no boundary, exactly as the per-channel
+// minimum-readyAt sweep of the pre-index kernel behaved). The heap is
+// traversed as a tree with subtree pruning (children never precede their
+// parent), so the search touches only the invalid prefix of the heap instead
+// of every queued message.
 func (s *System) FaultForward() bool {
 	if s.faults == nil {
 		return false
 	}
 	target := -1
-	consider := func(t int) {
-		if t > s.steps && (target == -1 || t < target) {
+	if s.faultEvIdx < len(s.faultEvents) {
+		if t := s.faultEvents[s.faultEvIdx].Step; t > s.steps {
 			target = t
 		}
 	}
-	for i := s.faultEvIdx; i < len(s.faultEvents); i++ {
-		consider(s.faultEvents[i].Step)
-	}
-	for k, q := range s.queues {
-		if len(q) == 0 {
-			continue
-		}
-		minReady := q[0].readyAt
-		for _, e := range q[1:] {
-			if e.readyAt < minReady {
-				minReady = e.readyAt
-			}
-		}
-		consider(minReady)
-		if t := s.faults.NextLinkChange(k.From, k.To, s.steps); t > 0 {
-			consider(t)
-		}
+	if t := s.earliestWake(0, target); t != -1 {
+		target = t
 	}
 	if target == -1 {
 		return false
 	}
 	s.steps = target
 	s.faultStats.FastForwards++
+	s.advance()
 	s.applyNodeFaultEvents()
 	return true
+}
+
+// earliestWake returns the smallest wake time below heap index i that is a
+// valid fault-forward candidate and beats bound (-1 = unbounded), or -1.
+// Subtrees whose root cannot beat the bound are pruned.
+func (s *System) earliestWake(i, bound int) int {
+	if i >= len(s.wakes) {
+		return -1
+	}
+	w := s.wakes[i]
+	if bound != -1 && w.t >= bound {
+		return -1
+	}
+	valid := w.t > s.steps
+	if valid {
+		if w.link {
+			valid = len(w.ch.q) > 0
+		} else {
+			valid = w.ch.ready == 0
+		}
+	}
+	if valid {
+		return w.t // children are no earlier; this subtree's best
+	}
+	best := s.earliestWake(2*i+1, bound)
+	if best != -1 {
+		bound = best
+	}
+	if r := s.earliestWake(2*i+2, bound); r != -1 {
+		best = r
+	}
+	return best
 }
 
 // Silence delays all messages from and to the node indefinitely and stops
 // the node from taking steps. This is the construction used throughout the
 // paper's proofs ("after point P all the messages from and to the writer are
 // delayed indefinitely").
-func (s *System) Silence(id NodeID) { s.silenced[id] = true }
+func (s *System) Silence(id NodeID) {
+	s.silenced[id] = true
+	s.refreshNode(id)
+}
 
 // Unsilence lifts a Silence.
-func (s *System) Unsilence(id NodeID) { delete(s.silenced, id) }
+func (s *System) Unsilence(id NodeID) {
+	delete(s.silenced, id)
+	s.refreshNode(id)
+}
 
 // Silenced reports whether the node is silenced.
 func (s *System) Silenced(id NodeID) bool { return s.silenced[id] }
@@ -254,54 +553,71 @@ func (s *System) Silenced(id NodeID) bool { return s.silenced[id] }
 // Freeze stops deliveries on the directed channel from->to while leaving its
 // queue intact. Used by the Theorem 6.5 construction to withhold
 // value-dependent messages.
-func (s *System) Freeze(from, to NodeID) { s.frozen[ChanKey{from, to}] = true }
+func (s *System) Freeze(from, to NodeID) {
+	ch := s.ensureChan(ChanKey{from, to})
+	ch.frozen = true
+	s.refresh(ch)
+}
 
 // Unfreeze lifts a Freeze.
-func (s *System) Unfreeze(from, to NodeID) { delete(s.frozen, ChanKey{from, to}) }
+func (s *System) Unfreeze(from, to NodeID) {
+	if ch := s.chanIdx[ChanKey{from, to}]; ch != nil {
+		ch.frozen = false
+		s.refresh(ch)
+	}
+}
 
 // QueueLen returns the number of undelivered messages on from->to.
-func (s *System) QueueLen(from, to NodeID) int { return len(s.queues[ChanKey{from, to}]) }
+func (s *System) QueueLen(from, to NodeID) int {
+	if ch := s.chanIdx[ChanKey{from, to}]; ch != nil {
+		return len(ch.q)
+	}
+	return 0
+}
 
 // CanDeliver reports whether some message of from->to may be delivered under
 // the current failure/silence/freeze/fault state: the channel must hold a
 // message whose fault delay has elapsed, and the link must not be inside an
 // outage window.
 func (s *System) CanDeliver(from, to NodeID) bool {
-	k := ChanKey{from, to}
-	if len(s.queues[k]) == 0 {
-		return false
-	}
-	if s.frozen[k] {
+	ch := s.chanIdx[ChanKey{from, to}]
+	if ch == nil || ch.ready == 0 || ch.frozen {
 		return false
 	}
 	if s.crashed[to] || s.silenced[to] || s.silenced[from] {
 		return false
 	}
-	if s.linkBlocked(k) {
-		return false
-	}
-	return s.firstReady(k) >= 0
+	return !s.linkBlocked(ch.key)
 }
 
 // DeliverableChannels returns all channels with some currently deliverable
 // message (see CanDeliver), in deterministic (From, To) order.
 func (s *System) DeliverableChannels() []ChanKey {
-	keys := make([]ChanKey, 0, len(s.queues))
-	for k, q := range s.queues {
-		if len(q) == 0 {
-			continue
-		}
-		if s.CanDeliver(k.From, k.To) {
-			keys = append(keys, k)
+	return s.AppendDeliverableChannels(make([]ChanKey, 0, s.nReady))
+}
+
+// AppendDeliverableChannels appends the deliverable channels, in
+// deterministic (From, To) order, to dst and returns the extended slice —
+// the allocation-free form of DeliverableChannels for callers that sweep
+// repeatedly with a reusable buffer.
+func (s *System) AppendDeliverableChannels(dst []ChanKey) []ChanKey {
+	if s.nReady == 0 {
+		return dst
+	}
+	for _, ch := range s.chans {
+		if ch.deliverable {
+			dst = append(dst, ch.key)
 		}
 	}
-	sort.Slice(keys, func(i, j int) bool {
-		if keys[i].From != keys[j].From {
-			return keys[i].From < keys[j].From
-		}
-		return keys[i].To < keys[j].To
-	})
-	return keys
+	return dst
+}
+
+// deliverables refills the schedulers' shared sweep buffer. The buffer is
+// only valid until the next deliverables call; single-threaded scheduler
+// loops refill it at most once per sweep.
+func (s *System) deliverables() []ChanKey {
+	s.sweep = s.AppendDeliverableChannels(s.sweep[:0])
+	return s.sweep
 }
 
 // Deliver pops the first ready message of the from->to channel and delivers
@@ -311,15 +627,9 @@ func (s *System) Deliver(from, to NodeID) error {
 	if !s.CanDeliver(from, to) {
 		return fmt.Errorf("ioa: channel %d->%d has no deliverable message", from, to)
 	}
-	k := ChanKey{from, to}
-	q := s.queues[k]
-	i := s.firstReady(k)
-	msg := q[i].msg
-	if i == 0 {
-		s.queues[k] = q[1:]
-	} else {
-		s.queues[k] = append(append([]queued(nil), q[:i]...), q[i+1:]...)
-	}
+	ch := s.chanIdx[ChanKey{from, to}]
+	msg := ch.removeAt(ch.firstReady(s.steps))
+	s.refresh(ch)
 	node := s.nodes[to]
 	eff := node.Deliver(from, msg)
 	return s.applyEffects(to, eff)
@@ -332,21 +642,21 @@ func (s *System) Deliver(from, to NodeID) error {
 // the channel, which FIFO delivery cannot express. It returns false when no
 // queued message matches; failure/silence/freeze guards apply as in Deliver.
 func (s *System) DeliverSelect(from, to NodeID, match func(Message) bool) (bool, error) {
-	k := ChanKey{from, to}
-	q := s.queues[k]
-	if len(q) == 0 {
+	ch := s.chanIdx[ChanKey{from, to}]
+	if ch == nil || len(ch.q) == 0 {
 		return false, nil
 	}
-	if s.frozen[k] || s.crashed[to] || s.silenced[to] || s.silenced[from] || s.linkBlocked(k) {
+	if ch.frozen || s.crashed[to] || s.silenced[to] || s.silenced[from] || s.linkBlocked(ch.key) {
 		return false, nil
 	}
-	for i, e := range q {
-		if e.readyAt > s.steps || !match(e.msg) {
+	for i := range ch.q {
+		if ch.q[i].readyAt > s.steps || !match(ch.q[i].msg) {
 			continue
 		}
-		s.queues[k] = append(append([]queued(nil), q[:i]...), q[i+1:]...)
+		msg := ch.removeAt(i)
+		s.refresh(ch)
 		node := s.nodes[to]
-		eff := node.Deliver(from, e.msg)
+		eff := node.Deliver(from, msg)
 		if err := s.applyEffects(to, eff); err != nil {
 			return false, err
 		}
@@ -388,6 +698,7 @@ func (s *System) Invoke(client NodeID, inv Invocation) (int, error) {
 // scheduled node faults and refreshes storage accounting for the acting node.
 func (s *System) applyEffects(actor NodeID, eff Effects) error {
 	s.steps++
+	s.advance()
 	for _, send := range eff.Sends {
 		if _, ok := s.nodes[send.To]; !ok {
 			return fmt.Errorf("ioa: node %d sent to unknown node %d", actor, send.To)
@@ -409,8 +720,14 @@ func (s *System) applyEffects(actor NodeID, eff Effects) error {
 				s.hist.addFault(FaultRecord{Step: s.steps, Kind: FaultDelay, From: actor, To: send.To, Delay: delay})
 			}
 		}
-		k := ChanKey{From: actor, To: send.To}
-		s.queues[k] = append(s.queues[k], queued{msg: send.Msg, seq: seq, readyAt: readyAt})
+		ch := s.ensureChan(ChanKey{From: actor, To: send.To})
+		ch.q = append(ch.q, queued{msg: send.Msg, seq: seq, readyAt: readyAt})
+		if readyAt <= s.steps {
+			ch.ready++
+		} else {
+			s.pushWake(wake{t: readyAt, ch: ch})
+		}
+		s.refresh(ch)
 	}
 	if s.faults != nil {
 		s.applyNodeFaultEvents()
@@ -497,10 +814,11 @@ func (s *System) cloneState() *System {
 		nodes:        make(map[NodeID]Node, len(s.nodes)),
 		ids:          append([]NodeID(nil), s.ids...),
 		servers:      make(map[NodeID]bool, len(s.servers)),
-		queues:       make(map[ChanKey][]queued, len(s.queues)),
+		chanIdx:      make(map[ChanKey]*channel, len(s.chans)),
+		byFrom:       make(map[NodeID][]*channel, len(s.byFrom)),
+		byTo:         make(map[NodeID][]*channel, len(s.byTo)),
 		crashed:      make(map[NodeID]bool, len(s.crashed)),
 		silenced:     make(map[NodeID]bool, len(s.silenced)),
-		frozen:       make(map[ChanKey]bool, len(s.frozen)),
 		steps:        s.steps,
 		hist:         s.hist.clone(),
 		faults:       s.faults, // plans are immutable, safe to share
@@ -519,11 +837,17 @@ func (s *System) cloneState() *System {
 	for id, v := range s.servers {
 		out.servers[id] = v
 	}
-	for k, q := range s.queues {
-		if len(q) == 0 {
-			continue
+	// chans is iterated in index order, so the clone's index is sorted too.
+	out.chans = make([]*channel, 0, len(s.chans))
+	for _, ch := range s.chans {
+		nc := &channel{key: ch.key, frozen: ch.frozen}
+		if len(ch.q) > 0 {
+			nc.q = append([]queued(nil), ch.q...)
 		}
-		out.queues[k] = append([]queued(nil), q...)
+		out.chans = append(out.chans, nc)
+		out.chanIdx[nc.key] = nc
+		out.byFrom[nc.key.From] = append(out.byFrom[nc.key.From], nc)
+		out.byTo[nc.key.To] = append(out.byTo[nc.key.To], nc)
 	}
 	for id := range s.crashed {
 		out.crashed[id] = true
@@ -531,14 +855,12 @@ func (s *System) cloneState() *System {
 	for id := range s.silenced {
 		out.silenced[id] = true
 	}
-	for k := range s.frozen {
-		out.frozen[k] = true
-	}
 	for id, b := range s.curBits {
 		out.curBits[id] = b
 	}
 	for id, b := range s.maxBits {
 		out.maxBits[id] = b
 	}
+	out.rebuildWakes()
 	return out
 }

@@ -127,6 +127,7 @@ func Run(cl *cluster.Cluster, spec Spec) (*Result, error) {
 		maxNu = len(cl.Writers)
 	}
 
+	var keyBuf []ioa.ChanKey
 	for step := 0; step < spec.maxSteps(); step++ {
 		// Keep writes saturated at the target concurrency.
 		if writesLeft > 0 && activeWrites < maxNu {
@@ -173,7 +174,8 @@ func Run(cl *cluster.Cluster, spec Spec) (*Result, error) {
 			}
 		}
 		// Deliver a random message.
-		keys := sys.DeliverableChannels()
+		keys := sys.AppendDeliverableChannels(keyBuf[:0])
+		keyBuf = keys
 		if len(keys) == 0 {
 			// Faults may have made the system only temporarily idle; let
 			// logical time jump to the next delay expiry, outage boundary
@@ -200,13 +202,7 @@ func Run(cl *cluster.Cluster, spec Spec) (*Result, error) {
 			return nil, fmt.Errorf("workload: %w", err)
 		}
 		// Track write completions.
-		completedWrites := 0
-		for _, op := range sys.History().Ops {
-			if op.Kind == ioa.OpWrite && !op.Pending() {
-				completedWrites++
-			}
-		}
-		activeWrites = (spec.Writes - writesLeft) - completedWrites
+		activeWrites = (spec.Writes - writesLeft) - sys.History().CompletedWrites()
 	}
 	// Let everything settle.
 	quiescent := false

@@ -6,7 +6,7 @@ DATE ?= $(shell date +%Y-%m-%d)
 MICRO_PKGS = ./internal/gf ./internal/erasure ./internal/ioa ./internal/consistency
 MICRO_BENCH = 'BenchmarkMulSlice|BenchmarkEncodeDecode|BenchmarkFairRunSweep|BenchmarkRandomRunSweep|BenchmarkCheckAtomicDense'
 
-.PHONY: build test race bench bench-smoke bench-micro bench-micro-smoke bench-json fuzz-smoke examples fmt fmt-check vet ci
+.PHONY: build test race live-race liveload-smoke bench bench-smoke bench-micro bench-micro-smoke bench-json fuzz-smoke examples fmt fmt-check vet ci
 
 build:
 	$(GO) build ./...
@@ -17,6 +17,18 @@ test:
 
 race:
 	$(GO) test -race -shuffle=on ./...
+
+# The live concurrent runtime is the one package whose correctness depends on
+# goroutine interleavings, so it gets a dedicated double-pass race smoke: two
+# counted runs catch schedules a single pass misses.
+live-race:
+	$(GO) test -race -count=2 ./internal/live
+
+# End-to-end smoke of the live load generator: a small client-count sweep on
+# two shards, consistency-checked per shard.
+liveload-smoke:
+	$(GO) run ./cmd/liveload -clients 1,2,4 -ops 48 -shards 2 -keys 16 > /dev/null
+	@echo liveload-smoke ok
 
 bench:
 	$(GO) test -bench . -benchtime 1s .
@@ -72,4 +84,4 @@ vet:
 	$(GO) vet ./...
 
 # Exactly what CI runs.
-ci: build vet fmt-check race examples fuzz-smoke bench-smoke bench-micro-smoke
+ci: build vet fmt-check race live-race liveload-smoke examples fuzz-smoke bench-smoke bench-micro-smoke

@@ -14,6 +14,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math"
 	"os"
 	"strconv"
 	"strings"
@@ -79,6 +80,12 @@ func parse(r io.Reader) (*Record, error) {
 // parseBenchLine parses one result line of the form
 //
 //	BenchmarkName-8   1566661   751.6 ns/op   5449.78 MB/s   0 B/op   0 allocs/op
+//
+// Zero-sample lines (b.N = 0, as a partial or interrupted bench run can
+// emit) are rejected, and non-finite metric values are dropped: a custom
+// metric reported as NaN or ±Inf would otherwise reach the JSON encoder,
+// which rejects such values and would abort the whole `make bench-json`
+// conversion.
 func parseBenchLine(line string) (Benchmark, bool) {
 	fields := strings.Fields(line)
 	if len(fields) < 4 || len(fields)%2 != 0 {
@@ -91,7 +98,7 @@ func parseBenchLine(line string) (Benchmark, bool) {
 		}
 	}
 	iters, err := strconv.ParseInt(fields[1], 10, 64)
-	if err != nil {
+	if err != nil || iters <= 0 {
 		return Benchmark{}, false
 	}
 	b := Benchmark{Name: name, Iterations: iters, Metrics: make(map[string]float64)}
@@ -99,6 +106,9 @@ func parseBenchLine(line string) (Benchmark, bool) {
 		v, err := strconv.ParseFloat(fields[i], 64)
 		if err != nil {
 			return Benchmark{}, false
+		}
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			continue
 		}
 		b.Metrics[fields[i+1]] = v
 	}

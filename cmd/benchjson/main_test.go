@@ -1,6 +1,9 @@
 package main
 
 import (
+	"encoding/json"
+	"math"
+	"reflect"
 	"strings"
 	"testing"
 )
@@ -50,5 +53,112 @@ func TestParseBenchLineRejectsGarbage(t *testing.T) {
 		if _, ok := parseBenchLine(line); ok {
 			t.Errorf("parseBenchLine accepted %q", line)
 		}
+	}
+}
+
+// TestParseBenchLineHardening pins the parser against the degenerate lines a
+// partial or interrupted bench run can produce: zero-sample results and
+// non-finite custom metrics. encoding/json rejects NaN/Inf, so any such
+// value surviving into Benchmark.Metrics would make `make bench-json` fail
+// on the whole record.
+func TestParseBenchLineHardening(t *testing.T) {
+	cases := []struct {
+		name    string
+		line    string
+		ok      bool
+		iters   int64
+		metrics map[string]float64
+	}{
+		{
+			name:    "normal line",
+			line:    "BenchmarkX-8 1000 751.6 ns/op 0 B/op",
+			ok:      true,
+			iters:   1000,
+			metrics: map[string]float64{"ns/op": 751.6, "B/op": 0},
+		},
+		{
+			name: "zero samples",
+			line: "BenchmarkX-8 0 0 ns/op",
+			ok:   false,
+		},
+		{
+			name: "negative samples",
+			line: "BenchmarkX-8 -3 12 ns/op",
+			ok:   false,
+		},
+		{
+			name:    "NaN custom metric dropped, finite metrics kept",
+			line:    "BenchmarkX-8 100 12 ns/op NaN normcost",
+			ok:      true,
+			iters:   100,
+			metrics: map[string]float64{"ns/op": 12},
+		},
+		{
+			name:    "+Inf metric dropped",
+			line:    "BenchmarkX-8 100 +Inf MB/s 7 allocs/op",
+			ok:      true,
+			iters:   100,
+			metrics: map[string]float64{"allocs/op": 7},
+		},
+		{
+			name:    "-Inf metric dropped",
+			line:    "BenchmarkX-8 100 -Inf normcost 3 ns/op",
+			ok:      true,
+			iters:   100,
+			metrics: map[string]float64{"ns/op": 3},
+		},
+		{
+			name:    "every metric non-finite leaves an empty metric map",
+			line:    "BenchmarkX-8 100 NaN ns/op Inf MB/s",
+			ok:      true,
+			iters:   100,
+			metrics: map[string]float64{},
+		},
+	}
+	for _, tc := range cases {
+		b, ok := parseBenchLine(tc.line)
+		if ok != tc.ok {
+			t.Errorf("%s: parseBenchLine(%q) ok = %t, want %t", tc.name, tc.line, ok, tc.ok)
+			continue
+		}
+		if !ok {
+			continue
+		}
+		if b.Iterations != tc.iters {
+			t.Errorf("%s: iterations = %d, want %d", tc.name, b.Iterations, tc.iters)
+		}
+		if !reflect.DeepEqual(b.Metrics, tc.metrics) {
+			t.Errorf("%s: metrics = %v, want %v", tc.name, b.Metrics, tc.metrics)
+		}
+		for unit, v := range b.Metrics {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				t.Errorf("%s: non-finite metric %s=%v survived", tc.name, unit, v)
+			}
+		}
+	}
+}
+
+// TestParsePartialRunEncodes runs a whole degraded bench stream through
+// parse and asserts the result still JSON-encodes.
+func TestParsePartialRunEncodes(t *testing.T) {
+	const partial = `goos: linux
+pkg: repro
+BenchmarkE10ShardedStore/shards=1-8 2 6498771 ns/op NaN normcost 39.38 opspersec
+BenchmarkE10ShardedStore/shards=2-8 0 0 ns/op
+BenchmarkE11FaultScenarios/crash-f-8 2 4198551 ns/op +Inf normcost
+PASS
+`
+	rec, err := parse(strings.NewReader(partial))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rec.Benchmarks) != 2 {
+		t.Fatalf("want 2 benchmarks (zero-sample line dropped), got %d: %+v", len(rec.Benchmarks), rec.Benchmarks)
+	}
+	if _, err := json.Marshal(rec); err != nil {
+		t.Fatalf("record does not encode: %v", err)
+	}
+	if got := rec.Benchmarks[0].Metrics["opspersec"]; got != 39.38 {
+		t.Errorf("finite custom metric lost: %v", rec.Benchmarks[0].Metrics)
 	}
 }

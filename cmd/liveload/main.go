@@ -1,0 +1,189 @@
+// Command liveload drives the live concurrent runtime — every node automaton
+// on its own goroutine, messages over channels — through a sharded keyspace
+// workload and reports what only a live backend can measure: aggregate
+// throughput and per-operation latency percentiles, swept across client
+// counts. Safety is still enforced: every shard's merged history is checked
+// against the algorithm's consistency condition, exactly as the simulator
+// backend does.
+//
+// Usage:
+//
+//	liveload -alg cas -shards 4 -clients 2,4,8 -ops 256
+//	liveload -alg abd-mwmr -clients 1,2,4 -faults lossy=0.01+delay=1:8
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	shmem "repro"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "liveload:", err)
+		os.Exit(1)
+	}
+}
+
+// gridPoint aggregates one client-count setting.
+type gridPoint struct {
+	clients   int
+	completed int
+	pending   int
+	quiescent int
+	elapsed   time.Duration
+	opsPerSec float64
+	p50, p99  time.Duration
+}
+
+func run() error {
+	alg := flag.String("alg", "cas", "algorithm (multi-writer: "+strings.Join(shmem.StoreAlgorithms(), " | ")+")")
+	n := flag.Int("n", 5, "servers per shard N")
+	f := flag.Int("f", 1, "tolerated server failures per shard f")
+	shards := flag.Int("shards", 2, "independent register shards, run concurrently")
+	clientsFlag := flag.String("clients", "1,2,4", "comma-separated per-shard client counts (writers; readers match)")
+	keys := flag.Int("keys", 32, "keyspace size")
+	ops := flag.Int("ops", 128, "total operations across the keyspace per client-count setting")
+	readFrac := flag.Float64("reads", 0.3, "fraction of operations that are reads")
+	valueBytes := flag.Int("valuebytes", 128, "bytes per written value")
+	seed := flag.Int64("seed", 1, "workload and fault seed")
+	faultSpec := flag.String("faults", "", "drop/delay fault scenario applied to every shard (lossy=P, delay=MIN:MAX, composable with +)")
+	stepDur := flag.Duration("stepdur", 100*time.Microsecond, "wall-clock duration of one fault delay step")
+	opTimeout := flag.Duration("optimeout", 5*time.Second, "per-operation completion timeout")
+	flag.Parse()
+
+	clients, err := parseClients(*clientsFlag)
+	if err != nil {
+		return err
+	}
+	cfg := shmem.LiveConfig{StepDur: *stepDur, OpTimeout: *opTimeout}
+
+	fmt.Printf("live load        : %s, %d shards x (N=%d f=%d), %d keys, %d ops/setting, seed %d\n",
+		*alg, *shards, *n, *f, *keys, *ops, *seed)
+	fmt.Printf("fault scenario   : %s\n", orNone(*faultSpec))
+	fmt.Println()
+	fmt.Printf("%-8s %-7s %-10s %-8s %-10s %-12s %-12s %-10s\n",
+		"clients", "shards", "completed", "pending", "ops/sec", "p50", "p99", "verdict")
+
+	for _, c := range clients {
+		pt, err := runPoint(*alg, *n, *f, *shards, c, *keys, *ops, *readFrac, *valueBytes, *seed, *faultSpec, cfg)
+		if err != nil {
+			return err
+		}
+		verdict := "ok"
+		if pt.quiescent > 0 {
+			verdict = fmt.Sprintf("%d quiescent", pt.quiescent)
+		}
+		fmt.Printf("%-8d %-7d %-10d %-8d %-10.0f %-12v %-12v %-10s\n",
+			pt.clients, *shards, pt.completed, pt.pending, pt.opsPerSec,
+			pt.p50.Round(time.Microsecond), pt.p99.Round(time.Microsecond), verdict)
+	}
+	return nil
+}
+
+// runPoint runs one client-count setting: the keyspace load is partitioned
+// across the shards, each shard gets a fresh deployment with `clients`
+// writers and readers, and all shards run concurrently on the live runtime.
+func runPoint(alg string, n, f, shards, clients, keys, ops int, readFrac float64, valueBytes int, seed int64, faultSpec string, cfg shmem.LiveConfig) (gridPoint, error) {
+	var faultSpecs []string
+	if faultSpec != "" {
+		faultSpecs = []string{faultSpec}
+	}
+	multi := shmem.MultiWorkloadSpec{
+		Seed:         seed,
+		Keys:         keys,
+		Ops:          ops,
+		ReadFraction: readFrac,
+		TargetNu:     clients,
+		ValueBytes:   valueBytes,
+		Faults:       faultSpecs,
+	}
+	loads, err := multi.Partition(shards)
+	if err != nil {
+		return gridPoint{}, err
+	}
+
+	pt := gridPoint{clients: clients}
+	results := make([]*shmem.LiveResult, shards)
+	errs := make([]error, shards)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for i := range loads {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			cl, cond, err := shmem.DeployAlgorithmSized(alg, n, f, clients, clients)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			spec := loads[i].Spec(multi)
+			plan, err := multi.ShardFaultPlan(loads[i].Shard, n, f)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			spec.FaultPlan = plan
+			res, err := shmem.RunLiveWorkload(cl, spec, cfg)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			if err := res.AsWorkload().CheckConsistency(cond); err != nil {
+				errs[i] = fmt.Errorf("shard %d consistency (%s): %w", i, cond, err)
+				return
+			}
+			results[i] = res
+		}(i)
+	}
+	wg.Wait()
+	pt.elapsed = time.Since(start)
+	for i, err := range errs {
+		if err != nil {
+			return gridPoint{}, fmt.Errorf("clients=%d shard %d: %w", clients, i, err)
+		}
+	}
+
+	var lats []time.Duration
+	for _, res := range results {
+		pt.completed += res.CompletedOps
+		pt.pending += res.PendingOps
+		if res.Quiescent {
+			pt.quiescent++
+		}
+		lats = append(lats, res.Latencies...)
+	}
+	if secs := pt.elapsed.Seconds(); secs > 0 {
+		pt.opsPerSec = float64(pt.completed) / secs
+	}
+	pt.p50 = shmem.LatencyPercentile(lats, 0.50)
+	pt.p99 = shmem.LatencyPercentile(lats, 0.99)
+	return pt, nil
+}
+
+// parseClients parses the comma-separated client-count sweep.
+func parseClients(s string) ([]int, error) {
+	parts := strings.Split(s, ",")
+	out := make([]int, 0, len(parts))
+	for _, p := range parts {
+		v, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil || v < 1 {
+			return nil, fmt.Errorf("bad client count %q (want positive integers, e.g. -clients 1,2,4)", p)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func orNone(s string) string {
+	if s == "" {
+		return "none"
+	}
+	return s
+}

@@ -1,0 +1,61 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/cmdtest"
+)
+
+// TestSmoke runs the client-count sweep end to end on the live runtime and
+// checks the acceptance shape: one result row per client count reporting
+// throughput and latency percentiles.
+func TestSmoke(t *testing.T) {
+	out := cmdtest.RunWith(t, run, "liveload",
+		"-clients", "1,2,4", "-ops", "48", "-shards", "2", "-keys", "16")
+	for _, want := range []string{"clients", "ops/sec", "p50", "p99"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	rows := 0
+	for _, line := range strings.Split(out, "\n") {
+		if strings.HasPrefix(line, "1 ") || strings.HasPrefix(line, "2 ") || strings.HasPrefix(line, "4 ") {
+			rows++
+			if !strings.Contains(line, "ok") {
+				t.Errorf("row without ok verdict: %q", line)
+			}
+		}
+	}
+	if rows != 3 {
+		t.Errorf("want 3 client-count rows, got %d:\n%s", rows, out)
+	}
+}
+
+// TestSmokeWithDelayFaults sweeps under a delay plan: ops must still all
+// complete (delays only slow links) and the sweep must stay consistent.
+func TestSmokeWithDelayFaults(t *testing.T) {
+	out := cmdtest.RunWith(t, run, "liveload",
+		"-clients", "1,2", "-ops", "32", "-shards", "2", "-keys", "8",
+		"-faults", "delay=1:8")
+	if !strings.Contains(out, "delay=1:8") {
+		t.Errorf("fault spec not echoed:\n%s", out)
+	}
+	if strings.Contains(out, "quiescent") {
+		t.Errorf("pure delay sweep lost liveness:\n%s", out)
+	}
+}
+
+// TestRejectsBadFlags pins eager CLI validation.
+func TestRejectsBadFlags(t *testing.T) {
+	for _, args := range [][]string{
+		{"liveload", "-clients", "0"},
+		{"liveload", "-clients", "two"},
+		{"liveload", "-faults", "partition@40:10"}, // impossible window: parse-time error
+		{"liveload", "-faults", "crash-f"},         // step-indexed: live rejects eagerly
+	} {
+		if err := cmdtest.RunErr(t, run, args...); err == nil {
+			t.Errorf("args %v: run succeeded, want error", args[1:])
+		}
+	}
+}

@@ -44,6 +44,7 @@ func run() error {
 	crashes := flag.Int("crashes", 0, "per-shard random server crashes")
 	seed := flag.Int64("seed", 1, "workload seed")
 	workers := flag.Int("workers", 0, "parallel shard workers (0 = GOMAXPROCS)")
+	backend := flag.String("backend", "sim", "execution backend: "+strings.Join(shmem.StoreBackends(), " | ")+" (fingerprints are sim-only)")
 	faultSpecs := flag.String("faults", "", "comma-separated fault scenarios, cycled per shard (see cmd/faultsim); grammar: "+shmem.FaultScenarioUsage())
 	flag.Parse()
 
@@ -58,6 +59,7 @@ func run() error {
 		Servers:    *n,
 		F:          *f,
 		Workers:    *workers,
+		Backend:    *backend,
 		Workload: shmem.MultiWorkloadSpec{
 			Seed:         *seed,
 			Keys:         *keys,

@@ -61,3 +61,13 @@ func TestRunMixedAlgorithms(t *testing.T) {
 		t.Errorf("mixed algorithms missing from table:\n%s", out)
 	}
 }
+
+// TestRunLiveBackend drives the store CLI on the live concurrent backend:
+// the same table shape, every shard consistency-checked on real goroutines.
+func TestRunLiveBackend(t *testing.T) {
+	out := runWith(t, "shardsim", "-backend", "live", "-shards", "4",
+		"-algo", "cas", "-keys", "16", "-ops", "48", "-valuebytes", "64")
+	if !strings.Contains(out, "TOTAL") || !strings.Contains(out, "ok") {
+		t.Errorf("live backend output malformed:\n%s", out)
+	}
+}

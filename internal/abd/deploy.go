@@ -19,8 +19,8 @@ type Options struct {
 // Deploy builds an ABD register cluster with the conventional node-id
 // layout.
 func Deploy(opts Options) (*cluster.Cluster, error) {
-	if opts.Writers < 1 || opts.Readers < 0 {
-		return nil, fmt.Errorf("abd: need at least one writer (writers=%d readers=%d)", opts.Writers, opts.Readers)
+	if err := cluster.ValidateRoleCounts("abd", opts.Writers, opts.Readers); err != nil {
+		return nil, err
 	}
 	if !opts.MultiWriter && opts.Writers > 1 {
 		return nil, fmt.Errorf("abd: SWMR mode admits exactly one writer, got %d", opts.Writers)

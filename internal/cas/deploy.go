@@ -1,8 +1,6 @@
 package cas
 
 import (
-	"fmt"
-
 	"repro/internal/cluster"
 	"repro/internal/ioa"
 )
@@ -19,8 +17,8 @@ type Options struct {
 
 // Deploy builds a CAS register cluster with the conventional node-id layout.
 func Deploy(opts Options) (*cluster.Cluster, error) {
-	if opts.Writers < 1 || opts.Readers < 0 {
-		return nil, fmt.Errorf("cas: need at least one writer (writers=%d readers=%d)", opts.Writers, opts.Readers)
+	if err := cluster.ValidateRoleCounts("cas", opts.Writers, opts.Readers); err != nil {
+		return nil, err
 	}
 	serverIDs := cluster.ServerIDs(opts.Servers)
 	cfg := Config{Servers: serverIDs, F: opts.F, K: opts.K, GCDepth: opts.GCDepth}

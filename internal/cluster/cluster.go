@@ -67,6 +67,38 @@ func ReaderIDs(n int) []ioa.NodeID {
 	return out
 }
 
+// ValidateRoleCounts checks a deployment's requested client counts; every
+// algorithm deploy (abd, cas, coded) applies the same rule, so it lives
+// here. The algorithm name only decorates the error.
+func ValidateRoleCounts(algorithm string, writers, readers int) error {
+	if writers < 1 || readers < 0 {
+		return fmt.Errorf("%s: need at least one writer and no negative reader count (writers=%d readers=%d)",
+			algorithm, writers, readers)
+	}
+	return nil
+}
+
+// Automaton returns the node automaton registered under id. Execution
+// backends other than the simulator (see internal/live) pull the automata
+// out of the deployment through this: the System is only the registry, and
+// the backend drives each automaton itself.
+func (c *Cluster) Automaton(id ioa.NodeID) (ioa.Node, error) {
+	return c.Sys.Node(id)
+}
+
+// ClientAutomaton returns the client automaton registered under id.
+func (c *Cluster) ClientAutomaton(id ioa.NodeID) (ioa.Client, error) {
+	n, err := c.Sys.Node(id)
+	if err != nil {
+		return nil, err
+	}
+	cl, ok := n.(ioa.Client)
+	if !ok {
+		return nil, fmt.Errorf("cluster: node %d is not a client", id)
+	}
+	return cl, nil
+}
+
 // Validate performs basic shape checks.
 func (c *Cluster) Validate() error {
 	if c.Sys == nil {

@@ -11,10 +11,10 @@ import (
 	"testing"
 )
 
-// RunWith executes run with fresh global flags and the given command line
-// (args[0] is the command name) and returns the captured stdout. The test
-// fails if run returns an error.
-func RunWith(t *testing.T, run func() error, args ...string) string {
+// capture executes run with fresh global flags and the given command line
+// (args[0] is the command name), returning the captured stdout and run's
+// error.
+func capture(t *testing.T, run func() error, args []string) (string, error) {
 	t.Helper()
 	flag.CommandLine = flag.NewFlagSet(args[0], flag.ContinueOnError)
 	os.Args = args
@@ -36,8 +36,25 @@ func RunWith(t *testing.T, run func() error, args ...string) string {
 	w.Close()
 	os.Stdout = old
 	<-done
-	if runErr != nil {
-		t.Fatalf("run() failed: %v", runErr)
+	return buf.String(), runErr
+}
+
+// RunWith executes run under capture and returns the captured stdout. The
+// test fails if run returns an error.
+func RunWith(t *testing.T, run func() error, args ...string) string {
+	t.Helper()
+	out, err := capture(t, run, args)
+	if err != nil {
+		t.Fatalf("run() failed: %v", err)
 	}
-	return buf.String()
+	return out
+}
+
+// RunErr executes run under capture and returns its error instead of
+// failing the test — for asserting a command's eager flag/spec validation.
+// Stdout is discarded.
+func RunErr(t *testing.T, run func() error, args ...string) error {
+	t.Helper()
+	_, err := capture(t, run, args)
+	return err
 }

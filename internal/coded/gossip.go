@@ -1,8 +1,6 @@
 package coded
 
 import (
-	"fmt"
-
 	"repro/internal/cluster"
 	"repro/internal/ioa"
 	"repro/internal/register"
@@ -84,8 +82,8 @@ func DeployGossip(opts Options) (*cluster.Cluster, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	if opts.Readers < 0 {
-		return nil, fmt.Errorf("coded: negative reader count")
+	if err := cluster.ValidateRoleCounts("twoversion-gossip", 1, opts.Readers); err != nil {
+		return nil, err
 	}
 	sys := ioa.NewSystem()
 	for i, id := range serverIDs {

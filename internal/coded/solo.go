@@ -334,6 +334,9 @@ func DeploySolo(opts SoloOptions) (*cluster.Cluster, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
+	if err := cluster.ValidateRoleCounts("solo", 1, opts.Readers); err != nil {
+		return nil, err
+	}
 	sys := ioa.NewSystem()
 	for _, id := range serverIDs {
 		if err := sys.AddServer(NewSoloServer(id)); err != nil {

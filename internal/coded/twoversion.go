@@ -462,8 +462,8 @@ func Deploy(opts Options) (*cluster.Cluster, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	if opts.Readers < 0 {
-		return nil, fmt.Errorf("coded: negative reader count")
+	if err := cluster.ValidateRoleCounts("twoversion", 1, opts.Readers); err != nil {
+		return nil, err
 	}
 	sys := ioa.NewSystem()
 	for _, id := range serverIDs {

@@ -18,9 +18,12 @@ func TestParseRoundTrip(t *testing.T) {
 	}
 	specs = append(specs,
 		"crash-f@30:900",
-		"partition@10:500:2",
+		"crash-f@0:25", // crash at step zero with recovery
+		"crash-majority@10:40",
+		"partition@10:500:2", // explicit isolate count
 		"lossy=0.02+delay=1:20",
 		"crash-majority@5",
+		"delay=0:0",
 	)
 	for _, spec := range specs {
 		sc, err := faults.Parse(spec)
@@ -49,19 +52,83 @@ func TestParseErrors(t *testing.T) {
 		"lossy=1.5",
 		"lossy=x",
 		"partition@10",     // needs start and heal
-		"partition@50:10",  // heal before start (caught by Validate via Build)
+		"partition@50:10",  // heal before start
 		"delay=5",          // needs min and max
 		"crash-f@-3",       // negative step
 		"lossy=0.1+bogus",  // bad composition term
 		"partition@10:+20", // empty term
 	} {
-		sc, err := faults.Parse(spec)
-		if err != nil {
+		if _, err := faults.Parse(spec); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error at parse time", spec)
+		}
+	}
+}
+
+// TestParseRejectsImpossibleWindows pins the eager window validation per
+// grammar production: specs whose parameters can never build (recovery
+// before or at the crash step, heal before or at the partition start,
+// inverted delay range) must fail at Parse time — a CLI user of
+// `shardsim -faults` or `faultsim` gets the error immediately, not from
+// Scenario.Build in the middle of a run. Boundary-valid neighbours of each
+// bad spec must keep parsing.
+func TestParseRejectsImpossibleWindows(t *testing.T) {
+	bad := []struct{ spec, wantErr string }{
+		{"crash-f@50:10", "recovery step 10 not after crash step 50"},
+		{"crash-f@50:50", "recovery step 50 not after crash step 50"},
+		{"crash-majority@50:10", "recovery step 10 not after crash step 50"},
+		{"partition@40:10", "heal step 10 not after start step 40"},
+		{"partition@40:40", "heal step 40 not after start step 40"},
+		{"partition@40:10:2", "heal step 10 not after start step 40"},
+		{"delay=24:1", "delay range [24,1] invalid"},
+		{"lossy=0.02+partition@40:10", "heal step 10 not after start step 40"},
+		{"delay=1:24+crash-f@9:3", "recovery step 3 not after crash step 9"},
+	}
+	for _, tc := range bad {
+		_, err := faults.Parse(tc.spec)
+		if err == nil {
+			t.Errorf("Parse(%q) succeeded, want parse-time error", tc.spec)
 			continue
 		}
-		// Some malformed windows only surface at Build time.
+		if !strings.Contains(err.Error(), tc.wantErr) {
+			t.Errorf("Parse(%q) error %q, want it to contain %q", tc.spec, err, tc.wantErr)
+		}
+	}
+	good := []string{
+		"crash-f@50:51",
+		"crash-f@0:25",
+		"crash-majority@50:51",
+		"partition@40:41",
+		"partition@40:41:1",
+		"delay=24:24",
+		"lossy=0.02+partition@40:400",
+	}
+	for _, spec := range good {
+		sc, err := faults.Parse(spec)
+		if err != nil {
+			t.Errorf("Parse(%q): %v, want boundary-valid spec to parse", spec, err)
+			continue
+		}
+		if _, err := sc.Build(5, 1, 1); err != nil {
+			t.Errorf("Build(%q): %v", spec, err)
+		}
+	}
+}
+
+// TestBuildValidatesProgrammaticScenarios checks the same eager validation
+// guards scenario values constructed in code, not just parsed specs.
+func TestBuildValidatesProgrammaticScenarios(t *testing.T) {
+	for _, sc := range []faults.Scenario{
+		faults.CrashServers{Step: 50, RecoverStep: 10},
+		faults.Partition{Start: 40, Heal: 10},
+		faults.Delay{Min: 24, Max: 1},
+		faults.Lossy{P: 1.5},
+		faults.Compose{faults.Lossy{P: 0.1}, faults.Partition{Start: 9, Heal: 3}},
+	} {
+		if err := sc.Validate(); err == nil {
+			t.Errorf("%s.Validate() = nil, want error", sc)
+		}
 		if _, err := sc.Build(5, 1, 1); err == nil {
-			t.Errorf("Parse+Build(%q) succeeded, want error", spec)
+			t.Errorf("%s.Build() succeeded, want error", sc)
 		}
 	}
 }

@@ -15,6 +15,11 @@ import (
 type Scenario interface {
 	// String renders the scenario in the grammar Parse accepts.
 	String() string
+	// Validate checks every parameter that does not depend on the
+	// deployment size, so an impossible scenario (recovery before crash,
+	// heal before partition start, inverted delay range) fails when it is
+	// parsed or constructed — not later from Build inside a run.
+	Validate() error
 	// Build expands the scenario into a plan for an (n, f) deployment.
 	Build(n, f int, seed int64) (*Plan, error)
 }
@@ -52,8 +57,27 @@ func (c CrashServers) String() string {
 	return name
 }
 
+// Validate implements Scenario: a scheduled recovery must land strictly
+// after its crash (the stagger offsets shift both by the same amount, so the
+// base steps alone decide).
+func (c CrashServers) Validate() error {
+	if c.Extra < 0 {
+		return fmt.Errorf("faults: %s: negative extra crash count %d", c, c.Extra)
+	}
+	if c.Step < 0 || c.RecoverStep < 0 {
+		return fmt.Errorf("faults: %s: negative step", c)
+	}
+	if c.RecoverStep != 0 && c.RecoverStep <= c.Step {
+		return fmt.Errorf("faults: %s: recovery step %d not after crash step %d", c, c.RecoverStep, c.Step)
+	}
+	return nil
+}
+
 // Build implements Scenario.
 func (c CrashServers) Build(n, f int, seed int64) (*Plan, error) {
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
 	count := f + c.Extra
 	if count < 0 || count > n {
 		return nil, fmt.Errorf("faults: cannot crash %d of %d servers", count, n)
@@ -87,8 +111,24 @@ func (p Partition) String() string {
 	return fmt.Sprintf("partition@%d:%d", p.Start, p.Heal)
 }
 
+// Validate implements Scenario: the heal step must lie strictly after the
+// start, or the outage window [Start, Heal) is empty and the scenario can
+// never build.
+func (p Partition) Validate() error {
+	if p.Start < 0 || p.Isolate < 0 {
+		return fmt.Errorf("faults: %s: negative parameter", p)
+	}
+	if p.Heal <= p.Start {
+		return fmt.Errorf("faults: %s: heal step %d not after start step %d", p, p.Heal, p.Start)
+	}
+	return nil
+}
+
 // Build implements Scenario.
 func (p Partition) Build(n, f int, seed int64) (*Plan, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
 	isolate := p.Isolate
 	if isolate == 0 {
 		isolate = f + 1
@@ -110,8 +150,19 @@ type Lossy struct{ P float64 }
 
 func (l Lossy) String() string { return fmt.Sprintf("lossy=%g", l.P) }
 
+// Validate implements Scenario.
+func (l Lossy) Validate() error {
+	if l.P < 0 || l.P > 1 {
+		return fmt.Errorf("faults: %s: probability outside [0,1]", l)
+	}
+	return nil
+}
+
 // Build implements Scenario.
 func (l Lossy) Build(n, f int, seed int64) (*Plan, error) {
+	if err := l.Validate(); err != nil {
+		return nil, err
+	}
 	plan := &Plan{Seed: seed, Rules: []Rule{{DropProb: l.P}}}
 	return plan, plan.Validate()
 }
@@ -122,8 +173,19 @@ type Delay struct{ Min, Max int }
 
 func (d Delay) String() string { return fmt.Sprintf("delay=%d:%d", d.Min, d.Max) }
 
+// Validate implements Scenario.
+func (d Delay) Validate() error {
+	if d.Min < 0 || d.Max < d.Min {
+		return fmt.Errorf("faults: %s: delay range [%d,%d] invalid", d, d.Min, d.Max)
+	}
+	return nil
+}
+
 // Build implements Scenario.
 func (d Delay) Build(n, f int, seed int64) (*Plan, error) {
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
 	plan := &Plan{Seed: seed, Rules: []Rule{{DelayMin: d.Min, DelayMax: d.Max}}}
 	return plan, plan.Validate()
 }
@@ -138,6 +200,19 @@ func (c Compose) String() string {
 		parts[i] = s.String()
 	}
 	return strings.Join(parts, "+")
+}
+
+// Validate implements Scenario.
+func (c Compose) Validate() error {
+	if len(c) == 0 {
+		return fmt.Errorf("faults: empty composition")
+	}
+	for _, s := range c {
+		if err := s.Validate(); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // Build implements Scenario.
@@ -226,7 +301,7 @@ func Parse(spec string) (Scenario, error) {
 		if len(steps) > 1 {
 			sc.RecoverStep = steps[1]
 		}
-		return sc, nil
+		return sc, sc.Validate()
 	case "partition":
 		steps, err := parseInts(args, 2, 3)
 		if err != nil {
@@ -236,7 +311,7 @@ func Parse(spec string) (Scenario, error) {
 		if len(steps) > 2 {
 			sc.Isolate = steps[2]
 		}
-		return sc, nil
+		return sc, sc.Validate()
 	case "lossy":
 		p, err := strconv.ParseFloat(args, 64)
 		if err != nil || p < 0 || p > 1 {
@@ -248,7 +323,8 @@ func Parse(spec string) (Scenario, error) {
 		if err != nil {
 			return nil, fmt.Errorf("faults: delay: %w", err)
 		}
-		return Delay{Min: steps[0], Max: steps[1]}, nil
+		sc := Delay{Min: steps[0], Max: steps[1]}
+		return sc, sc.Validate()
 	default:
 		return nil, fmt.Errorf("faults: unknown scenario %q (grammar: %s)", spec, Usage())
 	}

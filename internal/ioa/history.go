@@ -53,6 +53,46 @@ func NewHistory() *History {
 	return &History{open: make(map[NodeID]int)}
 }
 
+// HistoryFromOps builds a History from externally recorded operations — the
+// live runtime merges its per-client logs through this. Ops must be ordered
+// by InvokeStep; IDs are reassigned to slice order, and the open-operation
+// index and completed-write count are rebuilt so the result behaves exactly
+// like a kernel-recorded history. A client may have at most one pending
+// operation (the well-formedness condition of Section 3).
+func HistoryFromOps(ops []Op) (*History, error) {
+	h := NewHistory()
+	h.Ops = make([]Op, 0, len(ops))
+	lastEnd := make(map[NodeID]int, 8) // client -> RespondStep of its latest completed op
+	for i, op := range ops {
+		if i > 0 && op.InvokeStep < ops[i-1].InvokeStep {
+			return nil, fmt.Errorf("ioa: ops out of invocation order at index %d", i)
+		}
+		// Well-formedness: a client's operations are sequential — nothing
+		// may follow a pending op, and each op must begin no earlier than
+		// the previous one's response.
+		if prev, open := h.open[op.Client]; open {
+			return nil, fmt.Errorf("ioa: client %d has op %d after its pending op %d", op.Client, i, prev)
+		}
+		if end, seen := lastEnd[op.Client]; seen && op.InvokeStep < end {
+			return nil, fmt.Errorf("ioa: client %d op %d invoked at %d overlaps its previous op ending at %d", op.Client, i, op.InvokeStep, end)
+		}
+		op.ID = i
+		if op.Pending() {
+			h.open[op.Client] = i
+		} else {
+			if op.RespondStep < op.InvokeStep {
+				return nil, fmt.Errorf("ioa: op %d responds at %d before its invocation at %d", i, op.RespondStep, op.InvokeStep)
+			}
+			lastEnd[op.Client] = op.RespondStep
+			if op.Kind == OpWrite {
+				h.doneWrites++
+			}
+		}
+		h.Ops = append(h.Ops, op)
+	}
+	return h, nil
+}
+
 // clone returns a deep copy (Ops entries copied; value slices shared, they
 // are immutable by the kernel's message contract).
 func (h *History) clone() *History {

@@ -1,0 +1,95 @@
+package live_test
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/faults"
+	"repro/internal/live"
+	"repro/internal/store"
+	"repro/internal/workload"
+)
+
+// lossyDelayGrid filters the standard scenario library down to the points
+// both backends can execute: drop/delay rules (partitions and scheduled
+// crashes are step-indexed and simulator-only). The composed point stresses
+// rule overlay on both substrates.
+func lossyDelayGrid(t *testing.T) []string {
+	t.Helper()
+	grid := []string{"none"}
+	for _, sc := range faults.Library() {
+		spec := sc.String()
+		parsed, err := faults.Parse(spec)
+		if err != nil {
+			t.Fatalf("library spec %q does not parse: %v", spec, err)
+		}
+		if plan, err := parsed.Build(5, 1, 1); err != nil || live.PlanSupported(plan) != nil {
+			continue
+		}
+		grid = append(grid, spec)
+	}
+	if len(grid) < 3 {
+		t.Fatalf("library lost its lossy/delay points: %v", grid)
+	}
+	return append(grid, "lossy=0.02+delay=1:24")
+}
+
+// TestCrossBackendDifferential is the backend contract test: the same
+// workload.MultiSpec runs on the simulator and on the live runtime at every
+// lossy/delay grid point, and each backend's histories must pass the
+// algorithm's consistency condition (store.Run errors otherwise). The
+// simulator side additionally re-asserts its determinism oracle role — the
+// same seed fingerprints byte-identically at two worker counts — while the
+// live side is checked for safety, the only guarantee it makes.
+func TestCrossBackendDifferential(t *testing.T) {
+	for _, alg := range []string{store.AlgABDMW, store.AlgCAS} {
+		for _, spec := range lossyDelayGrid(t) {
+			alg, spec := alg, spec
+			t.Run(fmt.Sprintf("%s/%s", alg, spec), func(t *testing.T) {
+				t.Parallel()
+				opts := func(backend string, workers int) store.Options {
+					return store.Options{
+						Shards:     4,
+						Algorithms: []string{alg},
+						Servers:    5,
+						F:          1,
+						Workers:    workers,
+						Backend:    backend,
+						Workload: workload.MultiSpec{
+							Seed:         11,
+							Keys:         16,
+							Ops:          48,
+							ReadFraction: 0.4,
+							TargetNu:     2,
+							ValueBytes:   64,
+							Faults:       []string{spec},
+						},
+					}
+				}
+				simA, err := store.Run(opts(store.BackendSim, 1))
+				if err != nil {
+					t.Fatalf("sim backend: %v", err)
+				}
+				simB, err := store.Run(opts(store.BackendSim, 4))
+				if err != nil {
+					t.Fatalf("sim backend (4 workers): %v", err)
+				}
+				if a, b := simA.Fingerprint(), simB.Fingerprint(); a != b {
+					t.Errorf("simulator oracle broke: fingerprints differ across worker counts\n%s\n%s", a, b)
+				}
+				liveRes, err := store.Run(opts(store.BackendLive, 4))
+				if err != nil {
+					t.Fatalf("live backend: %v", err)
+				}
+				// Under pure delay (no loss) the live run must not lose
+				// liveness; under loss, quiescent shards are legitimate
+				// verdicts on either backend.
+				if spec == "none" || spec == "delay=1:24" {
+					if liveRes.QuiescentShards != 0 {
+						t.Errorf("live backend lost liveness under %q: %d quiescent shards", spec, liveRes.QuiescentShards)
+					}
+				}
+			})
+		}
+	}
+}

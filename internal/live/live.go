@@ -1,0 +1,318 @@
+// Package live executes register-emulation clusters on a real concurrent
+// runtime: every node automaton runs on its own goroutine with a buffered
+// mailbox, messages flow over channels the moment they are sent, and
+// wall-clock time replaces the simulator's discrete steps. The node automata
+// are exactly the ones `internal/abd`, `internal/cas` and `internal/coded`
+// deploy — the cluster is only the registry; this package clones the
+// automata out of it and drives them itself, so the same deployment runs
+// unchanged on either backend.
+//
+// The contract with the simulator backend (DESIGN.md section 8):
+//
+//   - The simulator is the determinism oracle: same seed, same schedule,
+//     byte-identical histories and fingerprints. The live runtime makes NO
+//     such promise — schedules here are an accident of goroutine timing, and
+//     two runs of the same spec produce different histories.
+//   - Safety is checked the same way on both: operations are recorded in
+//     per-client logs (mutex-free — each log is owned by its node's
+//     goroutine, ordered by a shared atomic clock) and merged into an
+//     ioa.History for the internal/consistency checkers. A history the live
+//     runtime produced must pass the same condition the algorithm guarantees
+//     on the simulator.
+//   - Faults: drop and delay rules of a faults.Plan are reused verbatim —
+//     MessageFate is consulted at send time with a global send sequence
+//     number, exactly as the kernel does, with delay steps scaled to wall
+//     time by Config.StepDur. Outage windows and scheduled crashes are
+//     defined in kernel steps and have no wall-clock meaning, so plans using
+//     them are rejected eagerly; those scenarios stay on the simulator.
+//   - Liveness is a verdict, not a hang: every operation carries a timeout,
+//     and a run whose operations time out under a fault plan reports
+//     Quiescent with the timed-out operations pending in the history (their
+//     effects may still land — the atomicity checker's standard completion
+//     semantics cover exactly this).
+package live
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/faults"
+	"repro/internal/ioa"
+)
+
+// Config tunes the live runtime. The zero value selects the defaults.
+type Config struct {
+	// StepDur converts a fault plan's delay steps into wall-clock time
+	// (default 100µs; delay=1:24 thus holds messages up to ~2.4ms).
+	StepDur time.Duration
+	// OpTimeout bounds each operation's completion (default 5s). A client
+	// whose operation times out is retired — its automaton may still be
+	// waiting on lost messages — and the operation stays pending in the
+	// history unless its response arrives before shutdown.
+	OpTimeout time.Duration
+	// Mailbox is the per-node buffered channel capacity (default 128).
+	// Overflow never blocks a node loop: excess sends complete from
+	// spawned goroutines.
+	Mailbox int
+}
+
+func (c Config) withDefaults() Config {
+	if c.StepDur <= 0 {
+		c.StepDur = 100 * time.Microsecond
+	}
+	if c.OpTimeout <= 0 {
+		c.OpTimeout = 5 * time.Second
+	}
+	if c.Mailbox <= 0 {
+		c.Mailbox = 128
+	}
+	return c
+}
+
+// PlanSupported reports whether a fault plan can run on the live runtime:
+// drop/delay rules only. Outage windows and scheduled crash/recovery events
+// are positioned in kernel steps, which have no wall-clock analogue here, so
+// they stay simulator-only; rejecting them eagerly keeps the error at setup
+// time instead of mid-run.
+func PlanSupported(p *faults.Plan) error {
+	if p == nil {
+		return nil
+	}
+	if len(p.Outages) > 0 || len(p.Crashes) > 0 {
+		return fmt.Errorf("live: fault plan schedules outages or crashes, which are step-indexed and simulator-only; the live runtime supports drop/delay rules")
+	}
+	return p.Validate()
+}
+
+// event is one mailbox entry: a message delivery, or (inv != nil) an
+// operation invocation injected by the driver. Both are handled on the
+// node's own goroutine, so automaton state is goroutine-confined.
+type event struct {
+	from ioa.NodeID
+	msg  ioa.Message
+	inv  *invokeEvent
+}
+
+type invokeEvent struct {
+	inv  ioa.Invocation
+	done chan struct{} // buffered 1; signaled when the response is recorded
+}
+
+// opRecord is one per-client log entry. InvokeTS/RespondTS come from the
+// runtime's atomic clock, whose modification order is consistent with real
+// time — so merged records preserve the real-time precedence relation the
+// consistency checkers test.
+type opRecord struct {
+	kind      ioa.OpKind
+	input     []byte
+	output    []byte
+	invokeTS  int64
+	respondTS int64 // -1 while pending
+}
+
+// nodeState is everything a node goroutine owns: the automaton clone, its
+// mailbox, the client op log and the server storage maxima. Only the node's
+// own goroutine touches these fields between start and join.
+type nodeState struct {
+	id   ioa.NodeID
+	node ioa.Node
+	mb   chan event
+
+	log         []opRecord
+	pendingIdx  int // index in log of the outstanding op; -1 when none
+	pendingDone chan struct{}
+
+	meter            ioa.StorageMeter // nil unless the node reports storage
+	curBits, maxBits int
+}
+
+// runtime drives one cluster's automata concurrently.
+type runtime struct {
+	cfg   Config
+	plan  *faults.Plan
+	nodes map[ioa.NodeID]*nodeState
+
+	clock atomic.Int64  // history timestamp source
+	seq   atomic.Uint64 // global send sequence number for MessageFate
+
+	drops, delayed, delaySteps atomic.Int64
+
+	done chan struct{}
+	wg   sync.WaitGroup
+}
+
+// newRuntime clones every automaton out of the cluster registry and prepares
+// (but does not start) a node goroutine per automaton. The cluster itself is
+// left untouched — its simulator System remains pristine.
+func newRuntime(cl *cluster.Cluster, plan *faults.Plan, cfg Config) (*runtime, error) {
+	if err := PlanSupported(plan); err != nil {
+		return nil, err
+	}
+	rt := &runtime{
+		cfg:   cfg,
+		plan:  plan,
+		nodes: make(map[ioa.NodeID]*nodeState),
+		done:  make(chan struct{}),
+	}
+	for _, id := range cl.Sys.NodeIDs() {
+		n, err := cl.Automaton(id)
+		if err != nil {
+			return nil, err
+		}
+		ns := &nodeState{
+			id:         id,
+			node:       n.Clone(),
+			mb:         make(chan event, cfg.Mailbox),
+			pendingIdx: -1,
+		}
+		ns.meter, _ = ns.node.(ioa.StorageMeter)
+		rt.nodes[id] = ns
+	}
+	return rt, nil
+}
+
+// start launches one goroutine per node.
+func (rt *runtime) start() {
+	for _, ns := range rt.nodes {
+		rt.wg.Add(1)
+		go rt.loop(ns)
+	}
+}
+
+// stop shuts the node goroutines down and joins them. After stop returns,
+// the per-node logs and storage maxima are safe to read from the caller.
+func (rt *runtime) stop() {
+	close(rt.done)
+	rt.wg.Wait()
+}
+
+func (rt *runtime) loop(ns *nodeState) {
+	defer rt.wg.Done()
+	for {
+		select {
+		case <-rt.done:
+			return
+		case ev := <-ns.mb:
+			rt.handle(ns, ev)
+		}
+	}
+}
+
+// handle processes one mailbox event on the node's goroutine. The response
+// timestamp is recorded before the effects' sends are dispatched: the
+// response is determined by then, so shrinking the recorded operation
+// interval to that point is sound for the checkers (the linearization point
+// of a quorum operation precedes response determination).
+func (rt *runtime) handle(ns *nodeState, ev event) {
+	var eff ioa.Effects
+	if ev.inv != nil {
+		ns.log = append(ns.log, opRecord{
+			kind:      ev.inv.inv.Kind,
+			input:     ev.inv.inv.Value,
+			invokeTS:  rt.clock.Add(1),
+			respondTS: -1,
+		})
+		ns.pendingIdx = len(ns.log) - 1
+		ns.pendingDone = ev.inv.done
+		eff = ns.node.(ioa.Client).Invoke(ev.inv.inv)
+	} else {
+		eff = ns.node.Deliver(ev.from, ev.msg)
+	}
+	if eff.Response != nil && ns.pendingIdx >= 0 {
+		rec := &ns.log[ns.pendingIdx]
+		rec.output = eff.Response.Value
+		rec.respondTS = rt.clock.Add(1)
+		ns.pendingIdx = -1
+		if ns.pendingDone != nil {
+			ns.pendingDone <- struct{}{} // buffered, single outstanding op: never blocks
+			ns.pendingDone = nil
+		}
+	}
+	for _, send := range eff.Sends {
+		rt.send(ns.id, send)
+	}
+	if ns.meter != nil {
+		bits := ns.meter.StorageBits()
+		ns.curBits = bits
+		if bits > ns.maxBits {
+			ns.maxBits = bits
+		}
+	}
+}
+
+// send applies the fault plan's drop/delay rules and routes the message to
+// the target mailbox. Sequence numbers are global, as in the kernel, so the
+// same plan seed draws from the same decision stream.
+func (rt *runtime) send(from ioa.NodeID, s ioa.Send) {
+	to := rt.nodes[s.To]
+	if to == nil {
+		return
+	}
+	ev := event{from: from, msg: s.Msg}
+	if rt.plan != nil {
+		seq := rt.seq.Add(1) - 1
+		drop, delay := rt.plan.MessageFate(from, s.To, seq, 0)
+		if drop {
+			rt.drops.Add(1)
+			return
+		}
+		if delay > 0 {
+			rt.delayed.Add(1)
+			rt.delaySteps.Add(int64(delay))
+			time.AfterFunc(time.Duration(delay)*rt.cfg.StepDur, func() {
+				select {
+				case <-rt.done:
+				default:
+					rt.post(to, ev)
+				}
+			})
+			return
+		}
+	}
+	rt.post(to, ev)
+}
+
+// post enqueues without ever blocking the caller: a full mailbox falls back
+// to a spawned goroutine, so node loops cannot deadlock on a cycle of full
+// buffers. Overflow reordering is fine — the channels are unordered in the
+// paper's model, and the simulator's delay rules reorder links anyway.
+func (rt *runtime) post(to *nodeState, ev event) {
+	select {
+	case to.mb <- ev:
+	default:
+		go func() {
+			select {
+			case to.mb <- ev:
+			case <-rt.done:
+			}
+		}()
+	}
+}
+
+// invoke injects an operation at a client and waits for its response or the
+// timeout. It reports whether the operation completed in time.
+func (rt *runtime) invoke(client ioa.NodeID, inv ioa.Invocation, timeout time.Duration) bool {
+	ns := rt.nodes[client]
+	done := make(chan struct{}, 1)
+	rt.post(ns, event{inv: &invokeEvent{inv: inv, done: done}})
+	t := time.NewTimer(timeout)
+	defer t.Stop()
+	select {
+	case <-done:
+		return true
+	case <-t.C:
+		return false
+	}
+}
+
+// faultStats snapshots the fault counters in kernel form.
+func (rt *runtime) faultStats() ioa.FaultStats {
+	return ioa.FaultStats{
+		Drops:           int(rt.drops.Load()),
+		DelayedMessages: int(rt.delayed.Load()),
+		DelayStepsTotal: int(rt.delaySteps.Load()),
+	}
+}

@@ -1,0 +1,168 @@
+package live_test
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/consistency"
+	"repro/internal/faults"
+	"repro/internal/live"
+	"repro/internal/store"
+	"repro/internal/workload"
+)
+
+func deploy(t *testing.T, alg string, n, f, writers, readers int) (*cluster.Cluster, string) {
+	t.Helper()
+	cl, cond, err := store.DeployAlgorithmSized(alg, n, f, writers, readers)
+	if err != nil {
+		t.Fatalf("deploy %s: %v", alg, err)
+	}
+	return cl, cond
+}
+
+func check(t *testing.T, alg, cond string, res *live.Result) {
+	t.Helper()
+	var err error
+	switch cond {
+	case "atomic":
+		err = consistency.CheckAtomic(res.History, nil)
+	case "regular":
+		err = consistency.CheckRegular(res.History, nil)
+	default:
+		t.Fatalf("unknown condition %q", cond)
+	}
+	if err != nil {
+		t.Errorf("%s live history not %s: %v", alg, cond, err)
+	}
+}
+
+// TestLiveRunChecksConsistency drives each multi-writer algorithm on the
+// live runtime and verifies the merged history passes the algorithm's
+// consistency condition — the backend contract's safety half.
+func TestLiveRunChecksConsistency(t *testing.T) {
+	for _, alg := range []string{store.AlgABDMW, store.AlgCAS, store.AlgCASGC} {
+		alg := alg
+		t.Run(alg, func(t *testing.T) {
+			t.Parallel()
+			cl, cond := deploy(t, alg, 5, 1, 3, 3)
+			res, err := live.Run(cl, workload.Spec{
+				Writes:     24,
+				Reads:      24,
+				TargetNu:   3,
+				ValueBytes: 64,
+			})
+			if err != nil {
+				t.Fatalf("live.Run: %v", err)
+			}
+			if res.CompletedOps != 48 {
+				t.Fatalf("completed %d ops, want 48", res.CompletedOps)
+			}
+			if res.Quiescent || res.PendingOps != 0 {
+				t.Fatalf("fault-free run reported quiescent=%t pending=%d", res.Quiescent, res.PendingOps)
+			}
+			if got := len(res.History.Ops); got != 48 {
+				t.Fatalf("history has %d ops, want 48", got)
+			}
+			if len(res.Latencies) != 48 || res.OpsPerSec <= 0 {
+				t.Fatalf("latency/throughput not measured: %d latencies, %v ops/sec", len(res.Latencies), res.OpsPerSec)
+			}
+			if res.Storage.MaxTotalBits <= 0 || res.Storage.MaxServerBits <= 0 {
+				t.Fatalf("storage not metered: %+v", res.Storage)
+			}
+			if res.PeakActiveWrites < 1 || res.PeakActiveWrites > 3 {
+				t.Fatalf("peak active writes %d outside [1,3]", res.PeakActiveWrites)
+			}
+			check(t, alg, cond, res)
+		})
+	}
+}
+
+// TestLiveDelayRulesApply runs under a pure delay plan and checks the delay
+// counters moved while the history stays atomic and complete.
+func TestLiveDelayRulesApply(t *testing.T) {
+	cl, cond := deploy(t, store.AlgCAS, 5, 1, 2, 2)
+	plan, err := faults.Delay{Min: 1, Max: 8}.Build(5, 1, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := live.Run(cl, workload.Spec{
+		Writes:     16,
+		Reads:      16,
+		TargetNu:   2,
+		ValueBytes: 64,
+		FaultPlan:  plan,
+	})
+	if err != nil {
+		t.Fatalf("live.Run: %v", err)
+	}
+	if res.Faults.DelayedMessages == 0 || res.Faults.DelayStepsTotal == 0 {
+		t.Errorf("delay plan applied no delays: %+v", res.Faults)
+	}
+	if res.Quiescent {
+		t.Errorf("pure delay run lost liveness: %d pending", res.PendingOps)
+	}
+	check(t, store.AlgCAS, cond, res)
+}
+
+// TestLiveRejectsSimulatorOnlyPlans pins the eager validation: step-indexed
+// outage and crash schedules, and the random crash budget, are simulator
+// constructs and must fail before any goroutine starts.
+func TestLiveRejectsSimulatorOnlyPlans(t *testing.T) {
+	cl, _ := deploy(t, store.AlgCAS, 5, 1, 1, 1)
+	for name, plan := range map[string]*faults.Plan{
+		"partition": {Outages: []faults.Outage{{Start: 10, End: 20}}},
+		"crash":     {Crashes: []faults.Crash{{Node: 1, Step: 5}}},
+	} {
+		_, err := live.Run(cl, workload.Spec{Writes: 1, TargetNu: 1, ValueBytes: 8, FaultPlan: plan})
+		if err == nil || !strings.Contains(err.Error(), "simulator-only") {
+			t.Errorf("%s plan: err = %v, want eager simulator-only rejection", name, err)
+		}
+	}
+	_, err := live.Run(cl, workload.Spec{Writes: 1, TargetNu: 1, ValueBytes: 8, Crashes: 1})
+	if err == nil || !strings.Contains(err.Error(), "simulator-only") {
+		t.Errorf("crash budget: err = %v, want eager rejection", err)
+	}
+}
+
+// TestLiveLossyTimeoutIsVerdict forces every client-bound message to drop:
+// operations must time out, surface as a Quiescent verdict (not a hang or
+// an error), and the empty completed history still checks atomic.
+func TestLiveLossyTimeoutIsVerdict(t *testing.T) {
+	cl, _ := deploy(t, store.AlgCAS, 5, 1, 1, 1)
+	plan := &faults.Plan{Seed: 3, Rules: []faults.Rule{{DropProb: 1}}}
+	res, err := live.RunConfig(cl, workload.Spec{
+		Writes:     2,
+		Reads:      1,
+		TargetNu:   1,
+		ValueBytes: 8,
+		FaultPlan:  plan,
+	}, live.Config{OpTimeout: 50 * time.Millisecond})
+	if err != nil {
+		t.Fatalf("live.RunConfig: %v", err)
+	}
+	if !res.Quiescent || res.PendingOps == 0 {
+		t.Fatalf("total loss should be a quiescent verdict: quiescent=%t pending=%d", res.Quiescent, res.PendingOps)
+	}
+	if err := consistency.CheckAtomic(res.History, nil); err != nil {
+		t.Errorf("partial history not atomic: %v", err)
+	}
+}
+
+// TestLivePercentile pins the nearest-rank percentile helper.
+func TestLivePercentile(t *testing.T) {
+	ds := []time.Duration{4, 1, 3, 2} // unsorted on purpose
+	cases := []struct {
+		p    float64
+		want time.Duration
+	}{{0.5, 2}, {0.99, 4}, {1, 4}, {0.01, 1}}
+	for _, tc := range cases {
+		if got := live.Percentile(ds, tc.p); got != tc.want {
+			t.Errorf("Percentile(%v) = %v, want %v", tc.p, got, tc.want)
+		}
+	}
+	if got := live.Percentile(nil, 0.5); got != 0 {
+		t.Errorf("Percentile(nil) = %v, want 0", got)
+	}
+}

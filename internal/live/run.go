@@ -1,0 +1,266 @@
+package live
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/ioa"
+	"repro/internal/register"
+	"repro/internal/workload"
+)
+
+// Result reports a live run: the merged history and safety-relevant fields
+// mirror workload.Result (AsWorkload converts), plus the wall-clock
+// throughput and per-operation latencies only a concurrent runtime can
+// measure.
+type Result struct {
+	// History is the merged per-client operation log, ordered by the
+	// runtime's atomic clock; timed-out operations appear pending.
+	History *ioa.History
+	// Storage reports per-server storage maxima. MaxTotalBits is the sum
+	// of the per-server maxima — an upper estimate of the simulator's
+	// step-accurate total high-water mark, since no global snapshot exists
+	// in a concurrent run.
+	Storage ioa.StorageReport
+	// PeakActiveWrites is the measured maximum of concurrently in-flight
+	// writes (the execution's ν).
+	PeakActiveWrites int
+	// Log2V and NormalizedTotal normalize storage as in workload.Result.
+	Log2V           float64
+	NormalizedTotal float64
+	// Quiescent reports that some operations never completed (possible
+	// only under a fault plan; fault-free timeouts are errors).
+	Quiescent bool
+	// PendingOps counts operations still pending at shutdown.
+	PendingOps int
+	// Faults aggregates the drop/delay events the runtime applied.
+	Faults ioa.FaultStats
+	// Elapsed, OpsPerSec, CompletedOps and Latencies measure the run:
+	// Latencies holds one wall-clock duration per operation that completed
+	// within its timeout, in no particular order.
+	Elapsed      time.Duration
+	OpsPerSec    float64
+	CompletedOps int
+	Latencies    []time.Duration
+}
+
+// AsWorkload converts to the simulator backend's result shape, so the store
+// engine aggregates either backend's shards uniformly.
+func (r *Result) AsWorkload() *workload.Result {
+	return &workload.Result{
+		History:          r.History,
+		Storage:          r.Storage,
+		PeakActiveWrites: r.PeakActiveWrites,
+		Log2V:            r.Log2V,
+		NormalizedTotal:  r.NormalizedTotal,
+		Quiescent:        r.Quiescent,
+		Faults:           r.Faults,
+	}
+}
+
+// LatencyPercentile returns the p-th percentile (0 < p <= 1) of the
+// completed-operation latencies, or 0 when none completed.
+func (r *Result) LatencyPercentile(p float64) time.Duration {
+	return Percentile(r.Latencies, p)
+}
+
+// Percentile returns the p-th percentile of the durations (nearest-rank on
+// a sorted copy), or 0 for an empty slice.
+func Percentile(ds []time.Duration, p float64) time.Duration {
+	if len(ds) == 0 {
+		return 0
+	}
+	sorted := append([]time.Duration(nil), ds...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	idx := int(math.Ceil(p*float64(len(sorted)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
+}
+
+// Run executes the workload spec on the cluster's automata under the live
+// concurrent runtime with the default Config. See RunConfig.
+func Run(cl *cluster.Cluster, spec workload.Spec) (*Result, error) {
+	return RunConfig(cl, spec, Config{})
+}
+
+// RunConfig executes the workload on the live runtime: min(TargetNu,
+// writers) writer goroutines and every reader goroutine issue operations
+// from shared budgets until the spec's counts are exhausted, one operation
+// in flight per client. Spec fields that parameterize the simulator's
+// discrete schedule (MaxSteps, Crashes) have no meaning here; a nonzero
+// Crashes budget is rejected eagerly, as are fault plans with step-indexed
+// outage/crash schedules (PlanSupported).
+func RunConfig(cl *cluster.Cluster, spec workload.Spec, cfg Config) (*Result, error) {
+	cfg = cfg.withDefaults()
+	if err := cl.Validate(); err != nil {
+		return nil, err
+	}
+	if err := spec.Validate(cl); err != nil {
+		return nil, err
+	}
+	if spec.Crashes != 0 {
+		return nil, fmt.Errorf("live: the random crash budget is simulator-only (step-indexed); got Crashes=%d", spec.Crashes)
+	}
+	if spec.Reads > 0 && len(cl.Readers) == 0 {
+		return nil, fmt.Errorf("live: %d reads requested but the cluster has no readers", spec.Reads)
+	}
+	// Clients must actually be client automata; the cluster helper checks
+	// the registered originals, which the runtime clones.
+	for _, id := range append(append([]ioa.NodeID(nil), cl.Writers...), cl.Readers...) {
+		if _, err := cl.ClientAutomaton(id); err != nil {
+			return nil, err
+		}
+	}
+	rt, err := newRuntime(cl, spec.FaultPlan, cfg)
+	if err != nil {
+		return nil, err
+	}
+	rt.start()
+
+	var writesLeft, readsLeft atomic.Int64
+	writesLeft.Store(int64(spec.Writes))
+	readsLeft.Store(int64(spec.Reads))
+	var nextVal atomic.Uint64
+	var activeWrites, peakWrites atomic.Int64
+
+	// driver issues operations sequentially at one client until its budget
+	// is exhausted or an operation times out (the client automaton is then
+	// stuck mid-protocol, so the driver retires it). Latencies are
+	// collected per driver — like the logs, mutex-free — and merged after
+	// the joins.
+	driver := func(client ioa.NodeID, kind ioa.OpKind, budget *atomic.Int64) []time.Duration {
+		var lats []time.Duration
+		for budget.Add(-1) >= 0 {
+			inv := ioa.Invocation{Kind: kind}
+			if kind == ioa.OpWrite {
+				inv.Value = register.MakeValue(spec.ValueBytes, nextVal.Add(1))
+				cur := activeWrites.Add(1)
+				for {
+					p := peakWrites.Load()
+					if cur <= p || peakWrites.CompareAndSwap(p, cur) {
+						break
+					}
+				}
+			}
+			start := time.Now()
+			ok := rt.invoke(client, inv, cfg.OpTimeout)
+			if kind == ioa.OpWrite {
+				activeWrites.Add(-1)
+			}
+			if !ok {
+				return lats
+			}
+			lats = append(lats, time.Since(start))
+		}
+		return lats
+	}
+
+	nWriters := spec.TargetNu
+	if nWriters > len(cl.Writers) {
+		nWriters = len(cl.Writers)
+	}
+	latChunks := make([][]time.Duration, nWriters+len(cl.Readers))
+	var dwg sync.WaitGroup
+	started := time.Now()
+	for i := 0; i < nWriters; i++ {
+		dwg.Add(1)
+		go func(slot int, id ioa.NodeID) {
+			defer dwg.Done()
+			latChunks[slot] = driver(id, ioa.OpWrite, &writesLeft)
+		}(i, cl.Writers[i])
+	}
+	for i, id := range cl.Readers {
+		dwg.Add(1)
+		go func(slot int, id ioa.NodeID) {
+			defer dwg.Done()
+			latChunks[slot] = driver(id, ioa.OpRead, &readsLeft)
+		}(nWriters+i, id)
+	}
+	dwg.Wait()
+	elapsed := time.Since(started)
+	rt.stop()
+
+	res := &Result{
+		PeakActiveWrites: int(peakWrites.Load()),
+		Log2V:            float64(8 * spec.ValueBytes),
+		Faults:           rt.faultStats(),
+		Elapsed:          elapsed,
+	}
+	for _, chunk := range latChunks {
+		res.Latencies = append(res.Latencies, chunk...)
+	}
+	res.CompletedOps = len(res.Latencies)
+	if secs := elapsed.Seconds(); secs > 0 {
+		res.OpsPerSec = float64(res.CompletedOps) / secs
+	}
+
+	res.History, err = rt.mergeHistory(cl)
+	if err != nil {
+		return nil, err
+	}
+	res.PendingOps = len(res.History.PendingOps())
+	if res.PendingOps > 0 {
+		if spec.FaultPlan == nil {
+			return nil, fmt.Errorf("live: %d operations timed out with no fault plan installed", res.PendingOps)
+		}
+		res.Quiescent = true
+	}
+	res.Storage = rt.storageReport(cl)
+	res.NormalizedTotal = float64(res.Storage.MaxTotalBits) / res.Log2V
+	return res, nil
+}
+
+// mergeHistory folds the per-client logs into one ioa.History ordered by the
+// runtime clock.
+func (rt *runtime) mergeHistory(cl *cluster.Cluster) (*ioa.History, error) {
+	var ops []ioa.Op
+	for _, ids := range [][]ioa.NodeID{cl.Writers, cl.Readers} {
+		for _, id := range ids {
+			ns := rt.nodes[id]
+			for _, rec := range ns.log {
+				op := ioa.Op{
+					Client:      id,
+					Kind:        rec.kind,
+					Input:       rec.input,
+					Output:      rec.output,
+					InvokeStep:  int(rec.invokeTS),
+					RespondStep: -1,
+				}
+				if rec.respondTS >= 0 {
+					op.RespondStep = int(rec.respondTS)
+				}
+				ops = append(ops, op)
+			}
+		}
+	}
+	sort.Slice(ops, func(i, j int) bool { return ops[i].InvokeStep < ops[j].InvokeStep })
+	return ioa.HistoryFromOps(ops)
+}
+
+// storageReport sums the per-server maxima observed by the node goroutines.
+func (rt *runtime) storageReport(cl *cluster.Cluster) ioa.StorageReport {
+	rep := ioa.StorageReport{PerServerMaxBits: make(map[ioa.NodeID]int, len(cl.Servers))}
+	for _, id := range cl.Servers {
+		ns := rt.nodes[id]
+		if ns == nil || ns.meter == nil {
+			continue
+		}
+		rep.PerServerMaxBits[id] = ns.maxBits
+		rep.MaxTotalBits += ns.maxBits
+		rep.CurrentTotalBits += ns.curBits
+		if ns.maxBits > rep.MaxServerBits {
+			rep.MaxServerBits = ns.maxBits
+		}
+	}
+	return rep
+}

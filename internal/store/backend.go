@@ -1,0 +1,98 @@
+package store
+
+import (
+	"fmt"
+
+	"repro/internal/cluster"
+	"repro/internal/faults"
+	"repro/internal/live"
+	"repro/internal/workload"
+)
+
+// Backend is the execution substrate a shard runs on. The node automata are
+// identical either way — DeployAlgorithm builds the same cluster — and each
+// backend drives them through the same workload.Spec, returning the shared
+// result shape whose history feeds the same consistency checkers.
+//
+// The two implementations differ in their guarantees (DESIGN.md section 8):
+// the simulator is the determinism oracle (same seed, byte-identical
+// fingerprints at any worker count), while the live runtime runs every node
+// on its own goroutine and measures real concurrency — its histories differ
+// run to run, and only the safety verdicts are comparable.
+type Backend interface {
+	// Name returns the backend's selector string.
+	Name() string
+	// RunShard executes one shard's workload on the cluster.
+	RunShard(cl *cluster.Cluster, spec workload.Spec) (*workload.Result, error)
+}
+
+// Backend selector names accepted by Options.Backend.
+const (
+	BackendSim  = "sim"
+	BackendLive = "live"
+)
+
+// Backends lists the selectable backend names.
+func Backends() []string { return []string{BackendSim, BackendLive} }
+
+// BackendByName returns the named backend; "" selects the simulator.
+func BackendByName(name string) (Backend, error) {
+	switch name {
+	case "", BackendSim:
+		return simBackend{}, nil
+	case BackendLive:
+		return liveBackend{}, nil
+	default:
+		return nil, fmt.Errorf("store: unknown backend %q (known: %v)", name, Backends())
+	}
+}
+
+// simBackend runs shards on the deterministic ioa simulator.
+type simBackend struct{}
+
+func (simBackend) Name() string { return BackendSim }
+
+func (simBackend) RunShard(cl *cluster.Cluster, spec workload.Spec) (*workload.Result, error) {
+	return workload.Run(cl, spec)
+}
+
+// validateLiveWorkload eagerly rejects multi-key workloads the live backend
+// cannot run — a random crash budget or step-indexed fault scenarios — so
+// the error surfaces from Options validation, not from inside a shard
+// mid-run (matching the eager window validation in faults.Parse).
+func validateLiveWorkload(o Options) error {
+	if o.Workload.Crashes != 0 {
+		return fmt.Errorf("store: live backend: the random crash budget is simulator-only (got Crashes=%d)", o.Workload.Crashes)
+	}
+	for i, spec := range o.Workload.Faults {
+		sc, err := faults.Parse(spec)
+		if err != nil {
+			return fmt.Errorf("store: Faults[%d]: %w", i, err)
+		}
+		if sc == nil {
+			continue
+		}
+		plan, err := sc.Build(o.Servers, o.F, 1)
+		if err != nil {
+			return fmt.Errorf("store: Faults[%d] %q: %w", i, spec, err)
+		}
+		if err := live.PlanSupported(plan); err != nil {
+			return fmt.Errorf("store: Faults[%d] %q: %w", i, spec, err)
+		}
+	}
+	return nil
+}
+
+// liveBackend runs shards on the live concurrent runtime with its default
+// configuration.
+type liveBackend struct{}
+
+func (liveBackend) Name() string { return BackendLive }
+
+func (liveBackend) RunShard(cl *cluster.Cluster, spec workload.Spec) (*workload.Result, error) {
+	res, err := live.Run(cl, spec)
+	if err != nil {
+		return nil, err
+	}
+	return res.AsWorkload(), nil
+}

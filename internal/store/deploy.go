@@ -36,33 +36,57 @@ func Algorithms() []string {
 // and returns it with the consistency condition the algorithm guarantees
 // ("atomic" or "regular"). The multi-writer algorithms get max(nu, 1)
 // writer clients and two readers; the SWSR registers (twoversion,
-// twoversion-gossip, solo) get their single reader.
+// twoversion-gossip, solo) get one writer and one reader.
 func DeployAlgorithm(alg string, n, f, nu int) (*cluster.Cluster, string, error) {
 	writers := nu
 	if writers < 1 {
 		writers = 1
 	}
 	switch alg {
+	case AlgABD, AlgTwoVersion, AlgTwoVersionGossip, AlgSolo:
+		writers = 1
+	}
+	readers := 2
+	switch alg {
+	case AlgTwoVersion, AlgTwoVersionGossip, AlgSolo:
+		readers = 1
+	}
+	return DeployAlgorithmSized(alg, n, f, writers, readers)
+}
+
+// DeployAlgorithmSized builds a cluster for the named algorithm with
+// explicit writer and reader client counts — the live runtime's load
+// generator scales clients this way, where DeployAlgorithm's fixed shapes
+// would cap concurrency. Single-writer algorithms (abd, twoversion,
+// twoversion-gossip, solo) reject writers != 1.
+func DeployAlgorithmSized(alg string, n, f, writers, readers int) (*cluster.Cluster, string, error) {
+	switch alg {
+	case AlgABD, AlgTwoVersion, AlgTwoVersionGossip, AlgSolo:
+		if writers != 1 {
+			return nil, "", fmt.Errorf("store: %s is single-writer; got writers=%d", alg, writers)
+		}
+	}
+	switch alg {
 	case AlgABD:
-		cl, err := abd.Deploy(abd.Options{Servers: n, F: f, Writers: 1, Readers: 2, MultiWriter: false})
+		cl, err := abd.Deploy(abd.Options{Servers: n, F: f, Writers: 1, Readers: readers, MultiWriter: false})
 		return cl, "atomic", err
 	case AlgABDMW:
-		cl, err := abd.Deploy(abd.Options{Servers: n, F: f, Writers: writers, Readers: 2, MultiWriter: true})
+		cl, err := abd.Deploy(abd.Options{Servers: n, F: f, Writers: writers, Readers: readers, MultiWriter: true})
 		return cl, "atomic", err
 	case AlgCAS:
-		cl, err := cas.Deploy(cas.Options{Servers: n, F: f, GCDepth: -1, Writers: writers, Readers: 2})
+		cl, err := cas.Deploy(cas.Options{Servers: n, F: f, GCDepth: -1, Writers: writers, Readers: readers})
 		return cl, "atomic", err
 	case AlgCASGC:
-		cl, err := cas.Deploy(cas.Options{Servers: n, F: f, GCDepth: 0, Writers: writers, Readers: 2})
+		cl, err := cas.Deploy(cas.Options{Servers: n, F: f, GCDepth: 0, Writers: writers, Readers: readers})
 		return cl, "atomic", err
 	case AlgTwoVersion:
-		cl, err := coded.Deploy(coded.Options{Servers: n, F: f, Readers: 1})
+		cl, err := coded.Deploy(coded.Options{Servers: n, F: f, Readers: readers})
 		return cl, "regular", err
 	case AlgTwoVersionGossip:
-		cl, err := coded.DeployGossip(coded.Options{Servers: n, F: f, Readers: 1})
+		cl, err := coded.DeployGossip(coded.Options{Servers: n, F: f, Readers: readers})
 		return cl, "regular", err
 	case AlgSolo:
-		cl, err := coded.DeploySolo(coded.SoloOptions{Servers: n, F: f, Readers: 1})
+		cl, err := coded.DeploySolo(coded.SoloOptions{Servers: n, F: f, Readers: readers})
 		return cl, "regular", err
 	default:
 		return nil, "", fmt.Errorf("store: unknown algorithm %q (known: %v)", alg, Algorithms())

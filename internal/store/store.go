@@ -4,6 +4,7 @@ import (
 	"crypto/sha256"
 	"encoding/hex"
 	"fmt"
+	"math"
 	"runtime"
 	"slices"
 	"sort"
@@ -30,12 +31,18 @@ type Options struct {
 	Servers int
 	F       int
 	// Workers bounds the goroutines running shards concurrently; 0 means
-	// GOMAXPROCS. Successful results are independent of the worker count:
-	// every shard runs on its own ioa.System with a seed derived from
-	// (Workload.Seed, shard index). Failed runs abort early, so which
-	// shard's error surfaces (never whether Run fails) can vary with
-	// scheduling.
+	// GOMAXPROCS. On the simulator backend, successful results are
+	// independent of the worker count: every shard runs on its own
+	// ioa.System with a seed derived from (Workload.Seed, shard index).
+	// Failed runs abort early, but the reported error is still
+	// deterministic — the lowest-indexed failing shard's — at any worker
+	// count (see Run).
 	Workers int
+	// Backend selects the execution substrate for every shard: BackendSim
+	// (default, the deterministic simulator) or BackendLive (the concurrent
+	// goroutine-per-node runtime). Fingerprints are only meaningful on the
+	// simulator; live results vary run to run and are checked for safety.
+	Backend string
 	// Workload is the multi-key workload to partition across shards.
 	Workload workload.MultiSpec
 }
@@ -59,6 +66,14 @@ func (o Options) validate() error {
 			return fmt.Errorf("store: unknown algorithm %q (known: %v)", a, Algorithms())
 		}
 	}
+	if _, err := BackendByName(o.Backend); err != nil {
+		return err
+	}
+	if o.Backend == BackendLive {
+		if err := validateLiveWorkload(o); err != nil {
+			return err
+		}
+	}
 	if o.Workload.Crashes > o.F {
 		return fmt.Errorf("store: per-shard crash budget %d exceeds f=%d", o.Workload.Crashes, o.F)
 	}
@@ -70,6 +85,14 @@ func (o Options) validate() error {
 type ShardResult struct {
 	// Shard is the shard index.
 	Shard int
+	// Skipped marks a shard that never ran because an earlier failure
+	// aborted the run; every other field is zero. Failed marks a shard
+	// that ran and failed — the error Run reports is the lowest-indexed
+	// such shard's. Both are only ever set on the partial result an
+	// erroring Run returns, and which shards were skipped (always a
+	// subset of those above the failing index) varies with scheduling.
+	Skipped bool
+	Failed  bool
 	// Algorithm and Condition name what ran and what was verified.
 	Algorithm string
 	Condition string
@@ -190,9 +213,19 @@ func (r *Result) Table() string {
 	return b.String()
 }
 
-// Run partitions the workload across the shards, executes every shard's
-// system on a bounded worker pool, verifies each history against its
-// algorithm's consistency condition, and aggregates the shard results.
+// Run partitions the workload across the shards, executes every shard on
+// the selected backend under a bounded worker pool, verifies each history
+// against its algorithm's consistency condition, and aggregates the shard
+// results.
+//
+// Error surfacing is deterministic: when shards fail, Run reports the
+// lowest-indexed failing shard, byte-identically at any worker count. A
+// worker skips a pending shard only when a lower-indexed shard has already
+// failed, so every shard below the reported index provably ran (and
+// succeeded) — the reported shard is the global minimum, not an accident of
+// goroutine scheduling. On failure Run returns the partial result alongside
+// the error, with never-run shards explicitly marked (ShardResult.Skipped)
+// and no aggregates computed.
 func Run(o Options) (*Result, error) {
 	if err := o.validate(); err != nil {
 		return nil, err
@@ -202,6 +235,10 @@ func Run(o Options) (*Result, error) {
 		return nil, err
 	}
 	algs := o.algorithms()
+	backend, err := BackendByName(o.Backend)
+	if err != nil {
+		return nil, err
+	}
 	workers := o.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -212,25 +249,33 @@ func Run(o Options) (*Result, error) {
 
 	shardResults := make([]ShardResult, o.Shards)
 	shardErrs := make([]error, o.Shards)
+	skipped := make([]bool, o.Shards)
 	jobs := make(chan int)
 	var wg sync.WaitGroup
-	var failed atomic.Bool
+	// minFailed tracks the lowest failing shard index so far (MaxInt64 =
+	// none). Shards above it are skippable — the run's error is already
+	// decided by a lower index — but shards below it must still run, since
+	// any of them could fail and become the reported shard.
+	var minFailed atomic.Int64
+	minFailed.Store(math.MaxInt64)
 	start := time.Now()
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			for i := range jobs {
-				// Once any shard has failed the run's outcome is fixed;
-				// skip the remaining shards instead of driving them to
-				// completion. Successful runs are unaffected, so the
-				// determinism guarantee holds.
-				if failed.Load() {
+				if int64(i) > minFailed.Load() {
+					skipped[i] = true
 					continue
 				}
-				shardResults[i], shardErrs[i] = runShard(o, algs[i%len(algs)], loads[i])
+				shardResults[i], shardErrs[i] = runShard(o, backend, algs[i%len(algs)], loads[i])
 				if shardErrs[i] != nil {
-					failed.Store(true)
+					for {
+						cur := minFailed.Load()
+						if int64(i) >= cur || minFailed.CompareAndSwap(cur, int64(i)) {
+							break
+						}
+					}
 				}
 			}
 		}()
@@ -242,10 +287,15 @@ func Run(o Options) (*Result, error) {
 	wg.Wait()
 	elapsed := time.Since(start)
 
-	for i, err := range shardErrs {
-		if err != nil {
-			return nil, fmt.Errorf("store: shard %d (%s): %w", i, algs[i%len(algs)], err)
+	if first := minFailed.Load(); first != math.MaxInt64 {
+		i := int(first)
+		partial := &Result{PerShard: shardResults, Workers: workers, Elapsed: elapsed}
+		for j := range partial.PerShard {
+			partial.PerShard[j].Shard = j
+			partial.PerShard[j].Skipped = skipped[j]
+			partial.PerShard[j].Failed = shardErrs[j] != nil
 		}
+		return partial, fmt.Errorf("store: shard %d (%s): %w", i, algs[i%len(algs)], shardErrs[i])
 	}
 
 	res := &Result{
@@ -283,7 +333,7 @@ func Run(o Options) (*Result, error) {
 	return res, nil
 }
 
-func runShard(o Options, alg string, load workload.ShardLoad) (ShardResult, error) {
+func runShard(o Options, backend Backend, alg string, load workload.ShardLoad) (ShardResult, error) {
 	cl, cond, err := DeployAlgorithm(alg, o.Servers, o.F, o.Workload.TargetNu)
 	if err != nil {
 		return ShardResult{}, err
@@ -296,7 +346,7 @@ func runShard(o Options, alg string, load workload.ShardLoad) (ShardResult, erro
 	if plan != nil {
 		spec.FaultPlan = plan
 	}
-	wres, err := workload.Run(cl, spec)
+	wres, err := backend.RunShard(cl, spec)
 	if err != nil {
 		return ShardResult{}, err
 	}

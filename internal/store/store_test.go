@@ -328,3 +328,122 @@ func TestFingerprintSeesFaults(t *testing.T) {
 		t.Error("fingerprint identical with and without fault plans")
 	}
 }
+
+// failingOptions builds a 16-shard run where shards 5 and 11 deterministically
+// fail inside runShard: their fault spec parses (the grammar and windows are
+// valid) but cannot build for a 5-server deployment (isolate 99 > n), forcing
+// a mid-run shard failure while every other shard keeps working.
+func failingOptions(workers int) Options {
+	faults := make([]string, 16)
+	for i := range faults {
+		faults[i] = "none"
+	}
+	faults[5] = "partition@1:2:99"
+	faults[11] = "partition@1:2:99"
+	return Options{
+		Shards:     16,
+		Algorithms: []string{AlgCAS},
+		Servers:    5,
+		F:          1,
+		Workers:    workers,
+		Workload: workload.MultiSpec{
+			Seed:       1,
+			Keys:       64,
+			Ops:        96,
+			TargetNu:   2,
+			ValueBytes: 64,
+			Faults:     faults,
+		},
+	}
+}
+
+// TestDeterministicErrorAcrossWorkerCounts pins Run's error surfacing: with
+// shards 5 and 11 failing, the reported error must be shard 5's,
+// byte-identical at 1, 4 and 16 workers, and the partial result must mark
+// skipped shards explicitly — never a shard below the failing index.
+func TestDeterministicErrorAcrossWorkerCounts(t *testing.T) {
+	var want string
+	for _, workers := range []int{1, 4, 16} {
+		res, err := Run(failingOptions(workers))
+		if err == nil {
+			t.Fatalf("workers=%d: Run succeeded, want failure", workers)
+		}
+		if !strings.Contains(err.Error(), "store: shard 5 (cas)") {
+			t.Errorf("workers=%d: error %q does not report lowest failing shard 5", workers, err)
+		}
+		if want == "" {
+			want = err.Error()
+		} else if err.Error() != want {
+			t.Errorf("workers=%d: error differs:\n%q\n%q", workers, err.Error(), want)
+		}
+		if res == nil {
+			t.Fatalf("workers=%d: no partial result alongside the error", workers)
+		}
+		for _, s := range res.PerShard {
+			if s.Skipped && s.Shard <= 5 {
+				t.Errorf("workers=%d: shard %d below the failing index was skipped", workers, s.Shard)
+			}
+			switch {
+			case s.Shard == 5 && !s.Failed:
+				t.Errorf("workers=%d: failing shard 5 not marked Failed", workers)
+			case s.Shard == 11 && !s.Failed && !s.Skipped:
+				t.Errorf("workers=%d: shard 11 neither Failed nor Skipped", workers)
+			case s.Shard != 5 && s.Shard != 11 && s.Failed:
+				t.Errorf("workers=%d: healthy shard %d marked Failed", workers, s.Shard)
+			case !s.Skipped && !s.Failed && s.Writes+s.Reads == 0 && s.Storage.MaxTotalBits == 0:
+				t.Errorf("workers=%d: shard %d has a zero result but no Skipped/Failed mark", workers, s.Shard)
+			}
+		}
+	}
+}
+
+// TestLiveBackendStoreRun runs the acceptance workload on the live backend:
+// the same MultiSpec, the same per-shard consistency checks, real
+// goroutine-per-node execution. Throughput fields must be populated;
+// fingerprints are sim-only and not compared.
+func TestLiveBackendStoreRun(t *testing.T) {
+	o := acceptanceOptions(4)
+	o.Backend = BackendLive
+	o.Workload.Ops = 64
+	res, err := Run(o)
+	if err != nil {
+		t.Fatalf("live backend run: %v", err)
+	}
+	if res.TotalOps != 64 {
+		t.Errorf("TotalOps = %d, want 64", res.TotalOps)
+	}
+	if res.QuiescentShards != 0 {
+		t.Errorf("fault-free live run reports %d quiescent shards", res.QuiescentShards)
+	}
+	if res.OpsPerSec <= 0 || res.AggregateMaxTotalBits <= 0 {
+		t.Errorf("live aggregates not populated: ops/sec=%v bits=%d", res.OpsPerSec, res.AggregateMaxTotalBits)
+	}
+}
+
+// TestBackendValidation pins the eager backend-name check.
+func TestBackendValidation(t *testing.T) {
+	o := acceptanceOptions(1)
+	o.Backend = "quantum"
+	if _, err := Run(o); err == nil || !strings.Contains(err.Error(), `unknown backend "quantum"`) {
+		t.Errorf("unknown backend: err = %v", err)
+	}
+	for _, name := range append(Backends(), "") {
+		if _, err := BackendByName(name); err != nil {
+			t.Errorf("BackendByName(%q): %v", name, err)
+		}
+	}
+	// Simulator-only workload features must fail eagerly on the live
+	// backend — from Options validation, before any shard runs.
+	crashes := acceptanceOptions(1)
+	crashes.Backend = BackendLive
+	crashes.Workload.Crashes = 1
+	if _, err := Run(crashes); err == nil || !strings.Contains(err.Error(), "simulator-only") {
+		t.Errorf("live backend with crash budget: err = %v, want eager simulator-only rejection", err)
+	}
+	stepFaults := acceptanceOptions(1)
+	stepFaults.Backend = BackendLive
+	stepFaults.Workload.Faults = []string{"crash-f@30"}
+	if _, err := Run(stepFaults); err == nil || !strings.Contains(err.Error(), "simulator-only") {
+		t.Errorf("live backend with step-indexed faults: err = %v, want eager simulator-only rejection", err)
+	}
+}

@@ -23,6 +23,7 @@ package shmem
 
 import (
 	"fmt"
+	"time"
 
 	"repro/internal/abd"
 	"repro/internal/adversary"
@@ -33,6 +34,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/faults"
 	"repro/internal/ioa"
+	"repro/internal/live"
 	"repro/internal/register"
 	"repro/internal/store"
 	"repro/internal/workload"
@@ -149,8 +151,44 @@ func DeployAlgorithm(alg string, n, f, nu int) (*Cluster, string, error) {
 	return store.DeployAlgorithm(alg, n, f, nu)
 }
 
+// DeployAlgorithmSized builds a cluster for the named algorithm with
+// explicit writer and reader counts — how the live load generator scales
+// client concurrency. Single-writer algorithms reject writers != 1.
+func DeployAlgorithmSized(alg string, n, f, writers, readers int) (*Cluster, string, error) {
+	return store.DeployAlgorithmSized(alg, n, f, writers, readers)
+}
+
 // StoreAlgorithms lists the algorithm names DeployAlgorithm accepts.
 func StoreAlgorithms() []string { return store.Algorithms() }
+
+// StoreBackends lists the execution backends StoreOptions.Backend accepts:
+// "sim" (the deterministic simulator, the default) and "live" (the
+// concurrent goroutine-per-node runtime).
+func StoreBackends() []string { return store.Backends() }
+
+// LiveConfig tunes the live concurrent runtime (step duration for fault
+// delays, per-operation timeout, mailbox capacity). The zero value selects
+// the defaults.
+type LiveConfig = live.Config
+
+// LiveResult reports a live run: safety fields mirror WorkloadResult, plus
+// wall-clock throughput and per-operation latencies.
+type LiveResult = live.Result
+
+// RunLiveWorkload executes the workload on the live concurrent runtime:
+// every node automaton on its own goroutine, messages over channels, fault
+// drop/delay rules applied in wall-clock time. The simulator remains the
+// determinism oracle; live histories vary run to run and are checked for
+// safety only.
+func RunLiveWorkload(cl *Cluster, spec WorkloadSpec, cfg LiveConfig) (*LiveResult, error) {
+	return live.RunConfig(cl, spec, cfg)
+}
+
+// LatencyPercentile returns the p-th percentile (0 < p <= 1) of the given
+// latencies, nearest-rank.
+func LatencyPercentile(ds []time.Duration, p float64) time.Duration {
+	return live.Percentile(ds, p)
+}
 
 // ParseFaultScenario parses a fault scenario spec — "crash-f[@STEP[:RECOVER]]",
 // "crash-majority[@STEP[:RECOVER]]", "partition@START:HEAL[:ISOLATE]",

@@ -6,7 +6,7 @@ DATE ?= $(shell date +%Y-%m-%d)
 MICRO_PKGS = ./internal/gf ./internal/erasure ./internal/ioa ./internal/consistency
 MICRO_BENCH = 'BenchmarkMulSlice|BenchmarkEncodeDecode|BenchmarkFairRunSweep|BenchmarkRandomRunSweep|BenchmarkCheckAtomicDense'
 
-.PHONY: build test race live-race liveload-smoke bench bench-smoke bench-micro bench-micro-smoke bench-json fuzz-smoke examples fmt fmt-check vet ci
+.PHONY: build test race live-race liveload-smoke bench bench-smoke bench-micro bench-micro-smoke bench-json fuzz-smoke examples fmt fmt-check vet apicheck apicheck-update ci
 
 build:
 	$(GO) build ./...
@@ -83,5 +83,21 @@ fmt-check:
 vet:
 	$(GO) vet ./...
 
+# Public-surface golden: the root package's full `go doc` output, committed
+# as API.txt. apicheck fails with the diff when the surface drifts, so API
+# changes are reviewed, not accidental; regenerate a deliberate change with
+# apicheck-update.
+apicheck:
+	@$(GO) doc -all . > api-check.tmp || { rm -f api-check.tmp; exit 1; }; \
+	if ! diff -u API.txt api-check.tmp; then \
+		echo "public API drifted from API.txt; run 'make apicheck-update' if this is intended"; \
+		rm -f api-check.tmp; exit 1; \
+	fi; rm -f api-check.tmp
+	@echo apicheck ok
+
+apicheck-update:
+	$(GO) doc -all . > API.txt
+	@echo wrote API.txt
+
 # Exactly what CI runs.
-ci: build vet fmt-check race live-race liveload-smoke examples fuzz-smoke bench-smoke bench-micro-smoke
+ci: build vet fmt-check apicheck race live-race liveload-smoke examples fuzz-smoke bench-smoke bench-micro-smoke

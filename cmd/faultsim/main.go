@@ -55,21 +55,26 @@ func run() error {
 	if *faultSpecs != "" {
 		specs = strings.Split(*faultSpecs, ",")
 	}
-	res, err := shmem.RunStore(shmem.StoreOptions{
-		Shards:     *shards,
+	st, err := shmem.Open(shmem.Config{
 		Algorithms: strings.Split(*algo, ","),
 		Servers:    *n,
 		F:          *f,
+		Shards:     *shards,
+		Faults:     specs,
+		Seed:       *seed,
 		Workers:    *workers,
-		Workload: shmem.MultiWorkloadSpec{
-			Seed:         *seed,
-			Keys:         *keys,
-			Ops:          *ops,
-			ReadFraction: *readFrac,
-			TargetNu:     *nu,
-			ValueBytes:   *valueBytes,
-			Faults:       specs,
-		},
+	})
+	if err != nil {
+		return err
+	}
+	defer st.Close()
+	res, err := st.RunMulti(shmem.MultiWorkloadSpec{
+		Seed:         *seed,
+		Keys:         *keys,
+		Ops:          *ops,
+		ReadFraction: *readFrac,
+		TargetNu:     *nu,
+		ValueBytes:   *valueBytes,
 	})
 	if err != nil {
 		return err
@@ -104,22 +109,27 @@ func runGrid(algos string, n, f, keys, ops int, readFrac float64, nu, valueBytes
 		"scenario", "algorithm", "done", "pending", "drops", "crashes", "maxsrvbits", "normcost", "verdict")
 	for _, spec := range specs {
 		for _, algo := range strings.Split(algos, ",") {
-			res, err := shmem.RunStore(shmem.StoreOptions{
-				Shards:     2,
+			st, err := shmem.Open(shmem.Config{
 				Algorithms: []string{algo},
 				Servers:    n,
 				F:          f,
+				Shards:     2,
+				Faults:     []string{spec},
+				Seed:       seed,
 				Workers:    workers,
-				Workload: shmem.MultiWorkloadSpec{
-					Seed:         seed,
-					Keys:         keys,
-					Ops:          ops,
-					ReadFraction: readFrac,
-					TargetNu:     nu,
-					ValueBytes:   valueBytes,
-					Faults:       []string{spec},
-				},
 			})
+			if err != nil {
+				return fmt.Errorf("scenario %q algorithm %q: %w", spec, algo, err)
+			}
+			res, err := st.RunMulti(shmem.MultiWorkloadSpec{
+				Seed:         seed,
+				Keys:         keys,
+				Ops:          ops,
+				ReadFraction: readFrac,
+				TargetNu:     nu,
+				ValueBytes:   valueBytes,
+			})
+			st.Close()
 			if err != nil {
 				return fmt.Errorf("scenario %q algorithm %q: %w", spec, algo, err)
 			}

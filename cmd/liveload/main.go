@@ -18,7 +18,6 @@ import (
 	"os"
 	"strconv"
 	"strings"
-	"sync"
 	"time"
 
 	shmem "repro"
@@ -87,83 +86,55 @@ func run() error {
 	return nil
 }
 
-// runPoint runs one client-count setting: the keyspace load is partitioned
-// across the shards, each shard gets a fresh deployment with `clients`
-// writers and readers, and all shards run concurrently on the live runtime.
+// runPoint runs one client-count setting: a store handle opened on the
+// live backend with `clients` writers and readers per shard runs the
+// keyspace load through the parallel store engine, which partitions it,
+// deploys a fresh cluster per shard, consistency-checks every shard and
+// aggregates the latency percentiles.
 func runPoint(alg string, n, f, shards, clients, keys, ops int, readFrac float64, valueBytes int, seed int64, faultSpec string, cfg shmem.LiveConfig) (gridPoint, error) {
 	var faultSpecs []string
 	if faultSpec != "" {
 		faultSpecs = []string{faultSpec}
 	}
-	multi := shmem.MultiWorkloadSpec{
+	st, err := shmem.Open(shmem.Config{
+		Algorithms: []string{alg},
+		Servers:    n,
+		F:          f,
+		Shards:     shards,
+		Backend:    "live",
+		Faults:     faultSpecs,
+		Live:       cfg,
+		Seed:       seed,
+	}, shmem.WithClients(clients, clients))
+	if err != nil {
+		return gridPoint{}, err
+	}
+	defer st.Close()
+	res, err := st.RunMulti(shmem.MultiWorkloadSpec{
 		Seed:         seed,
 		Keys:         keys,
 		Ops:          ops,
 		ReadFraction: readFrac,
 		TargetNu:     clients,
 		ValueBytes:   valueBytes,
-		Faults:       faultSpecs,
-	}
-	loads, err := multi.Partition(shards)
+	})
 	if err != nil {
-		return gridPoint{}, err
+		return gridPoint{}, fmt.Errorf("clients=%d: %w", clients, err)
 	}
-
-	pt := gridPoint{clients: clients}
-	results := make([]*shmem.LiveResult, shards)
-	errs := make([]error, shards)
-	var wg sync.WaitGroup
-	start := time.Now()
-	for i := range loads {
-		wg.Add(1)
-		go func(i int) {
-			defer wg.Done()
-			cl, cond, err := shmem.DeployAlgorithmSized(alg, n, f, clients, clients)
-			if err != nil {
-				errs[i] = err
-				return
-			}
-			spec := loads[i].Spec(multi)
-			plan, err := multi.ShardFaultPlan(loads[i].Shard, n, f)
-			if err != nil {
-				errs[i] = err
-				return
-			}
-			spec.FaultPlan = plan
-			res, err := shmem.RunLiveWorkload(cl, spec, cfg)
-			if err != nil {
-				errs[i] = err
-				return
-			}
-			if err := res.AsWorkload().CheckConsistency(cond); err != nil {
-				errs[i] = fmt.Errorf("shard %d consistency (%s): %w", i, cond, err)
-				return
-			}
-			results[i] = res
-		}(i)
+	pt := gridPoint{
+		clients:   clients,
+		quiescent: res.QuiescentShards,
+		elapsed:   res.Elapsed,
+		p50:       res.LatencyP50,
+		p99:       res.LatencyP99,
 	}
-	wg.Wait()
-	pt.elapsed = time.Since(start)
-	for i, err := range errs {
-		if err != nil {
-			return gridPoint{}, fmt.Errorf("clients=%d shard %d: %w", clients, i, err)
-		}
+	for _, s := range res.PerShard {
+		pt.pending += s.PendingOps
 	}
-
-	var lats []time.Duration
-	for _, res := range results {
-		pt.completed += res.CompletedOps
-		pt.pending += res.PendingOps
-		if res.Quiescent {
-			pt.quiescent++
-		}
-		lats = append(lats, res.Latencies...)
-	}
+	pt.completed = res.TotalOps - pt.pending
 	if secs := pt.elapsed.Seconds(); secs > 0 {
 		pt.opsPerSec = float64(pt.completed) / secs
 	}
-	pt.p50 = shmem.LatencyPercentile(lats, 0.50)
-	pt.p99 = shmem.LatencyPercentile(lats, 0.99)
 	return pt, nil
 }
 

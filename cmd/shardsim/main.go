@@ -53,25 +53,30 @@ func run() error {
 		specs = strings.Split(*faultSpecs, ",")
 	}
 
-	res, err := shmem.RunStore(shmem.StoreOptions{
-		Shards:     *shards,
+	st, err := shmem.Open(shmem.Config{
 		Algorithms: strings.Split(*algo, ","),
 		Servers:    *n,
 		F:          *f,
-		Workers:    *workers,
+		Shards:     *shards,
 		Backend:    *backend,
-		Workload: shmem.MultiWorkloadSpec{
-			Seed:         *seed,
-			Keys:         *keys,
-			Ops:          *ops,
-			ReadFraction: *readFrac,
-			Skew:         *skew,
-			ZipfS:        *zipfS,
-			TargetNu:     *nu,
-			ValueBytes:   *valueBytes,
-			Crashes:      *crashes,
-			Faults:       specs,
-		},
+		Faults:     specs,
+		Seed:       *seed,
+		Workers:    *workers,
+	})
+	if err != nil {
+		return err
+	}
+	defer st.Close()
+	res, err := st.RunMulti(shmem.MultiWorkloadSpec{
+		Seed:         *seed,
+		Keys:         *keys,
+		Ops:          *ops,
+		ReadFraction: *readFrac,
+		Skew:         *skew,
+		ZipfS:        *zipfS,
+		TargetNu:     *nu,
+		ValueBytes:   *valueBytes,
+		Crashes:      *crashes,
 	})
 	if err != nil {
 		return err

@@ -45,36 +45,30 @@ func main() {
 	fmt.Println("shape: the casgc column grows ~linearly with nu; the abd column is flat.")
 }
 
-func measureCAS(nu int) (float64, error) {
-	cl, err := shmem.DeployCAS(nServers, fFailures, 0, nu, 1)
+// measure opens a store of the named algorithm and meters one batch
+// workload at write concurrency nu, returning the normalized storage cost.
+func measure(alg string, nu int) (float64, error) {
+	st, err := shmem.Open(shmem.Config{
+		Algorithms: []string{alg},
+		Servers:    nServers,
+		F:          fFailures,
+	}, shmem.WithClients(nu, 1))
 	if err != nil {
 		return 0, err
 	}
-	res, err := shmem.RunWorkload(cl, shmem.WorkloadSpec{
+	defer st.Close()
+	res, err := st.RunWorkload(shmem.WorkloadSpec{
 		Seed: 42, Writes: 5 * nu, Reads: 2, TargetNu: nu, ValueBytes: valueBytes,
 	})
 	if err != nil {
 		return 0, err
 	}
-	if err := res.CheckConsistency("atomic"); err != nil {
+	if err := res.CheckConsistency(st.Condition()); err != nil {
 		return 0, err
 	}
 	return res.NormalizedTotal, nil
 }
 
-func measureABD(nu int) (float64, error) {
-	cl, err := shmem.DeployABD(nServers, fFailures, nu, 1, true)
-	if err != nil {
-		return 0, err
-	}
-	res, err := shmem.RunWorkload(cl, shmem.WorkloadSpec{
-		Seed: 42, Writes: 5 * nu, Reads: 2, TargetNu: nu, ValueBytes: valueBytes,
-	})
-	if err != nil {
-		return 0, err
-	}
-	if err := res.CheckConsistency("atomic"); err != nil {
-		return 0, err
-	}
-	return res.NormalizedTotal, nil
-}
+func measureCAS(nu int) (float64, error) { return measure("casgc", nu) }
+
+func measureABD(nu int) (float64, error) { return measure("abd-mwmr", nu) }

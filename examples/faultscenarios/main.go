@@ -30,19 +30,23 @@ const (
 	f       = 1
 )
 
-// runScenario executes a fixed ABD workload under the given fault spec.
+// runScenario executes a fixed ABD workload under the given fault spec: a
+// store handle opened with the scenario runs it as a batch experiment (the
+// plan is built from the handle's seed, so every scenario replays
+// byte-identically).
 func runScenario(spec string) (*shmem.WorkloadResult, error) {
-	cl, err := shmem.DeployABD(servers, f, 1, 2, false)
+	st, err := shmem.Open(shmem.Config{
+		Algorithms: []string{"abd"},
+		Servers:    servers,
+		F:          f,
+		Readers:    2,
+	}, shmem.WithFaults(spec), shmem.WithSeed(7))
 	if err != nil {
 		return nil, err
 	}
-	plan, err := shmem.BuildFaultPlan(spec, servers, f, 7)
-	if err != nil {
-		return nil, err
-	}
-	return shmem.RunWorkload(cl, shmem.WorkloadSpec{
+	defer st.Close()
+	return st.RunWorkload(shmem.WorkloadSpec{
 		Seed: 11, Writes: 5, Reads: 5, TargetNu: 1, ValueBytes: 64,
-		FaultPlan: plan,
 	})
 }
 

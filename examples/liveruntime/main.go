@@ -1,23 +1,26 @@
 // Live-runtime walkthrough: the same node automata, two execution
-// substrates. The paper's algorithms (and the CAS paper explicitly) are
-// stated for real asynchronous message-passing networks; everything else in
-// this repository runs them on a deterministic simulator, because the
-// lower-bound proofs need schedules that are data. This example runs one CAS
-// deployment twice:
+// substrates, one API. The paper's algorithms (and the CAS paper
+// explicitly) are stated for real asynchronous message-passing networks;
+// everything else in this repository runs them on a deterministic
+// simulator, because the lower-bound proofs need schedules that are data.
+// This example opens the same Config twice —
 //
 //  1. on the simulator — the determinism oracle: a discrete schedule, exact
 //     step-indexed storage accounting, replayable byte-for-byte; and
 //  2. on the live concurrent runtime — every node automaton on its own
 //     goroutine with a mailbox, messages over channels, real parallelism,
 //     wall-clock latencies — under a delay fault plan whose rules are the
-//     very same seeded faults.Plan machinery the simulator uses.
+//     very same seeded faults.Plan machinery the simulator uses —
 //
-// Both histories are checked against the same atomicity checker: the
-// backend changes what you can measure (determinism and storage bounds vs
-// throughput and latency), never what the algorithm must guarantee.
+// and drives both through the identical interactive Put/Get surface plus a
+// batch experiment. Both histories are checked by the same atomicity
+// checker: the backend changes what you can measure (determinism and
+// storage bounds vs throughput and latency), never what the algorithm must
+// guarantee.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
@@ -28,52 +31,82 @@ import (
 const (
 	servers = 5
 	f       = 1
-	writers = 3
-	readers = 3
+	clients = 3
 )
 
 func main() {
-	// --- backend 1: the deterministic simulator ---
-	cl, cond, err := shmem.DeployAlgorithm("cas", servers, f, writers)
-	if err != nil {
-		log.Fatal(err)
+	cfg := shmem.Config{
+		Algorithms: []string{"cas"},
+		Servers:    servers,
+		F:          f,
+		Shards:     2,
 	}
-	spec := shmem.WorkloadSpec{
-		Seed: 11, Writes: 12, Reads: 12, TargetNu: writers, ValueBytes: 64,
-	}
-	simRes, err := shmem.RunWorkload(cl, spec)
-	if err != nil {
-		log.Fatal(err)
-	}
-	if err := shmem.CheckAtomic(simRes.History, nil); err != nil {
-		log.Fatal(err)
-	}
-	fmt.Printf("simulator backend : %d ops, %s history, total storage %d bits (deterministic, replayable)\n",
-		len(simRes.History.Ops), cond, simRes.Storage.MaxTotalBits)
+	ctx := context.Background()
 
-	// --- backend 2: the live concurrent runtime, same automata ---
-	cl2, _, err := shmem.DeployAlgorithmSized("cas", servers, f, writers, readers)
+	// --- backend 1: the deterministic simulator ---
+	sim, err := shmem.Open(cfg, shmem.WithClients(clients, clients))
 	if err != nil {
 		log.Fatal(err)
 	}
-	plan, err := shmem.BuildFaultPlan("delay=1:8", servers, f, 7)
+	defer sim.Close()
+	driveKeys(ctx, sim)
+	if err := sim.CheckConsistency(); err != nil {
+		log.Fatal(err)
+	}
+	sm := sim.Metrics()
+	fmt.Printf("simulator backend : %d ops over %d shards, total storage %d bits (deterministic, replayable)\n",
+		sm.TotalWrites+sm.TotalReads, sim.Shards(), sm.AggregateMaxTotalBits)
+
+	// --- backend 2: the live concurrent runtime, same Config ---
+	liveSt, err := shmem.Open(cfg,
+		shmem.WithBackend("live"),
+		shmem.WithClients(clients, clients),
+		shmem.WithFaults("delay=1:8"),
+		shmem.WithSeed(7))
 	if err != nil {
 		log.Fatal(err)
 	}
-	liveSpec := spec
-	liveSpec.FaultPlan = plan
-	liveRes, err := shmem.RunLiveWorkload(cl2, liveSpec, shmem.LiveConfig{})
+	defer liveSt.Close()
+	driveKeys(ctx, liveSt)
+	if err := liveSt.CheckConsistency(); err != nil {
+		log.Fatal(err)
+	}
+	lm := liveSt.Metrics()
+	fmt.Printf("live backend      : %d ops across node goroutines; interactive p50 %v, p99 %v\n",
+		lm.TotalWrites+lm.TotalReads,
+		lm.LatencyP50.Round(time.Microsecond), lm.LatencyP99.Round(time.Microsecond))
+	fmt.Printf("fault machinery   : %d messages delayed by the same seeded plan rules the simulator uses\n",
+		lm.Faults.DelayedMessages)
+
+	// The batch path measures what only a live backend can: wall-clock
+	// throughput and per-op latency for a whole seeded workload.
+	res, err := liveSt.RunWorkload(shmem.WorkloadSpec{
+		Seed: 11, Writes: 12, Reads: 12, TargetNu: clients, ValueBytes: 64,
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
-	if err := shmem.CheckAtomic(liveRes.History, nil); err != nil {
+	if err := res.CheckConsistency(liveSt.Condition()); err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("live backend      : %d ops in %v (%.0f ops/sec) across %d writer + %d reader goroutines\n",
-		liveRes.CompletedOps, liveRes.Elapsed.Round(time.Millisecond), liveRes.OpsPerSec, writers, readers)
-	fmt.Printf("latencies         : p50 %v, p99 %v; %d messages delayed by the fault rules\n",
-		liveRes.LatencyPercentile(0.50).Round(time.Microsecond),
-		liveRes.LatencyPercentile(0.99).Round(time.Microsecond),
-		liveRes.Faults.DelayedMessages)
-	fmt.Printf("both histories pass the same %q checker — the backend changes the measurements, not the guarantee\n", cond)
+	fmt.Printf("batch experiment  : %d ops completed; p99 %v\n",
+		len(res.Latencies), shmem.LatencyPercentile(res.Latencies, 0.99).Round(time.Microsecond))
+	fmt.Printf("both histories pass the same %q checker — the backend changes the measurements, not the guarantee\n",
+		liveSt.Condition())
+}
+
+// driveKeys runs the same multi-key interactive sequence on any store.
+func driveKeys(ctx context.Context, st *shmem.Store) {
+	seq := uint64(0)
+	for round := 0; round < 2; round++ {
+		for key := 0; key < 4; key++ {
+			seq++
+			if err := st.Put(ctx, key, shmem.MakeValue(64, seq)); err != nil {
+				log.Fatal(err)
+			}
+			if _, err := st.Get(ctx, key); err != nil {
+				log.Fatal(err)
+			}
+		}
+	}
 }

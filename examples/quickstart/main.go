@@ -1,9 +1,11 @@
-// Quickstart: emulate an atomic shared-memory register over five simulated
-// asynchronous servers with the ABD algorithm, survive two server crashes,
-// and verify the resulting history is linearizable.
+// Quickstart: open an atomic shared-memory store — five simulated
+// asynchronous servers per shard running the ABD algorithm, two shards
+// serving a small keyspace — write and read interactively, and verify the
+// resulting history is linearizable.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -11,44 +13,58 @@ import (
 )
 
 func main() {
-	// Five servers tolerating f=2 crashes, one writer, one reader.
-	cl, err := shmem.DeployABD(5, 2, 1, 1, false)
+	// One handle covers deployment, client operations, metrics and
+	// checking. The zero Config is a one-shard CAS store on the simulator;
+	// options adjust it.
+	st, err := shmem.Open(shmem.Config{
+		Algorithms: []string{"abd"},
+		Servers:    5,
+		F:          2,
+	}, shmem.WithShards(2))
 	if err != nil {
 		log.Fatal(err)
 	}
+	defer st.Close()
 
-	// Write a value and read it back.
-	v1 := []byte("hello, shared memory")
-	if err := shmem.Write(cl, 0, v1); err != nil {
+	// Write values under two keys and read them back. Keys are routed to
+	// shards by a mixing hash; each shard is an independent register
+	// emulation.
+	ctx := context.Background()
+	if err := st.Put(ctx, 1, []byte("hello, shared memory")); err != nil {
 		log.Fatal(err)
 	}
-	got, err := shmem.Read(cl, 0)
+	if err := st.Put(ctx, 2, []byte("a second key, likely another shard")); err != nil {
+		log.Fatal(err)
+	}
+	got, err := st.Get(ctx, 1)
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("read after write: %q\n", got)
+	fmt.Printf("key 1 reads: %q\n", got)
+	fmt.Printf("key 1 lives on shard %d, key 2 on shard %d\n", st.KeyShard(1), st.KeyShard(2))
 
-	// Crash f servers; the register must stay live and consistent.
-	cl.Sys.Crash(cl.Servers[0])
-	cl.Sys.Crash(cl.Servers[3])
-	v2 := []byte("still alive with f crashes")
-	if err := shmem.Write(cl, 0, v2); err != nil {
+	// The whole interactive history is atomic (linearizable), per shard.
+	if err := st.CheckConsistency(); err != nil {
 		log.Fatal(err)
 	}
-	got, err = shmem.Read(cl, 0)
-	if err != nil {
-		log.Fatal(err)
-	}
-	fmt.Printf("read after crashes: %q\n", got)
-
-	// The whole history is atomic (linearizable).
-	if err := shmem.CheckAtomic(cl.Sys.History(), nil); err != nil {
-		log.Fatal(err)
-	}
-	fmt.Println("history is atomic")
+	fmt.Println("interactive history is atomic")
 
 	// Storage cost: ABD replicates, so each server holds one full value.
-	rep := cl.Sys.Storage()
-	fmt.Printf("total storage high-water mark: %d bits across %d servers\n",
-		rep.MaxTotalBits, len(cl.Servers))
+	m := st.Metrics()
+	fmt.Printf("%d writes + %d reads; total storage high-water mark: %d bits\n",
+		m.TotalWrites, m.TotalReads, m.AggregateMaxTotalBits)
+
+	// The same handle runs batch experiments on fresh clusters.
+	res, err := st.RunWorkload(shmem.WorkloadSpec{
+		Seed: 1, Writes: 8, Reads: 8, TargetNu: 1, ValueBytes: 64,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := res.CheckConsistency(st.Condition()); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("batch experiment: %d ops, normalized storage %.2f (Theorem B.1 floor %.2f)\n",
+		len(res.History.Ops), res.NormalizedTotal,
+		shmem.SingletonTotalBits(shmem.Params{N: 5, F: 2}, res.Log2V)/res.Log2V)
 }

@@ -14,25 +14,30 @@ import (
 )
 
 func main() {
-	opts := shmem.StoreOptions{
-		Shards:     4,
+	cfg := shmem.Config{
 		Algorithms: []string{"abd-mwmr", "casgc"}, // cycled: shards 0,2 replicate; 1,3 code
 		Servers:    5,
 		F:          1,
+		Shards:     4,
 		Workers:    4,
-		Workload: shmem.MultiWorkloadSpec{
-			Seed:         42,
-			Keys:         32,
-			Ops:          96,
-			ReadFraction: 0.25,
-			// Key 0 is the write-hot key; key 1 is read-mostly.
-			PerKeyReads: map[int]float64{0: 0, 1: 0.9},
-			Skew:        "zipf",
-			TargetNu:    2,
-			ValueBytes:  512,
-		},
 	}
-	res, err := shmem.RunStore(opts)
+	spec := shmem.MultiWorkloadSpec{
+		Seed:         42,
+		Keys:         32,
+		Ops:          96,
+		ReadFraction: 0.25,
+		// Key 0 is the write-hot key; key 1 is read-mostly.
+		PerKeyReads: map[int]float64{0: 0, 1: 0.9},
+		Skew:        "zipf",
+		TargetNu:    2,
+		ValueBytes:  512,
+	}
+	st, err := shmem.Open(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer st.Close()
+	res, err := st.RunMulti(spec)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -42,7 +47,7 @@ func main() {
 
 	// Every shard's normalized cost is comparable to Figure 1's y-axis.
 	// Replication pays ~N per shard; the coded shards pay ~nu*N/k.
-	p := shmem.Params{N: opts.Servers, F: opts.F}
+	p := shmem.Params{N: cfg.Servers, F: cfg.F}
 	log2V := res.Log2V
 	fmt.Printf("\nper-shard lower bounds: Theorem B.1 = %.3f, Theorem 5.1 = %.3f\n",
 		shmem.SingletonTotalBits(p, log2V)/log2V, shmem.Theorem51TotalBits(p, log2V)/log2V)
@@ -59,9 +64,14 @@ func main() {
 		res.TotalOps, res.AggregateMaxTotalBits, res.NormalizedTotal, res.OpsPerSec)
 
 	// Determinism: a serial re-run reproduces the parallel run exactly.
-	serial := opts
-	serial.Workers = 1
-	res2, err := shmem.RunStore(serial)
+	serialCfg := cfg
+	serialCfg.Workers = 1
+	serial, err := shmem.Open(serialCfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer serial.Close()
+	res2, err := serial.RunMulti(spec)
 	if err != nil {
 		log.Fatal(err)
 	}

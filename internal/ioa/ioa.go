@@ -207,6 +207,18 @@ type FaultStats struct {
 	FastForwards int
 }
 
+// Add accumulates another execution's fault counts — the one place
+// field-by-field summation lives, so aggregators (store, session) cannot
+// silently drop a later-added counter.
+func (s *FaultStats) Add(o FaultStats) {
+	s.Drops += o.Drops
+	s.DelayedMessages += o.DelayedMessages
+	s.DelayStepsTotal += o.DelayStepsTotal
+	s.Crashes += o.Crashes
+	s.Recoveries += o.Recoveries
+	s.FastForwards += o.FastForwards
+}
+
 // ValueBearer marks messages that carry information about a written value
 // (the "value-dependent messages" of Definition 6.4). The Theorem 6.5
 // execution construction withholds exactly these messages.

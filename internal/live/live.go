@@ -33,6 +33,7 @@
 package live
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -98,7 +99,7 @@ type event struct {
 
 type invokeEvent struct {
 	inv  ioa.Invocation
-	done chan struct{} // buffered 1; signaled when the response is recorded
+	done chan []byte // buffered 1; receives the response value when recorded
 }
 
 // opRecord is one per-client log entry. InvokeTS/RespondTS come from the
@@ -123,10 +124,10 @@ type nodeState struct {
 
 	log         []opRecord
 	pendingIdx  int // index in log of the outstanding op; -1 when none
-	pendingDone chan struct{}
+	pendingDone chan []byte
 
 	meter            ioa.StorageMeter // nil unless the node reports storage
-	curBits, maxBits int
+	curBits, maxBits atomic.Int64     // written by the node loop, readable mid-run
 }
 
 // runtime drives one cluster's automata concurrently.
@@ -227,7 +228,7 @@ func (rt *runtime) handle(ns *nodeState, ev event) {
 		rec.respondTS = rt.clock.Add(1)
 		ns.pendingIdx = -1
 		if ns.pendingDone != nil {
-			ns.pendingDone <- struct{}{} // buffered, single outstanding op: never blocks
+			ns.pendingDone <- rec.output // buffered, single outstanding op: never blocks
 			ns.pendingDone = nil
 		}
 	}
@@ -235,10 +236,10 @@ func (rt *runtime) handle(ns *nodeState, ev event) {
 		rt.send(ns.id, send)
 	}
 	if ns.meter != nil {
-		bits := ns.meter.StorageBits()
-		ns.curBits = bits
-		if bits > ns.maxBits {
-			ns.maxBits = bits
+		bits := int64(ns.meter.StorageBits())
+		ns.curBits.Store(bits)
+		if bits > ns.maxBits.Load() {
+			ns.maxBits.Store(bits)
 		}
 	}
 }
@@ -292,19 +293,23 @@ func (rt *runtime) post(to *nodeState, ev event) {
 	}
 }
 
-// invoke injects an operation at a client and waits for its response or the
-// timeout. It reports whether the operation completed in time.
-func (rt *runtime) invoke(client ioa.NodeID, inv ioa.Invocation, timeout time.Duration) bool {
+// invoke injects an operation at a client and waits for its response, the
+// timeout, or the context's cancellation. It returns the response value and
+// whether the operation completed in time; an abandoned operation stays
+// pending in the client's log and the client automaton remains mid-protocol.
+func (rt *runtime) invoke(ctx context.Context, client ioa.NodeID, inv ioa.Invocation, timeout time.Duration) ([]byte, bool) {
 	ns := rt.nodes[client]
-	done := make(chan struct{}, 1)
+	done := make(chan []byte, 1)
 	rt.post(ns, event{inv: &invokeEvent{inv: inv, done: done}})
 	t := time.NewTimer(timeout)
 	defer t.Stop()
 	select {
-	case <-done:
-		return true
+	case out := <-done:
+		return out, true
 	case <-t.C:
-		return false
+		return nil, false
+	case <-ctx.Done():
+		return nil, false
 	}
 }
 

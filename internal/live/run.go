@@ -1,6 +1,7 @@
 package live
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -60,6 +61,7 @@ func (r *Result) AsWorkload() *workload.Result {
 		NormalizedTotal:  r.NormalizedTotal,
 		Quiescent:        r.Quiescent,
 		Faults:           r.Faults,
+		Latencies:        r.Latencies,
 	}
 }
 
@@ -153,7 +155,7 @@ func RunConfig(cl *cluster.Cluster, spec workload.Spec, cfg Config) (*Result, er
 				}
 			}
 			start := time.Now()
-			ok := rt.invoke(client, inv, cfg.OpTimeout)
+			_, ok := rt.invoke(context.Background(), client, inv, cfg.OpTimeout)
 			if kind == ioa.OpWrite {
 				activeWrites.Add(-1)
 			}
@@ -255,11 +257,12 @@ func (rt *runtime) storageReport(cl *cluster.Cluster) ioa.StorageReport {
 		if ns == nil || ns.meter == nil {
 			continue
 		}
-		rep.PerServerMaxBits[id] = ns.maxBits
-		rep.MaxTotalBits += ns.maxBits
-		rep.CurrentTotalBits += ns.curBits
-		if ns.maxBits > rep.MaxServerBits {
-			rep.MaxServerBits = ns.maxBits
+		maxBits := int(ns.maxBits.Load())
+		rep.PerServerMaxBits[id] = maxBits
+		rep.MaxTotalBits += maxBits
+		rep.CurrentTotalBits += int(ns.curBits.Load())
+		if maxBits > rep.MaxServerBits {
+			rep.MaxServerBits = maxBits
 		}
 	}
 	return rep

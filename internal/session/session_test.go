@@ -1,0 +1,292 @@
+package session
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/register"
+	"repro/internal/store"
+	"repro/internal/workload"
+)
+
+// openSim opens a simulator store and registers its cleanup.
+func openSim(t *testing.T, cfg Config, opts ...Option) *Store {
+	t.Helper()
+	st, err := Open(cfg, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { st.Close() })
+	return st
+}
+
+func TestOpenDefaults(t *testing.T) {
+	st := openSim(t, Config{})
+	if st.Shards() != 1 {
+		t.Errorf("default Shards = %d, want 1", st.Shards())
+	}
+	if st.Backend() != store.BackendSim {
+		t.Errorf("default backend = %q, want sim", st.Backend())
+	}
+	cfg := st.Config()
+	if cfg.Servers != 5 || cfg.F != 1 {
+		t.Errorf("default cluster shape = (%d, %d), want (5, 1)", cfg.Servers, cfg.F)
+	}
+	if got := cfg.Algorithms; len(got) != 1 || got[0] != store.AlgCAS {
+		t.Errorf("default algorithms = %v, want [cas]", got)
+	}
+}
+
+func TestOpenValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		cfg  Config
+		want string
+	}{
+		{"unknown algorithm", Config{Algorithms: []string{"paxos"}}, "unknown algorithm"},
+		{"unknown backend", Config{Backend: "quantum"}, "unknown backend"},
+		{"bad fault spec", Config{Faults: []string{"bogus"}}, "Faults[0]"},
+		{"negative clients", Config{Writers: -1}, "negative client counts"},
+		{"negative budget", Config{StepBudget: -5}, "negative step budget"},
+		{"single-writer with many writers", Config{Algorithms: []string{store.AlgABD}, Writers: 3, Readers: 1}, "single-writer"},
+		{"step-indexed faults on live", Config{Backend: store.BackendLive, Faults: []string{"crash-f@10"}}, "simulator-only"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := Open(tc.cfg)
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("Open(%+v) error = %v, want mention of %q", tc.cfg, err, tc.want)
+			}
+		})
+	}
+}
+
+// TestPutGetAcrossShards drives a multi-key sequence on a sharded simulator
+// store: every key reads back its latest write, the history stays
+// consistent, and the metrics account for every operation.
+func TestPutGetAcrossShards(t *testing.T) {
+	st := openSim(t, Config{}, WithShards(4), WithClients(2, 2))
+	ctx := context.Background()
+
+	latest := make(map[int][]byte)
+	seq := uint64(0)
+	for round := 0; round < 3; round++ {
+		for key := 0; key < 8; key++ {
+			seq++
+			v := register.MakeValue(64, seq)
+			if err := st.Put(ctx, key, v); err != nil {
+				t.Fatalf("Put round %d key %d: %v", round, key, err)
+			}
+			latest[key] = v
+		}
+	}
+	for key, want := range latest {
+		got, err := st.Get(ctx, key)
+		if err != nil {
+			t.Fatalf("Get key %d: %v", key, err)
+		}
+		// Keys sharing a shard share a register, so a key's read returns the
+		// shard's latest write — only keys alone on their shard must match.
+		alone := true
+		for other := range latest {
+			if other != key && st.KeyShard(other) == st.KeyShard(key) {
+				alone = false
+				break
+			}
+		}
+		if alone && string(got) != string(want) {
+			t.Errorf("key %d read %x, want %x", key, got[:8], want[:8])
+		}
+	}
+
+	if err := st.CheckConsistency(); err != nil {
+		t.Errorf("CheckConsistency: %v", err)
+	}
+	m := st.Metrics()
+	if m.TotalWrites != 24 {
+		t.Errorf("TotalWrites = %d, want 24", m.TotalWrites)
+	}
+	if m.TotalReads != len(latest) {
+		t.Errorf("TotalReads = %d, want %d", m.TotalReads, len(latest))
+	}
+	if m.PendingOps != 0 {
+		t.Errorf("PendingOps = %d, want 0", m.PendingOps)
+	}
+	if m.AggregateMaxTotalBits == 0 {
+		t.Error("metrics report zero storage after 24 writes")
+	}
+	if len(m.PerShard) != 4 {
+		t.Errorf("PerShard = %d entries, want 4", len(m.PerShard))
+	}
+}
+
+// TestClientSelectionRangeErrors pins the named-range error text on the
+// store's explicit client-selection path.
+func TestClientSelectionRangeErrors(t *testing.T) {
+	st := openSim(t, Config{}, WithClients(2, 1))
+	ctx := context.Background()
+	err := st.PutAs(ctx, 5, 0, register.MakeValue(64, 1))
+	if err == nil || !strings.Contains(err.Error(), "writer index 5 out of range [0,2)") {
+		t.Errorf("PutAs error = %v, want named range [0,2)", err)
+	}
+	_, err = st.GetAs(ctx, -1, 0)
+	if err == nil || !strings.Contains(err.Error(), "reader index -1 out of range [0,1)") {
+		t.Errorf("GetAs error = %v, want named range [0,1)", err)
+	}
+}
+
+// TestStepBudgetTyped pins the typed ErrStepBudget on an interactive op
+// whose budget cannot cover a quorum round trip.
+func TestStepBudgetTyped(t *testing.T) {
+	st := openSim(t, Config{}, WithStepBudget(2))
+	err := st.Put(context.Background(), 0, register.MakeValue(64, 1))
+	if !errors.Is(err, store.ErrStepBudget) {
+		t.Fatalf("Put error = %v, want ErrStepBudget", err)
+	}
+	// The abandoned op stays pending, and the history remains checkable.
+	if m := st.Metrics(); m.PendingOps != 1 {
+		t.Errorf("PendingOps = %d, want 1", m.PendingOps)
+	}
+	if err := st.CheckConsistency(); err != nil {
+		t.Errorf("CheckConsistency with pending op: %v", err)
+	}
+}
+
+// TestSimRetirementAfterAbandonedOp pins the regression where a
+// budget-exhausted simulator op could be silently completed inside the
+// kernel by a later op's fair run, after which re-invoking the same client
+// appended history entries after a pending op and permanently malformed
+// the shard history. The client must be retired instead: later Puts
+// through the rotation report every writer retired, reads still work, and
+// CheckConsistency keeps returning verdicts, not malformed-history errors.
+func TestSimRetirementAfterAbandonedOp(t *testing.T) {
+	st := openSim(t, Config{Algorithms: []string{store.AlgABD}, Servers: 3, F: 1}, WithStepBudget(2))
+	ctx := context.Background()
+	if err := st.Put(ctx, 0, register.MakeValue(64, 1)); !errors.Is(err, store.ErrStepBudget) {
+		t.Fatalf("first Put = %v, want ErrStepBudget", err)
+	}
+	// The abandoned Get pumps more deliveries into the shared kernel, which
+	// quietly completes the abandoned write inside it — the session history
+	// must stay well-formed regardless.
+	if _, err := st.Get(ctx, 0); !errors.Is(err, store.ErrStepBudget) {
+		t.Fatalf("Get = %v, want ErrStepBudget", err)
+	}
+	err := st.Put(ctx, 0, register.MakeValue(64, 2))
+	if err == nil || !strings.Contains(err.Error(), "retired") {
+		t.Fatalf("Put on the retired sole writer = %v, want retirement error", err)
+	}
+	if err := st.CheckConsistency(); err != nil {
+		t.Errorf("CheckConsistency after retirement: %v", err)
+	}
+	if m := st.Metrics(); m.PendingOps != 2 {
+		t.Errorf("PendingOps = %d, want the two abandoned ops", m.PendingOps)
+	}
+}
+
+// TestContextCancelled pins context awareness: an already-cancelled context
+// fails fast without invoking anything.
+func TestContextCancelled(t *testing.T) {
+	st := openSim(t, Config{})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := st.Put(ctx, 0, register.MakeValue(64, 1)); !errors.Is(err, context.Canceled) {
+		t.Errorf("Put on cancelled ctx = %v, want context.Canceled", err)
+	}
+	if m := st.Metrics(); m.TotalWrites != 0 {
+		t.Errorf("cancelled op counted: TotalWrites = %d", m.TotalWrites)
+	}
+}
+
+// TestLiveInteractive drives the same interactive surface on the live
+// backend: concurrent multi-key clients, value round trip, consistency.
+func TestLiveInteractive(t *testing.T) {
+	st := openSim(t, Config{}, WithBackend(store.BackendLive), WithShards(2), WithClients(2, 2))
+	ctx := context.Background()
+
+	var wg sync.WaitGroup
+	errs := make([]error, 4)
+	for k := 0; k < 4; k++ {
+		wg.Add(1)
+		go func(k int) {
+			defer wg.Done()
+			for i := 0; i < 3; i++ {
+				v := register.MakeValue(64, uint64(k*100+i+1))
+				if err := st.Put(ctx, k, v); err != nil {
+					errs[k] = fmt.Errorf("put key %d: %w", k, err)
+					return
+				}
+				if _, err := st.Get(ctx, k); err != nil {
+					errs[k] = fmt.Errorf("get key %d: %w", k, err)
+					return
+				}
+			}
+		}(k)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := st.CheckConsistency(); err != nil {
+		t.Errorf("live CheckConsistency: %v", err)
+	}
+	m := st.Metrics()
+	if m.TotalWrites != 12 || m.TotalReads != 12 {
+		t.Errorf("op counts = (%d writes, %d reads), want (12, 12)", m.TotalWrites, m.TotalReads)
+	}
+	if m.LatencyP99 == 0 {
+		t.Error("live metrics report zero p99 latency after 24 completed ops")
+	}
+	if err := st.Close(); err != nil {
+		t.Errorf("Close: %v", err)
+	}
+	if err := st.Put(ctx, 0, nil); !errors.Is(err, ErrClosed) {
+		t.Errorf("Put after Close = %v, want ErrClosed", err)
+	}
+}
+
+// TestRunWorkloadBatch checks the handle's single-register batch path on
+// the simulator, including the config fault scenario inheritance.
+func TestRunWorkloadBatch(t *testing.T) {
+	st := openSim(t, Config{Algorithms: []string{store.AlgABDMW}}, WithFaults("lossy=0.02"), WithSeed(7))
+	res, err := st.RunWorkload(workload.Spec{Seed: 7, Writes: 8, Reads: 8, TargetNu: 2, ValueBytes: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.CheckConsistency(st.Condition()); err != nil {
+		t.Errorf("consistency (%s): %v", st.Condition(), err)
+	}
+	if res.Faults.Drops == 0 {
+		t.Error("lossy scenario from the store config injected no drops")
+	}
+}
+
+// TestRunMultiDeterministic checks the handle's sharded batch path: same
+// seed, same fingerprint at any worker count, inheriting the store's
+// algorithm mix and fault scenarios.
+func TestRunMultiDeterministic(t *testing.T) {
+	spec := workload.MultiSpec{
+		Seed: 3, Keys: 16, Ops: 48, ReadFraction: 0.25, TargetNu: 2, ValueBytes: 64,
+	}
+	st1 := openSim(t, Config{Algorithms: []string{store.AlgCAS, store.AlgABDMW}}, WithShards(4), WithWorkers(1), WithFaults("delay=1:8"))
+	st4 := openSim(t, Config{Algorithms: []string{store.AlgCAS, store.AlgABDMW}}, WithShards(4), WithWorkers(4), WithFaults("delay=1:8"))
+	r1, err := st1.RunMulti(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r4, err := st4.RunMulti(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Fingerprint() != r4.Fingerprint() {
+		t.Errorf("fingerprints differ across worker counts:\n%s\n%s", r1.Fingerprint(), r4.Fingerprint())
+	}
+	if r1.Faults.DelayedMessages == 0 {
+		t.Error("config fault scenario not inherited by RunMulti")
+	}
+}

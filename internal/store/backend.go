@@ -1,10 +1,14 @@
 package store
 
 import (
+	"context"
+	"errors"
 	"fmt"
+	"sync"
 
 	"repro/internal/cluster"
 	"repro/internal/faults"
+	"repro/internal/ioa"
 	"repro/internal/live"
 	"repro/internal/workload"
 )
@@ -13,6 +17,14 @@ import (
 // identical either way — DeployAlgorithm builds the same cluster — and each
 // backend drives them through the same workload.Spec, returning the shared
 // result shape whose history feeds the same consistency checkers.
+//
+// A backend offers two execution paths:
+//
+//   - RunShard drives a whole seeded workload to completion — the batch
+//     path every experiment uses; and
+//   - OpenShard keeps the shard's deployment running and returns a
+//     ShardSession whose RunOp executes individual client operations
+//     interactively — the path session.Store routes Put/Get through.
 //
 // The two implementations differ in their guarantees (DESIGN.md section 8):
 // the simulator is the determinism oracle (same seed, byte-identical
@@ -23,8 +35,57 @@ type Backend interface {
 	// Name returns the backend's selector string.
 	Name() string
 	// RunShard executes one shard's workload on the cluster.
-	RunShard(cl *cluster.Cluster, spec workload.Spec) (*workload.Result, error)
+	RunShard(cl *cluster.Cluster, spec workload.Spec, opts ShardOptions) (*workload.Result, error)
+	// OpenShard prepares the cluster for interactive operations and returns
+	// the session that executes them.
+	OpenShard(cl *cluster.Cluster, opts ShardOptions) (ShardSession, error)
 }
+
+// ShardOptions carries the per-shard tuning a backend may need: the fault
+// plan, the simulator's per-operation step budget, and the live runtime's
+// configuration. Zero values select the defaults.
+type ShardOptions struct {
+	// Plan is the shard's fault plan (nil = fault-free). RunShard callers
+	// install the plan on the spec instead; OpenShard reads it from here.
+	Plan *faults.Plan
+	// StepBudget bounds the deliveries a single interactive operation may
+	// consume on the simulator (0 = workload.DefaultStepBudget). The live
+	// runtime bounds operations by wall-clock timeout instead.
+	StepBudget int
+	// Live tunes the live runtime (step duration, op timeout, mailboxes).
+	Live live.Config
+}
+
+func (o ShardOptions) stepBudget() int {
+	if o.StepBudget > 0 {
+		return o.StepBudget
+	}
+	return workload.DefaultStepBudget
+}
+
+// ShardSession executes interactive operations against one shard's running
+// deployment. Sessions are safe for concurrent use; the simulator serializes
+// operations internally (one discrete schedule per shard), while the live
+// backend runs operations at distinct clients genuinely in parallel.
+type ShardSession interface {
+	// RunOp executes one operation at the client to completion and returns
+	// its output (the read value; nil for writes). On failure, pending
+	// reports whether the operation was genuinely invoked and may still
+	// take effect — such operations must stay pending in any checked
+	// history. A pending==false error means the operation never started.
+	RunOp(ctx context.Context, client ioa.NodeID, inv ioa.Invocation) (out []byte, pending bool, err error)
+	// Storage snapshots the shard's per-server storage maxima so far.
+	Storage() ioa.StorageReport
+	// FaultStats snapshots the fault events applied so far.
+	FaultStats() ioa.FaultStats
+	// Close releases the shard's resources (live node goroutines).
+	Close() error
+}
+
+// ErrStepBudget reports that an interactive simulator operation exhausted
+// its delivery budget before completing. Callers can widen the budget with
+// a larger ShardOptions.StepBudget (shmem.WithStepBudget).
+var ErrStepBudget = errors.New("store: step budget exhausted before the operation completed")
 
 // Backend selector names accepted by Options.Backend.
 const (
@@ -52,9 +113,87 @@ type simBackend struct{}
 
 func (simBackend) Name() string { return BackendSim }
 
-func (simBackend) RunShard(cl *cluster.Cluster, spec workload.Spec) (*workload.Result, error) {
+func (simBackend) RunShard(cl *cluster.Cluster, spec workload.Spec, _ ShardOptions) (*workload.Result, error) {
 	return workload.Run(cl, spec)
 }
+
+func (simBackend) OpenShard(cl *cluster.Cluster, opts ShardOptions) (ShardSession, error) {
+	if err := cl.Validate(); err != nil {
+		return nil, err
+	}
+	if opts.Plan != nil {
+		if err := opts.Plan.Validate(); err != nil {
+			return nil, err
+		}
+		cl.Sys.SetFaultPlan(opts.Plan)
+	}
+	return &simSession{cl: cl, budget: opts.stepBudget()}, nil
+}
+
+// simSession drives interactive operations on a shard's simulated system.
+// One mutex serializes operations: the simulator is a single discrete
+// schedule, so concurrency within a shard is meaningless there.
+type simSession struct {
+	mu     sync.Mutex
+	cl     *cluster.Cluster
+	budget int
+}
+
+// fairRunChunk bounds one FairRun slice of an interactive operation, so the
+// session can observe context cancellation between slices without giving
+// the scheduler a chance to starve anything (FairRun resumes exactly where
+// it stopped).
+const fairRunChunk = 1 << 16
+
+func (s *simSession) RunOp(ctx context.Context, client ioa.NodeID, inv ioa.Invocation) ([]byte, bool, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := ctx.Err(); err != nil {
+		return nil, false, err
+	}
+	id, err := s.cl.Sys.Invoke(client, inv)
+	if err != nil {
+		return nil, false, err
+	}
+	for left := s.budget; left > 0; {
+		step := fairRunChunk
+		if step > left {
+			step = left
+		}
+		switch err := s.cl.Sys.FairRun(step, ioa.OpDone(id)); {
+		case err == nil:
+			op, err := s.cl.Sys.History().OpByID(id)
+			if err != nil {
+				return nil, true, err
+			}
+			return op.Output, false, nil
+		case errors.Is(err, ioa.ErrStepLimit):
+			left -= step
+			if cerr := ctx.Err(); cerr != nil {
+				return nil, true, fmt.Errorf("store: op %v at client %d abandoned: %w", inv.Kind, client, cerr)
+			}
+		case errors.Is(err, ioa.ErrQuiescent):
+			return nil, true, fmt.Errorf("store: op %v at client %d cannot complete (system quiescent under faults): %w", inv.Kind, client, err)
+		default:
+			return nil, true, fmt.Errorf("store: op %v at client %d: %w", inv.Kind, client, err)
+		}
+	}
+	return nil, true, fmt.Errorf("store: op %v at client %d: %w (budget %d deliveries)", inv.Kind, client, ErrStepBudget, s.budget)
+}
+
+func (s *simSession) Storage() ioa.StorageReport {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.cl.Sys.Storage()
+}
+
+func (s *simSession) FaultStats() ioa.FaultStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.cl.Sys.FaultStats()
+}
+
+func (s *simSession) Close() error { return nil }
 
 // validateLiveWorkload eagerly rejects multi-key workloads the live backend
 // cannot run — a random crash budget or step-indexed fault scenarios — so
@@ -83,16 +222,37 @@ func validateLiveWorkload(o Options) error {
 	return nil
 }
 
-// liveBackend runs shards on the live concurrent runtime with its default
-// configuration.
+// liveBackend runs shards on the live concurrent runtime.
 type liveBackend struct{}
 
 func (liveBackend) Name() string { return BackendLive }
 
-func (liveBackend) RunShard(cl *cluster.Cluster, spec workload.Spec) (*workload.Result, error) {
-	res, err := live.Run(cl, spec)
+func (liveBackend) RunShard(cl *cluster.Cluster, spec workload.Spec, opts ShardOptions) (*workload.Result, error) {
+	res, err := live.RunConfig(cl, spec, opts.Live)
 	if err != nil {
 		return nil, err
 	}
 	return res.AsWorkload(), nil
 }
+
+func (liveBackend) OpenShard(cl *cluster.Cluster, opts ShardOptions) (ShardSession, error) {
+	in, err := live.OpenInteractive(cl, opts.Plan, opts.Live)
+	if err != nil {
+		return nil, err
+	}
+	return &liveSession{cl: cl, in: in}, nil
+}
+
+// liveSession adapts live.Interactive to the ShardSession surface.
+type liveSession struct {
+	cl *cluster.Cluster
+	in *live.Interactive
+}
+
+func (s *liveSession) RunOp(ctx context.Context, client ioa.NodeID, inv ioa.Invocation) ([]byte, bool, error) {
+	return s.in.Invoke(ctx, client, inv)
+}
+
+func (s *liveSession) Storage() ioa.StorageReport { return s.in.Storage(s.cl) }
+func (s *liveSession) FaultStats() ioa.FaultStats { return s.in.FaultStats() }
+func (s *liveSession) Close() error               { return s.in.Close() }

@@ -1,0 +1,174 @@
+package store
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/ioa"
+	"repro/internal/workload"
+)
+
+// TestBackendNameRoundTrip pins the selector contract: every listed backend
+// resolves by its own name and reports that name back.
+func TestBackendNameRoundTrip(t *testing.T) {
+	names := Backends()
+	if len(names) < 2 {
+		t.Fatalf("Backends() = %v, want at least sim and live", names)
+	}
+	for _, name := range names {
+		b, err := BackendByName(name)
+		if err != nil {
+			t.Fatalf("BackendByName(%q): %v", name, err)
+		}
+		if got := b.Name(); got != name {
+			t.Errorf("BackendByName(%q).Name() = %q", name, got)
+		}
+	}
+}
+
+// TestBackendEmptyDefaultsToSim pins "" selecting the simulator.
+func TestBackendEmptyDefaultsToSim(t *testing.T) {
+	b, err := BackendByName("")
+	if err != nil {
+		t.Fatalf("BackendByName(\"\"): %v", err)
+	}
+	if b.Name() != BackendSim {
+		t.Errorf("empty backend name resolved to %q, want %q", b.Name(), BackendSim)
+	}
+}
+
+// TestBackendUnknownNameError pins the error text: it must name the bad
+// selector and list the known backends.
+func TestBackendUnknownNameError(t *testing.T) {
+	_, err := BackendByName("quantum")
+	if err == nil {
+		t.Fatal("BackendByName(\"quantum\") succeeded")
+	}
+	for _, want := range []string{`"quantum"`, BackendSim, BackendLive, "unknown backend"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("error %q does not mention %q", err, want)
+		}
+	}
+}
+
+// TestValidateLiveWorkloadRejectsStepIndexedPerShard pins that a live-backend
+// options validation failure names the offending per-shard fault index.
+func TestValidateLiveWorkloadRejectsStepIndexedPerShard(t *testing.T) {
+	base := Options{
+		Shards:  4,
+		Servers: 5,
+		F:       1,
+		Backend: BackendLive,
+		Workload: workload.MultiSpec{
+			Keys: 8, Ops: 8, TargetNu: 1, ValueBytes: 64,
+		},
+	}
+
+	cases := []struct {
+		name   string
+		faults []string
+		want   string // substring the error must carry; "" = no error
+	}{
+		{"drop and delay rules pass", []string{"lossy=0.02", "delay=1:8", "none"}, ""},
+		{"scheduled crash is step-indexed", []string{"none", "crash-f@10"}, "Faults[1]"},
+		{"partition window is step-indexed", []string{"lossy=0.01", "delay=1:4", "partition@40:4000"}, "Faults[2]"},
+		{"malformed spec names its index", []string{"none", "bogus-scenario"}, "Faults[1]"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			o := base
+			o.Workload.Faults = tc.faults
+			err := validateLiveWorkload(o)
+			if tc.want == "" {
+				if err != nil {
+					t.Fatalf("unexpected error: %v", err)
+				}
+				return
+			}
+			if err == nil {
+				t.Fatalf("faults %v accepted, want error naming %s", tc.faults, tc.want)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("error %q does not name %s", err, tc.want)
+			}
+			// The same rejection must surface from full Options validation.
+			if verr := o.validate(); verr == nil || !strings.Contains(verr.Error(), tc.want) {
+				t.Errorf("Options.validate() = %v, want error naming %s", verr, tc.want)
+			}
+		})
+	}
+}
+
+// TestValidateLiveWorkloadRejectsCrashBudget pins the simulator-only random
+// crash budget rejection.
+func TestValidateLiveWorkloadRejectsCrashBudget(t *testing.T) {
+	o := Options{
+		Shards:  1,
+		Servers: 5,
+		F:       1,
+		Backend: BackendLive,
+		Workload: workload.MultiSpec{
+			Keys: 4, Ops: 4, TargetNu: 1, ValueBytes: 64, Crashes: 1,
+		},
+	}
+	if err := validateLiveWorkload(o); err == nil || !strings.Contains(err.Error(), "Crashes") {
+		t.Errorf("crash budget accepted on live backend: %v", err)
+	}
+}
+
+// TestSimSessionStepBudget pins the interactive path's typed budget error:
+// a one-delivery budget cannot complete a quorum write, and the error must
+// be ErrStepBudget with the operation left pending.
+func TestSimSessionStepBudget(t *testing.T) {
+	cl, _, err := DeployAlgorithm(AlgCAS, 5, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := BackendByName(BackendSim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess, err := b.OpenShard(cl, ShardOptions{StepBudget: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sess.Close()
+	_, pending, err := sess.RunOp(context.Background(), cl.Writers[0], ioa.Invocation{Kind: ioa.OpWrite, Value: make([]byte, 64)})
+	if !errors.Is(err, ErrStepBudget) {
+		t.Fatalf("RunOp error = %v, want ErrStepBudget", err)
+	}
+	if !pending {
+		t.Error("budget-exhausted op reported as never started; it was invoked and must stay pending")
+	}
+}
+
+// TestSimSessionCompletesOps drives a write/read pair interactively on the
+// simulator session and checks the read returns the written value.
+func TestSimSessionCompletesOps(t *testing.T) {
+	cl, _, err := DeployAlgorithm(AlgABDMW, 3, 1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := BackendByName("")
+	sess, err := b.OpenShard(cl, ShardOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sess.Close()
+	val := []byte("interactive-value-0123456789abcdef")
+	if _, pending, err := sess.RunOp(context.Background(), cl.Writers[0], ioa.Invocation{Kind: ioa.OpWrite, Value: val}); err != nil || pending {
+		t.Fatalf("write: pending=%t err=%v", pending, err)
+	}
+	out, pending, err := sess.RunOp(context.Background(), cl.Readers[0], ioa.Invocation{Kind: ioa.OpRead})
+	if err != nil || pending {
+		t.Fatalf("read: pending=%t err=%v", pending, err)
+	}
+	if string(out) != string(val) {
+		t.Errorf("read %q, want %q", out, val)
+	}
+	if rep := sess.Storage(); rep.MaxTotalBits == 0 {
+		t.Error("storage report empty after a completed write")
+	}
+}

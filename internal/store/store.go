@@ -13,7 +13,9 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/ioa"
+	"repro/internal/live"
 	"repro/internal/workload"
 )
 
@@ -43,6 +45,16 @@ type Options struct {
 	// goroutine-per-node runtime). Fingerprints are only meaningful on the
 	// simulator; live results vary run to run and are checked for safety.
 	Backend string
+	// Writers and Readers override each shard's client counts. Zero keeps
+	// DeployAlgorithm's per-algorithm shapes (the default); setting them is
+	// how live client-count sweeps scale concurrency. Single-writer
+	// algorithms reject Writers > 1.
+	Writers int
+	Readers int
+	// Live tunes the live runtime when Backend is BackendLive (step
+	// duration for fault delays, per-op timeout, mailbox capacity). The
+	// zero value selects the defaults; ignored on the simulator.
+	Live live.Config
 	// Workload is the multi-key workload to partition across shards.
 	Workload workload.MultiSpec
 }
@@ -65,6 +77,9 @@ func (o Options) validate() error {
 		if !slices.Contains(Algorithms(), a) {
 			return fmt.Errorf("store: unknown algorithm %q (known: %v)", a, Algorithms())
 		}
+	}
+	if o.Writers < 0 || o.Readers < 0 {
+		return fmt.Errorf("store: negative client counts (writers=%d readers=%d)", o.Writers, o.Readers)
 	}
 	if _, err := BackendByName(o.Backend); err != nil {
 		return err
@@ -117,6 +132,10 @@ type ShardResult struct {
 	Storage ioa.StorageReport
 	// NormalizedTotal is the shard's MaxTotalBits / log2|V|.
 	NormalizedTotal float64
+	// Latencies holds the shard's per-operation wall-clock durations (live
+	// backend only; empty on the simulator). Like Elapsed, they vary run to
+	// run and are excluded from Fingerprint.
+	Latencies []time.Duration
 }
 
 // Result aggregates a sharded store run.
@@ -154,6 +173,11 @@ type Result struct {
 	Elapsed   time.Duration
 	OpsPerSec float64
 	Workers   int
+	// LatencyP50 and LatencyP99 are nearest-rank percentiles over every
+	// shard's completed-operation latencies (live backend only; zero on the
+	// simulator). Excluded from Fingerprint.
+	LatencyP50 time.Duration
+	LatencyP99 time.Duration
 }
 
 // Fingerprint returns a hex digest of every deterministic field — per-shard
@@ -312,12 +336,7 @@ func Run(o Options) (*Result, error) {
 		if s.Quiescent {
 			res.QuiescentShards++
 		}
-		res.Faults.Drops += s.Faults.Drops
-		res.Faults.DelayedMessages += s.Faults.DelayedMessages
-		res.Faults.DelayStepsTotal += s.Faults.DelayStepsTotal
-		res.Faults.Crashes += s.Faults.Crashes
-		res.Faults.Recoveries += s.Faults.Recoveries
-		res.Faults.FastForwards += s.Faults.FastForwards
+		res.Faults.Add(s.Faults)
 		if s.Storage.MaxTotalBits > res.MaxShardTotalBits {
 			res.MaxShardTotalBits = s.Storage.MaxTotalBits
 		}
@@ -330,11 +349,19 @@ func Run(o Options) (*Result, error) {
 	if secs := elapsed.Seconds(); secs > 0 {
 		res.OpsPerSec = float64(res.TotalOps) / secs
 	}
+	var lats []time.Duration
+	for _, s := range shardResults {
+		lats = append(lats, s.Latencies...)
+	}
+	if len(lats) > 0 {
+		res.LatencyP50 = live.Percentile(lats, 0.50)
+		res.LatencyP99 = live.Percentile(lats, 0.99)
+	}
 	return res, nil
 }
 
 func runShard(o Options, backend Backend, alg string, load workload.ShardLoad) (ShardResult, error) {
-	cl, cond, err := DeployAlgorithm(alg, o.Servers, o.F, o.Workload.TargetNu)
+	cl, cond, err := DeployShard(alg, o.Servers, o.F, o.Workload.TargetNu, o.Writers, o.Readers)
 	if err != nil {
 		return ShardResult{}, err
 	}
@@ -346,7 +373,7 @@ func runShard(o Options, backend Backend, alg string, load workload.ShardLoad) (
 	if plan != nil {
 		spec.FaultPlan = plan
 	}
-	wres, err := backend.RunShard(cl, spec)
+	wres, err := backend.RunShard(cl, spec, ShardOptions{Live: o.Live})
 	if err != nil {
 		return ShardResult{}, err
 	}
@@ -369,5 +396,23 @@ func runShard(o Options, backend Backend, alg string, load workload.ShardLoad) (
 		PeakActiveWrites: wres.PeakActiveWrites,
 		Storage:          wres.Storage,
 		NormalizedTotal:  wres.NormalizedTotal,
+		Latencies:        wres.Latencies,
 	}, nil
+}
+
+// DeployShard builds one shard's cluster with the engine's client-count
+// defaulting: explicit counts when writers or readers is set (zero defaults
+// to one), DeployAlgorithm's per-algorithm shapes sized for nu when both
+// are zero. The batch engine and the session layer share this rule.
+func DeployShard(alg string, n, f, nu, writers, readers int) (*cluster.Cluster, string, error) {
+	if writers == 0 && readers == 0 {
+		return DeployAlgorithm(alg, n, f, nu)
+	}
+	if writers == 0 {
+		writers = 1
+	}
+	if readers == 0 {
+		readers = 1
+	}
+	return DeployAlgorithmSized(alg, n, f, writers, readers)
 }

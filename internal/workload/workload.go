@@ -8,6 +8,7 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"time"
 
 	"repro/internal/cluster"
 	"repro/internal/consistency"
@@ -15,6 +16,12 @@ import (
 	"repro/internal/ioa"
 	"repro/internal/register"
 )
+
+// DefaultStepBudget is the delivery budget a run or interactive operation
+// gets when no explicit budget is configured: Spec.MaxSteps defaults to it,
+// and so does the per-operation budget of interactive simulator sessions
+// (store.ShardSession, shmem.Open's WithStepBudget option).
+const DefaultStepBudget = 2000000
 
 // Spec describes a workload.
 type Spec struct {
@@ -33,7 +40,7 @@ type Spec struct {
 	// Crashes randomly crashes up to this many servers during the run
 	// (bounded by the cluster's f).
 	Crashes int
-	// MaxSteps bounds the total deliveries (default 2,000,000).
+	// MaxSteps bounds the total deliveries (default DefaultStepBudget).
 	MaxSteps int
 	// FaultPlan, when non-nil, is installed on the system before the run:
 	// messages may be dropped, delayed, reordered or partitioned and servers
@@ -48,7 +55,7 @@ func (s Spec) maxSteps() int {
 	if s.MaxSteps > 0 {
 		return s.MaxSteps
 	}
-	return 2000000
+	return DefaultStepBudget
 }
 
 // Validate checks the spec against a cluster.
@@ -90,6 +97,11 @@ type Result struct {
 	Quiescent bool
 	// Faults aggregates the fault events the kernel applied during the run.
 	Faults ioa.FaultStats
+	// Latencies holds one wall-clock duration per operation that completed
+	// within its timeout, in no particular order. Only the live backend
+	// fills it — simulator runs have no meaningful per-op wall time — so it
+	// is empty for simulator results and excluded from every fingerprint.
+	Latencies []time.Duration
 }
 
 // Run drives the cluster through the workload.

@@ -4,7 +4,19 @@
 //	Storage Cost of Shared Memory Emulation" (PODC 2016,
 //	arXiv:1605.06844).
 //
-// It bundles, behind one import:
+// The center of the API is the handle: Open deploys a sharded register
+// store on either execution backend and returns a Store whose methods cover
+// the whole lifecycle —
+//
+//	st, err := shmem.Open(shmem.Config{}, shmem.WithShards(4))
+//	defer st.Close()
+//	st.Put(ctx, key, value)        // interactive, context-aware client ops
+//	st.Get(ctx, key)               // routed to the key's shard
+//	st.RunMulti(multiSpec)         // batch experiments on fresh clusters
+//	st.Metrics()                   // storage reports, fault stats, latencies
+//	st.CheckConsistency()          // verdict over the interactive history
+//
+// Around the handle, the package bundles:
 //
 //   - deployments of the register-emulation algorithms the paper reasons
 //     about (ABD replication, CAS/CASGC erasure-coded atomic storage, and
@@ -17,11 +29,13 @@
 //   - the executable-proof experiments: critical-point/valency analysis and
 //     the injectivity counting arguments run against live algorithm code.
 //
-// See the examples directory for runnable walkthroughs and EXPERIMENTS.md
-// for the paper-versus-measured record.
+// See the examples directory for runnable walkthroughs, MIGRATION.md for
+// the mapping from the pre-Open free functions, and EXPERIMENTS.md for the
+// paper-versus-measured record.
 package shmem
 
 import (
+	"errors"
 	"fmt"
 	"time"
 
@@ -36,9 +50,81 @@ import (
 	"repro/internal/ioa"
 	"repro/internal/live"
 	"repro/internal/register"
+	"repro/internal/session"
 	"repro/internal/store"
 	"repro/internal/workload"
 )
+
+// --- the store handle ---
+
+// Config names everything a Store needs: the algorithm mix, the per-shard
+// cluster shape (n, f), the shard count, the execution backend, the fault
+// scenarios, and the interactive tuning. The zero value opens a one-shard
+// CAS store of 5 servers tolerating 1 crash on the simulator; functional
+// options (WithBackend, WithShards, ...) adjust it from there.
+type Config = session.Config
+
+// Option adjusts a Config passed to Open.
+type Option = session.Option
+
+// Store is a handle over a sharded register store: interactive Put/Get
+// routed to per-shard deployments, batch experiments, a unified metrics
+// snapshot, and consistency checking over the interactive history — on
+// either backend. Close releases it.
+type Store = session.Store
+
+// Metrics is a Store's unified snapshot: per-shard storage reports, fault
+// stats, op counts and latency percentiles.
+type Metrics = session.Metrics
+
+// StoreShardMetrics is one shard's slice of a Metrics snapshot.
+type StoreShardMetrics = session.ShardMetrics
+
+// Open deploys the configured shards on the configured backend and returns
+// the store handle. Configuration errors (unknown algorithm or backend,
+// malformed or backend-unsupported fault specs, invalid client counts)
+// surface here, not mid-operation.
+func Open(cfg Config, opts ...Option) (*Store, error) { return session.Open(cfg, opts...) }
+
+// WithBackend selects the execution backend: "sim" (the deterministic
+// simulator, the default) or "live" (the concurrent goroutine-per-node
+// runtime).
+func WithBackend(name string) Option { return session.WithBackend(name) }
+
+// WithShards sets the number of independent register shards keys are
+// routed across.
+func WithShards(n int) Option { return session.WithShards(n) }
+
+// WithFaults assigns fault scenario specs (internal/faults grammar),
+// cycled per shard.
+func WithFaults(specs ...string) Option { return session.WithFaults(specs...) }
+
+// WithLiveConfig tunes the live runtime (step duration, op timeout,
+// mailbox capacity).
+func WithLiveConfig(lc LiveConfig) Option { return session.WithLiveConfig(lc) }
+
+// WithStepBudget bounds the deliveries each interactive simulator
+// operation may consume (default DefaultStepBudget); exhausting it returns
+// ErrStepBudget.
+func WithStepBudget(n int) Option { return session.WithStepBudget(n) }
+
+// WithClients sets the per-shard writer and reader client counts.
+func WithClients(writers, readers int) Option { return session.WithClients(writers, readers) }
+
+// WithSeed sets the fault and batch-workload seed.
+func WithSeed(seed int64) Option { return session.WithSeed(seed) }
+
+// WithWorkers bounds the worker pool batch runs (Store.RunMulti) use.
+func WithWorkers(n int) Option { return session.WithWorkers(n) }
+
+// DefaultStepBudget is the delivery budget an interactive simulator
+// operation (or a workload run without MaxSteps) gets when no explicit
+// budget is configured.
+const DefaultStepBudget = workload.DefaultStepBudget
+
+// ErrStepBudget reports that an interactive simulator operation exhausted
+// its delivery budget before completing; widen it with WithStepBudget.
+var ErrStepBudget = store.ErrStepBudget
 
 // Re-exported foundation types.
 type (
@@ -96,6 +182,10 @@ const (
 // DeployABD builds an ABD replication register: n servers tolerating f
 // crashes, with the given writer and reader clients. multiWriter selects the
 // two-phase MWMR write protocol.
+//
+// Deprecated: use Open with Config.Algorithms "abd" / "abd-mwmr" for store
+// handles; the builder helpers (ABDBuilder) remain for the executable
+// proofs.
 func DeployABD(n, f, writers, readers int, multiWriter bool) (*Cluster, error) {
 	return abd.Deploy(abd.Options{Servers: n, F: f, Writers: writers, Readers: readers, MultiWriter: multiWriter})
 }
@@ -103,6 +193,10 @@ func DeployABD(n, f, writers, readers int, multiWriter bool) (*Cluster, error) {
 // DeployCAS builds a Coded Atomic Storage register with code dimension
 // k = n-2f. gcDepth < 0 disables garbage collection (plain CAS); gcDepth = δ
 // keeps the δ+1 newest finalized versions (CASGC).
+//
+// Deprecated: use Open with Config.Algorithms "cas" / "casgc" for store
+// handles; the builder helpers (CASBuilder) remain for the executable
+// proofs.
 func DeployCAS(n, f, gcDepth, writers, readers int) (*Cluster, error) {
 	return cas.Deploy(cas.Options{Servers: n, F: f, GCDepth: gcDepth, Writers: writers, Readers: readers})
 }
@@ -130,6 +224,9 @@ func DeploySolo(n, f, readers int) (*Cluster, error) {
 
 // RunWorkload drives the cluster through the seeded workload, metering
 // storage.
+//
+// Deprecated: use Store.RunWorkload on an Open handle, which deploys the
+// cluster itself and runs on either backend.
 func RunWorkload(cl *Cluster, spec WorkloadSpec) (*WorkloadResult, error) {
 	return workload.Run(cl, spec)
 }
@@ -139,6 +236,9 @@ func RunWorkload(cl *Cluster, spec WorkloadSpec) (*WorkloadResult, error) {
 // on a worker pool with deterministic per-shard seeds, and aggregates the
 // per-shard storage reports and consistency verdicts. Results are
 // byte-identical across runs regardless of the worker count.
+//
+// Deprecated: use Store.RunMulti on an Open handle, which carries the
+// algorithm mix, backend and fault scenarios in its Config.
 func RunStore(opts StoreOptions) (*StoreResult, error) {
 	return store.Run(opts)
 }
@@ -147,6 +247,8 @@ func RunStore(opts StoreOptions) (*StoreResult, error) {
 // "abd-mwmr", "cas", "casgc", "twoversion", "twoversion-gossip" or "solo")
 // sized for write concurrency nu, and returns the consistency condition the
 // algorithm guarantees ("atomic" or "regular").
+//
+// Deprecated: Open deploys the named algorithms itself (Config.Algorithms).
 func DeployAlgorithm(alg string, n, f, nu int) (*Cluster, string, error) {
 	return store.DeployAlgorithm(alg, n, f, nu)
 }
@@ -154,6 +256,8 @@ func DeployAlgorithm(alg string, n, f, nu int) (*Cluster, string, error) {
 // DeployAlgorithmSized builds a cluster for the named algorithm with
 // explicit writer and reader counts — how the live load generator scales
 // client concurrency. Single-writer algorithms reject writers != 1.
+//
+// Deprecated: Open deploys sized clusters itself (WithClients).
 func DeployAlgorithmSized(alg string, n, f, writers, readers int) (*Cluster, string, error) {
 	return store.DeployAlgorithmSized(alg, n, f, writers, readers)
 }
@@ -180,6 +284,9 @@ type LiveResult = live.Result
 // drop/delay rules applied in wall-clock time. The simulator remains the
 // determinism oracle; live histories vary run to run and are checked for
 // safety only.
+//
+// Deprecated: use Store.RunWorkload on a handle opened with
+// WithBackend("live"); latencies now travel on WorkloadResult.Latencies.
 func RunLiveWorkload(cl *Cluster, spec WorkloadSpec, cfg LiveConfig) (*LiveResult, error) {
 	return live.RunConfig(cl, spec, cfg)
 }
@@ -214,22 +321,42 @@ func FaultScenarioLibrary() []FaultScenario { return faults.Library() }
 // FaultScenarioUsage describes the scenario spec grammar, for CLI help.
 func FaultScenarioUsage() string { return faults.Usage() }
 
-// Write performs one write operation to completion under a fair schedule.
+// Write performs one write operation to completion under a fair schedule,
+// with a DefaultStepBudget delivery budget (ErrStepBudget when exhausted).
+//
+// Deprecated: open a handle with Open and use Store.Put, which works on
+// both backends and takes a context; WithStepBudget replaces the fixed
+// budget.
 func Write(cl *Cluster, writer int, value []byte) error {
 	if writer < 0 || writer >= len(cl.Writers) {
-		return fmt.Errorf("shmem: writer index %d out of range", writer)
+		return fmt.Errorf("shmem: writer index %d out of range [0,%d)", writer, len(cl.Writers))
 	}
-	_, err := cl.Sys.RunOp(cl.Writers[writer], ioa.Invocation{Kind: ioa.OpWrite, Value: value}, 2000000)
+	_, err := runClusterOp(cl, cl.Writers[writer], ioa.Invocation{Kind: ioa.OpWrite, Value: value}, DefaultStepBudget)
 	return err
 }
 
 // Read performs one read operation to completion under a fair schedule and
-// returns the value.
+// returns the value, with a DefaultStepBudget delivery budget
+// (ErrStepBudget when exhausted).
+//
+// Deprecated: open a handle with Open and use Store.Get, which works on
+// both backends and takes a context; WithStepBudget replaces the fixed
+// budget.
 func Read(cl *Cluster, reader int) ([]byte, error) {
 	if reader < 0 || reader >= len(cl.Readers) {
-		return nil, fmt.Errorf("shmem: reader index %d out of range", reader)
+		return nil, fmt.Errorf("shmem: reader index %d out of range [0,%d)", reader, len(cl.Readers))
 	}
-	op, err := cl.Sys.RunOp(cl.Readers[reader], ioa.Invocation{Kind: ioa.OpRead}, 2000000)
+	return runClusterOp(cl, cl.Readers[reader], ioa.Invocation{Kind: ioa.OpRead}, DefaultStepBudget)
+}
+
+// runClusterOp executes one operation under a fair schedule with the given
+// delivery budget, mapping the kernel's bare step-limit sentinel to the
+// typed ErrStepBudget.
+func runClusterOp(cl *Cluster, client ioa.NodeID, inv ioa.Invocation, budget int) ([]byte, error) {
+	op, err := cl.Sys.RunOp(client, inv, budget)
+	if errors.Is(err, ioa.ErrStepLimit) {
+		return nil, fmt.Errorf("shmem: %v at client %d: %w (budget %d deliveries)", inv.Kind, client, ErrStepBudget, budget)
+	}
 	if err != nil {
 		return nil, err
 	}

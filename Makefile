@@ -6,7 +6,7 @@ DATE ?= $(shell date +%Y-%m-%d)
 MICRO_PKGS = ./internal/gf ./internal/erasure ./internal/ioa ./internal/consistency
 MICRO_BENCH = 'BenchmarkMulSlice|BenchmarkEncodeDecode|BenchmarkFairRunSweep|BenchmarkRandomRunSweep|BenchmarkCheckAtomicDense'
 
-.PHONY: build test race live-race liveload-smoke bench bench-smoke bench-micro bench-micro-smoke bench-json fuzz-smoke examples fmt fmt-check vet apicheck apicheck-update ci
+.PHONY: build test race live-race liveload-smoke netload-smoke bench bench-smoke bench-micro bench-micro-smoke bench-json fuzz-smoke examples fmt fmt-check vet apicheck apicheck-update ci
 
 build:
 	$(GO) build ./...
@@ -29,6 +29,14 @@ live-race:
 liveload-smoke:
 	$(GO) run ./cmd/liveload -clients 1,2,4 -ops 48 -shards 2 -keys 16 > /dev/null
 	@echo liveload-smoke ok
+
+# End-to-end smoke of the real-network load generator: the same sweep shape
+# over actual loopback TCP sockets, plus one healing-partition point — the
+# fault class only the net backend can run outside the simulator.
+netload-smoke:
+	$(GO) run ./cmd/netload -clients 1,2,4 -ops 48 -shards 2 -keys 16 > /dev/null
+	$(GO) run ./cmd/netload -clients 1 -ops 16 -shards 1 -keys 4 -faults partition@0:200 > /dev/null
+	@echo netload-smoke ok
 
 bench:
 	$(GO) test -bench . -benchtime 1s .
@@ -100,4 +108,4 @@ apicheck-update:
 	@echo wrote API.txt
 
 # Exactly what CI runs.
-ci: build vet fmt-check apicheck race live-race liveload-smoke examples fuzz-smoke bench-smoke bench-micro-smoke
+ci: build vet fmt-check apicheck race live-race liveload-smoke netload-smoke examples fuzz-smoke bench-smoke bench-micro-smoke

@@ -1,0 +1,63 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/cmdtest"
+)
+
+// TestSmoke runs the client-count sweep end to end over real loopback
+// sockets and checks the acceptance shape: one result row per client count
+// reporting throughput and latency percentiles.
+func TestSmoke(t *testing.T) {
+	out := cmdtest.RunWith(t, run, "netload",
+		"-clients", "1,2,4", "-ops", "48", "-shards", "2", "-keys", "16")
+	for _, want := range []string{"clients", "ops/sec", "p50", "p99", "TCP"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	rows := 0
+	for _, line := range strings.Split(out, "\n") {
+		if strings.HasPrefix(line, "1 ") || strings.HasPrefix(line, "2 ") || strings.HasPrefix(line, "4 ") {
+			rows++
+			if !strings.Contains(line, "ok") {
+				t.Errorf("row without ok verdict: %q", line)
+			}
+		}
+	}
+	if rows != 3 {
+		t.Errorf("want 3 client-count rows, got %d:\n%s", rows, out)
+	}
+}
+
+// TestSmokeWithPartitionFaults sweeps under a healing partition — the
+// scenario class the live backend rejects and the net backend physically
+// holds at the sockets. At -stepdur 100µs the 20ms window heals far inside
+// the op timeout, so all ops must complete and stay consistent.
+func TestSmokeWithPartitionFaults(t *testing.T) {
+	out := cmdtest.RunWith(t, run, "netload",
+		"-clients", "1", "-ops", "16", "-shards", "1", "-keys", "4",
+		"-faults", "partition@0:200")
+	if !strings.Contains(out, "partition@0:200") {
+		t.Errorf("fault spec not echoed:\n%s", out)
+	}
+	if strings.Contains(out, "quiescent") {
+		t.Errorf("healing partition sweep lost liveness:\n%s", out)
+	}
+}
+
+// TestRejectsBadFlags pins eager CLI validation.
+func TestRejectsBadFlags(t *testing.T) {
+	for _, args := range [][]string{
+		{"netload", "-clients", "0"},
+		{"netload", "-clients", "sixty-four"},
+		{"netload", "-faults", "partition@40:10"}, // impossible window: parse-time error
+		{"netload", "-faults", "crash-f"},         // scheduled crashes: net rejects eagerly
+	} {
+		if err := cmdtest.RunErr(t, run, args...); err == nil {
+			t.Errorf("args %v: run succeeded, want error", args[1:])
+		}
+	}
+}

@@ -1,0 +1,145 @@
+package netrun
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"repro/internal/cluster"
+	"repro/internal/faults"
+	"repro/internal/ioa"
+)
+
+// Interactive is a running net deployment accepting one-at-a-time client
+// operations: the node goroutines and their sockets stay up between calls,
+// so a sequence of Invoke calls interleaves with other clients' operations
+// over real TCP connections exactly as a deployed service would. It is the
+// net backend's single-op execution path — RunConfig remains for batch
+// experiments.
+//
+// Invoke is safe for concurrent use across clients; operations at the same
+// client are serialized (a register client automaton holds one operation at
+// a time). A client whose operation times out is retired: its automaton is
+// stuck mid-protocol waiting on lost frames, so later Invokes on it fail
+// fast with ErrClientRetired rather than corrupting the protocol state.
+type Interactive struct {
+	cfg Config
+	rt  *runtime
+
+	mu     sync.Mutex
+	perCl  map[ioa.NodeID]*clientGate
+	closed bool
+}
+
+// clientGate serializes one client's operations and remembers retirement.
+type clientGate struct {
+	mu      sync.Mutex
+	retired bool
+}
+
+// ErrClientRetired marks a net client whose earlier operation timed out:
+// the automaton is mid-protocol and cannot accept another invocation.
+var ErrClientRetired = fmt.Errorf("netrun: client retired after a timed-out operation")
+
+// OpenInteractive clones the cluster's automata, opens every node's TCP
+// endpoint and returns a session ready for Invoke. The fault plan's
+// drop/delay rules and outage windows apply to every socket write exactly
+// as in RunConfig; plans scheduling node crashes are rejected
+// (PlanSupported). Close stops the goroutines and closes every socket.
+func OpenInteractive(cl *cluster.Cluster, plan *faults.Plan, cfg Config) (*Interactive, error) {
+	cfg = cfg.withDefaults()
+	if err := cl.Validate(); err != nil {
+		return nil, err
+	}
+	for _, id := range append(append([]ioa.NodeID(nil), cl.Writers...), cl.Readers...) {
+		if _, err := cl.ClientAutomaton(id); err != nil {
+			return nil, err
+		}
+	}
+	rt, err := newRuntime(cl, plan, cfg)
+	if err != nil {
+		return nil, err
+	}
+	s := &Interactive{cfg: cfg, rt: rt, perCl: make(map[ioa.NodeID]*clientGate)}
+	for _, ids := range [][]ioa.NodeID{cl.Writers, cl.Readers} {
+		for _, id := range ids {
+			s.perCl[id] = &clientGate{}
+		}
+	}
+	rt.start()
+	return s, nil
+}
+
+// Invoke runs one operation at the client to completion and returns its
+// output (the read value; nil for writes). It blocks until the response,
+// the per-op timeout, or ctx cancellation — whichever comes first. On
+// timeout or cancellation the operation is abandoned: pending reports that
+// it was genuinely invoked and may still take effect (its caller must keep
+// it pending in any checked history), and the client is retired.
+func (s *Interactive) Invoke(ctx context.Context, client ioa.NodeID, inv ioa.Invocation) (out []byte, pending bool, err error) {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil, false, fmt.Errorf("netrun: session closed")
+	}
+	gate := s.perCl[client]
+	s.mu.Unlock()
+	if gate == nil {
+		return nil, false, fmt.Errorf("netrun: node %d is not a client of this deployment", client)
+	}
+	gate.mu.Lock()
+	defer gate.mu.Unlock()
+	if gate.retired {
+		return nil, false, fmt.Errorf("client %d: %w", client, ErrClientRetired)
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, false, err
+	}
+	out, ok := s.rt.invoke(ctx, client, inv, s.cfg.OpTimeout)
+	if !ok {
+		gate.retired = true
+		if err := ctx.Err(); err != nil {
+			return nil, true, fmt.Errorf("netrun: operation at client %d abandoned: %w", client, err)
+		}
+		return nil, true, fmt.Errorf("netrun: operation at client %d timed out after %v (pending; client retired)", client, s.cfg.OpTimeout)
+	}
+	return out, false, nil
+}
+
+// Retired reports whether the client has been retired by a timed-out
+// operation.
+func (s *Interactive) Retired(client ioa.NodeID) bool {
+	s.mu.Lock()
+	gate := s.perCl[client]
+	s.mu.Unlock()
+	if gate == nil {
+		return false
+	}
+	gate.mu.Lock()
+	defer gate.mu.Unlock()
+	return gate.retired
+}
+
+// Storage snapshots the per-server storage maxima observed so far. Safe to
+// call while operations are in flight: the counters are atomics maintained
+// by the node goroutines.
+func (s *Interactive) Storage(cl *cluster.Cluster) ioa.StorageReport {
+	return s.rt.storageReport(cl)
+}
+
+// FaultStats snapshots the drop/delay/hold events applied so far.
+func (s *Interactive) FaultStats() ioa.FaultStats {
+	return s.rt.faultStats()
+}
+
+// Close stops the node goroutines and closes every socket. Idempotent.
+func (s *Interactive) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	s.rt.stop()
+	return nil
+}

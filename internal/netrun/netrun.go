@@ -1,0 +1,444 @@
+// Package netrun executes register-emulation clusters over a real network:
+// every node automaton owns a TCP endpoint (internal/transport), messages
+// cross real sockets as compact binary frames (internal/wire), and faults
+// become physical events — a dropped message is never written to its socket,
+// a delayed message is held before the write, a partitioned link's frames
+// are held at the sender until the outage window ends. The node automata are
+// exactly the ones `internal/abd`, `internal/cas` and `internal/coded`
+// deploy; like the live backend, this package clones them out of the cluster
+// registry and drives them itself, so the same deployment runs unchanged on
+// any backend.
+//
+// The contract relative to the other two backends (DESIGN.md section 10):
+//
+//   - The simulator remains the determinism oracle. The net runtime, like
+//     the live one, makes no scheduling promise: histories differ run to
+//     run, and only safety verdicts are comparable.
+//   - Safety is checked identically: per-client operation logs, ordered by a
+//     shared atomic clock whose modification order is consistent with real
+//     time, merge into an ioa.History for the internal/consistency checkers.
+//   - Faults: drop/delay rules are consulted at socket-write time with a
+//     global send sequence number, exactly as the kernel and live runtime
+//     do, with delay steps scaled to wall time by Config.StepDur. Outage
+//     (partition) windows — live-rejected because that runtime has no step
+//     clock — ARE supported here: the runtime maps kernel steps to wall
+//     time as elapsed/StepDur, gates each socket write on LinkBlocked at
+//     the current step, and holds blocked frames until the plan's
+//     NextLinkChange boundary. Scheduled crash/recovery events remain
+//     simulator-only (killing a node goroutine mid-run would also have to
+//     reset its TCP peer state) and are rejected eagerly.
+//   - Liveness is a verdict, not a hang: every operation carries a timeout,
+//     and a run whose operations time out under a fault plan reports
+//     Quiescent with those operations pending in the history.
+package netrun
+
+import (
+	"context"
+	"encoding/binary"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/faults"
+	"repro/internal/ioa"
+	"repro/internal/transport"
+	"repro/internal/wire"
+)
+
+// Config tunes the net runtime. The zero value selects the defaults.
+type Config struct {
+	// ListenAddr is the address every node endpoint listens on (default
+	// "127.0.0.1:0": one ephemeral loopback port per node). A fixed port in
+	// the spec would collide across nodes, so the port part should stay 0.
+	ListenAddr string
+	// StepDur converts a fault plan's steps into wall-clock time (default
+	// 100µs): delay steps scale to holds of delay*StepDur, and outage
+	// windows [Start, End) cover wall-clock [Start*StepDur, End*StepDur)
+	// from the run's start.
+	StepDur time.Duration
+	// OpTimeout bounds each operation's completion (default 5s). A client
+	// whose operation times out is retired — its automaton may still be
+	// waiting on lost frames — and the operation stays pending in the
+	// history unless its response arrives before shutdown.
+	OpTimeout time.Duration
+	// Mailbox is the per-node buffered event queue capacity (default 128).
+	// Overflow never blocks a reader or node loop: excess posts complete
+	// from spawned goroutines.
+	Mailbox int
+	// DialTimeout bounds each outbound connection attempt (default: the
+	// transport's own 2s).
+	DialTimeout time.Duration
+	// Outbox is the transport's per-connection send queue capacity
+	// (default: the transport's own 256).
+	Outbox int
+}
+
+func (c Config) withDefaults() Config {
+	if c.ListenAddr == "" {
+		c.ListenAddr = "127.0.0.1:0"
+	}
+	if c.StepDur <= 0 {
+		c.StepDur = 100 * time.Microsecond
+	}
+	if c.OpTimeout <= 0 {
+		c.OpTimeout = 5 * time.Second
+	}
+	if c.Mailbox <= 0 {
+		c.Mailbox = 128
+	}
+	return c
+}
+
+func (c Config) transportConfig() transport.Config {
+	return transport.Config{DialTimeout: c.DialTimeout, Outbox: c.Outbox}
+}
+
+// PlanSupported reports whether a fault plan can run on the net runtime:
+// drop/delay rules and outage (partition) windows. Scheduled crash/recovery
+// events stay simulator-only — a crash here would have to tear down and
+// restore real sockets mid-protocol — and are rejected eagerly so the error
+// surfaces at setup time instead of mid-run.
+func PlanSupported(p *faults.Plan) error {
+	if p == nil {
+		return nil
+	}
+	if len(p.Crashes) > 0 {
+		return fmt.Errorf("netrun: fault plan schedules node crashes, which are simulator-only; the net runtime supports drop/delay rules and outage windows")
+	}
+	return p.Validate()
+}
+
+// event is one mailbox entry: a message delivery decoded off a socket, or
+// (inv != nil) an operation invocation injected by the driver. Both are
+// handled on the node's own goroutine, so automaton state stays
+// goroutine-confined even though frames arrive on transport reader
+// goroutines.
+type event struct {
+	from ioa.NodeID
+	msg  ioa.Message
+	inv  *invokeEvent
+}
+
+type invokeEvent struct {
+	inv  ioa.Invocation
+	done chan []byte // buffered 1; receives the response value when recorded
+}
+
+// opRecord is one per-client log entry, timestamped by the runtime's atomic
+// clock (see internal/live: the clock's modification order is consistent
+// with real time, so merged records preserve real-time precedence).
+type opRecord struct {
+	kind      ioa.OpKind
+	input     []byte
+	output    []byte
+	invokeTS  int64
+	respondTS int64 // -1 while pending
+}
+
+// nodeState is everything a node goroutine owns: the automaton clone, its
+// TCP endpoint, its mailbox, the client op log and the server storage
+// maxima. Only the node's own goroutine touches the automaton and log
+// between start and join; the endpoint is internally synchronized.
+type nodeState struct {
+	id   ioa.NodeID
+	node ioa.Node
+	ep   *transport.Endpoint
+	mb   chan event
+
+	log         []opRecord
+	pendingIdx  int // index in log of the outstanding op; -1 when none
+	pendingDone chan []byte
+
+	meter            ioa.StorageMeter // nil unless the node reports storage
+	curBits, maxBits atomic.Int64     // written by the node loop, readable mid-run
+}
+
+// runtime drives one cluster's automata over real sockets.
+type runtime struct {
+	cfg   Config
+	plan  *faults.Plan
+	nodes map[ioa.NodeID]*nodeState
+	addrs map[ioa.NodeID]string // dialable address per node, fixed at setup
+
+	epoch time.Time     // run start; step(t) = (t - epoch) / StepDur
+	clock atomic.Int64  // history timestamp source
+	seq   atomic.Uint64 // global send sequence number for MessageFate
+
+	drops, delayed, delaySteps atomic.Int64
+	badFrames                  atomic.Int64 // undecodable inbound frames, dropped
+
+	done chan struct{}
+	wg   sync.WaitGroup
+}
+
+// newRuntime clones every automaton out of the cluster registry and opens a
+// listening endpoint per node, so the full NodeID -> address map exists
+// before any frame is sent. The cluster itself is left untouched — its
+// simulator System remains pristine. On error every endpoint already opened
+// is closed.
+func newRuntime(cl *cluster.Cluster, plan *faults.Plan, cfg Config) (*runtime, error) {
+	if err := PlanSupported(plan); err != nil {
+		return nil, err
+	}
+	rt := &runtime{
+		cfg:   cfg,
+		plan:  plan,
+		nodes: make(map[ioa.NodeID]*nodeState),
+		addrs: make(map[ioa.NodeID]string),
+		done:  make(chan struct{}),
+	}
+	for _, id := range cl.Sys.NodeIDs() {
+		n, err := cl.Automaton(id)
+		if err != nil {
+			rt.closeEndpoints()
+			return nil, err
+		}
+		ep, err := transport.Listen(cfg.ListenAddr, cfg.transportConfig())
+		if err != nil {
+			rt.closeEndpoints()
+			return nil, fmt.Errorf("netrun: node %d: %w", id, err)
+		}
+		ns := &nodeState{
+			id:         id,
+			node:       n.Clone(),
+			ep:         ep,
+			mb:         make(chan event, cfg.Mailbox),
+			pendingIdx: -1,
+		}
+		ns.meter, _ = ns.node.(ioa.StorageMeter)
+		rt.nodes[id] = ns
+		rt.addrs[id] = ep.Addr()
+	}
+	return rt, nil
+}
+
+func (rt *runtime) closeEndpoints() {
+	for _, ns := range rt.nodes {
+		ns.ep.Close()
+	}
+}
+
+// start stamps the step epoch, installs every endpoint's frame handler and
+// launches one goroutine per node.
+func (rt *runtime) start() {
+	rt.epoch = time.Now()
+	for _, ns := range rt.nodes {
+		ns := ns
+		ns.ep.Serve(func(frame []byte) { rt.inbound(ns, frame) })
+		rt.wg.Add(1)
+		go rt.loop(ns)
+	}
+}
+
+// stop shuts everything down: no more frames are handed to mailboxes, every
+// socket closes, every goroutine joins. After stop returns, the per-node
+// logs and storage maxima are safe to read from the caller.
+func (rt *runtime) stop() {
+	close(rt.done)
+	rt.closeEndpoints()
+	rt.wg.Wait()
+}
+
+// stepNow maps elapsed wall time to the fault plan's step clock.
+func (rt *runtime) stepNow() int {
+	return int(time.Since(rt.epoch) / rt.cfg.StepDur)
+}
+
+// inbound decodes one frame off a node's socket and posts it to the node's
+// mailbox. Undecodable frames are counted and dropped — on a real network a
+// corrupt datagram is silence, and protocol timeouts own recovery.
+func (rt *runtime) inbound(ns *nodeState, frame []byte) {
+	from, n := binary.Uvarint(frame)
+	if n <= 0 {
+		rt.badFrames.Add(1)
+		return
+	}
+	msg, err := wire.Decode(frame[n:])
+	if err != nil {
+		rt.badFrames.Add(1)
+		return
+	}
+	rt.post(ns, event{from: ioa.NodeID(from), msg: msg})
+}
+
+func (rt *runtime) loop(ns *nodeState) {
+	defer rt.wg.Done()
+	for {
+		select {
+		case <-rt.done:
+			return
+		case ev := <-ns.mb:
+			rt.handle(ns, ev)
+		}
+	}
+}
+
+// handle processes one mailbox event on the node's goroutine, exactly as the
+// live runtime does: the response timestamp is recorded before the effects'
+// sends are dispatched (the response is determined by then, so shrinking the
+// recorded interval to that point is sound for the checkers).
+func (rt *runtime) handle(ns *nodeState, ev event) {
+	var eff ioa.Effects
+	if ev.inv != nil {
+		ns.log = append(ns.log, opRecord{
+			kind:      ev.inv.inv.Kind,
+			input:     ev.inv.inv.Value,
+			invokeTS:  rt.clock.Add(1),
+			respondTS: -1,
+		})
+		ns.pendingIdx = len(ns.log) - 1
+		ns.pendingDone = ev.inv.done
+		eff = ns.node.(ioa.Client).Invoke(ev.inv.inv)
+	} else {
+		eff = ns.node.Deliver(ev.from, ev.msg)
+	}
+	if eff.Response != nil && ns.pendingIdx >= 0 {
+		rec := &ns.log[ns.pendingIdx]
+		rec.output = eff.Response.Value
+		rec.respondTS = rt.clock.Add(1)
+		ns.pendingIdx = -1
+		if ns.pendingDone != nil {
+			ns.pendingDone <- rec.output // buffered, single outstanding op: never blocks
+			ns.pendingDone = nil
+		}
+	}
+	for _, send := range eff.Sends {
+		rt.send(ns.id, send)
+	}
+	if ns.meter != nil {
+		bits := int64(ns.meter.StorageBits())
+		ns.curBits.Store(bits)
+		if bits > ns.maxBits.Load() {
+			ns.maxBits.Store(bits)
+		}
+	}
+}
+
+// send encodes one automaton message and applies the fault plan's drop and
+// delay rules before anything touches a socket. Sequence numbers are global,
+// as in the kernel and the live runtime, so the same plan seed draws from
+// the same decision stream.
+func (rt *runtime) send(from ioa.NodeID, s ioa.Send) {
+	frame := binary.AppendUvarint(make([]byte, 0, 64), uint64(from))
+	frame, err := wire.Append(frame, s.Msg)
+	if err != nil {
+		// An unregistered message type cannot cross the network; surfacing
+		// it as loss would hide the bug, so panic — the wire registry tests
+		// make this unreachable for shipped algorithms.
+		panic(fmt.Sprintf("netrun: node %d sent unencodable message: %v", from, err))
+	}
+	if rt.plan != nil {
+		seq := rt.seq.Add(1) - 1
+		drop, delay := rt.plan.MessageFate(from, s.To, seq, rt.stepNow())
+		if drop {
+			rt.drops.Add(1)
+			return
+		}
+		if delay > 0 {
+			rt.delayed.Add(1)
+			rt.delaySteps.Add(int64(delay))
+			rt.after(time.Duration(delay)*rt.cfg.StepDur, func() {
+				rt.dispatch(from, s.To, frame)
+			})
+			return
+		}
+	}
+	rt.dispatch(from, s.To, frame)
+}
+
+// dispatch gates the socket write on the plan's outage windows at the
+// current step: a blocked frame is held — not dropped — and re-dispatched at
+// the next outage boundary, re-checking then in case windows abut. Held
+// frames are accounted as delays of (boundary - now) steps.
+func (rt *runtime) dispatch(from, to ioa.NodeID, frame []byte) {
+	if rt.plan != nil {
+		step := rt.stepNow()
+		if rt.plan.LinkBlocked(from, to, step) {
+			next := rt.plan.NextLinkChange(from, to, step)
+			if next <= step {
+				next = step + 1 // defensive: Validate() guarantees End > step here
+			}
+			rt.delayed.Add(1)
+			rt.delaySteps.Add(int64(next - step))
+			rt.after(time.Duration(next-step)*rt.cfg.StepDur, func() {
+				rt.dispatch(from, to, frame)
+			})
+			return
+		}
+	}
+	rt.transmit(from, to, frame)
+}
+
+// transmit writes the frame to the sender's own socket pool. Send errors are
+// real-network silence — a broken connection loses frames, the pool redials
+// on the next send, and protocol timeouts own recovery — so they are not
+// surfaced to the automaton.
+func (rt *runtime) transmit(from, to ioa.NodeID, frame []byte) {
+	src := rt.nodes[from]
+	addr, ok := rt.addrs[to]
+	if src == nil || !ok {
+		return
+	}
+	_ = src.ep.Send(addr, frame)
+}
+
+// after runs f after d unless the runtime stops first.
+func (rt *runtime) after(d time.Duration, f func()) {
+	time.AfterFunc(d, func() {
+		select {
+		case <-rt.done:
+		default:
+			f()
+		}
+	})
+}
+
+// post enqueues without ever blocking the caller: a full mailbox falls back
+// to a spawned goroutine, so transport readers and node loops cannot
+// deadlock on a cycle of full buffers. Overflow reordering is fine — the
+// channels are unordered in the paper's model.
+func (rt *runtime) post(to *nodeState, ev event) {
+	select {
+	case to.mb <- ev:
+	default:
+		go func() {
+			select {
+			case to.mb <- ev:
+			case <-rt.done:
+			}
+		}()
+	}
+}
+
+// invoke injects an operation at a client and waits for its response, the
+// timeout, or the context's cancellation. It returns the response value and
+// whether the operation completed in time; an abandoned operation stays
+// pending in the client's log and the client automaton remains mid-protocol.
+func (rt *runtime) invoke(ctx context.Context, client ioa.NodeID, inv ioa.Invocation, timeout time.Duration) ([]byte, bool) {
+	ns := rt.nodes[client]
+	done := make(chan []byte, 1)
+	rt.post(ns, event{inv: &invokeEvent{inv: inv, done: done}})
+	t := time.NewTimer(timeout)
+	defer t.Stop()
+	select {
+	case out := <-done:
+		return out, true
+	case <-t.C:
+		return nil, false
+	case <-ctx.Done():
+		return nil, false
+	}
+}
+
+// faultStats snapshots the fault counters in kernel form. Outage holds are
+// folded into the delay counters (each hold is a delay to the next window
+// boundary).
+func (rt *runtime) faultStats() ioa.FaultStats {
+	return ioa.FaultStats{
+		Drops:           int(rt.drops.Load()),
+		DelayedMessages: int(rt.delayed.Load()),
+		DelayStepsTotal: int(rt.delaySteps.Load()),
+	}
+}

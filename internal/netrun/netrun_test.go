@@ -1,0 +1,231 @@
+package netrun_test
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/consistency"
+	"repro/internal/faults"
+	"repro/internal/ioa"
+	"repro/internal/netrun"
+	"repro/internal/register"
+	"repro/internal/store"
+	"repro/internal/workload"
+)
+
+func deploy(t *testing.T, alg string, n, f, writers, readers int) (*cluster.Cluster, string) {
+	t.Helper()
+	cl, cond, err := store.DeployAlgorithmSized(alg, n, f, writers, readers)
+	if err != nil {
+		t.Fatalf("deploy %s: %v", alg, err)
+	}
+	return cl, cond
+}
+
+func check(t *testing.T, alg, cond string, h *ioa.History) {
+	t.Helper()
+	var err error
+	switch cond {
+	case "atomic":
+		err = consistency.CheckAtomic(h, nil)
+	case "regular":
+		err = consistency.CheckRegular(h, nil)
+	default:
+		t.Fatalf("unknown condition %q", cond)
+	}
+	if err != nil {
+		t.Errorf("%s net history not %s: %v", alg, cond, err)
+	}
+}
+
+// TestNetRunChecksConsistency drives each multi-writer algorithm over real
+// loopback TCP sockets and verifies the merged history passes the
+// algorithm's consistency condition — the backend contract's safety half,
+// now with every protocol message crossing the wire codec and a socket.
+func TestNetRunChecksConsistency(t *testing.T) {
+	for _, alg := range []string{store.AlgABDMW, store.AlgCAS, store.AlgCASGC} {
+		alg := alg
+		t.Run(alg, func(t *testing.T) {
+			t.Parallel()
+			cl, cond := deploy(t, alg, 5, 1, 3, 3)
+			res, err := netrun.Run(cl, workload.Spec{
+				Writes:     24,
+				Reads:      24,
+				TargetNu:   3,
+				ValueBytes: 64,
+			})
+			if err != nil {
+				t.Fatalf("netrun.Run: %v", err)
+			}
+			if res.Quiescent {
+				t.Fatal("fault-free run reported quiescent")
+			}
+			if got := len(res.History.Ops); got != 48 {
+				t.Fatalf("history has %d ops, want 48", got)
+			}
+			if len(res.Latencies) != 48 {
+				t.Fatalf("measured %d latencies, want 48", len(res.Latencies))
+			}
+			if res.Storage.MaxTotalBits <= 0 || res.Storage.MaxServerBits <= 0 {
+				t.Fatalf("storage not metered: %+v", res.Storage)
+			}
+			if res.PeakActiveWrites < 1 || res.PeakActiveWrites > 3 {
+				t.Fatalf("peak active writes %d outside [1,3]", res.PeakActiveWrites)
+			}
+			check(t, alg, cond, res.History)
+		})
+	}
+}
+
+// TestNetDelayRulesApply runs under a pure delay plan and checks the delay
+// counters moved while the history stays atomic and complete — the fault
+// plan is being applied at the socket layer.
+func TestNetDelayRulesApply(t *testing.T) {
+	cl, cond := deploy(t, store.AlgCAS, 5, 1, 2, 2)
+	plan, err := faults.Delay{Min: 1, Max: 8}.Build(5, 1, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := netrun.Run(cl, workload.Spec{
+		Writes:     16,
+		Reads:      16,
+		TargetNu:   2,
+		ValueBytes: 64,
+		FaultPlan:  plan,
+	})
+	if err != nil {
+		t.Fatalf("netrun.Run: %v", err)
+	}
+	if res.Faults.DelayedMessages == 0 || res.Faults.DelayStepsTotal == 0 {
+		t.Errorf("delay plan applied no delays: %+v", res.Faults)
+	}
+	if res.Quiescent {
+		t.Error("pure delay run lost liveness")
+	}
+	check(t, store.AlgCAS, cond, res.History)
+}
+
+// TestNetPartitionHealsAndCompletes is the capability the live backend lacks:
+// an outage window blocks every server-bound link from the start of the run,
+// frames are physically held at the senders, and once the window ends (in
+// wall-clock time, via StepDur) the held frames flow and every operation
+// completes. Held messages are accounted as delays, and the history stays
+// atomic.
+func TestNetPartitionHealsAndCompletes(t *testing.T) {
+	cl, cond := deploy(t, store.AlgCAS, 5, 1, 1, 1)
+	// Block everything for the first 200 steps; at StepDur=1ms the network
+	// heals after ~200ms, well inside the op timeout.
+	plan := &faults.Plan{Outages: []faults.Outage{{Start: 0, End: 200, Symmetric: true}}}
+	res, err := netrun.RunConfig(cl, workload.Spec{
+		Writes:     2,
+		Reads:      2,
+		TargetNu:   1,
+		ValueBytes: 16,
+		FaultPlan:  plan,
+	}, netrun.Config{StepDur: time.Millisecond, OpTimeout: 10 * time.Second})
+	if err != nil {
+		t.Fatalf("netrun.RunConfig: %v", err)
+	}
+	if res.Quiescent {
+		t.Fatal("run stayed quiescent after the partition healed")
+	}
+	if got := len(res.History.Ops); got != 4 {
+		t.Fatalf("history has %d ops, want 4", got)
+	}
+	if res.Faults.DelayedMessages == 0 {
+		t.Error("partition held no messages")
+	}
+	check(t, store.AlgCAS, cond, res.History)
+}
+
+// TestNetRejectsCrashPlans pins the eager validation: scheduled node
+// crashes and the random crash budget are simulator constructs and must
+// fail before any socket opens.
+func TestNetRejectsCrashPlans(t *testing.T) {
+	cl, _ := deploy(t, store.AlgCAS, 5, 1, 1, 1)
+	plan := &faults.Plan{Crashes: []faults.Crash{{Node: 1, Step: 5}}}
+	_, err := netrun.Run(cl, workload.Spec{Writes: 1, TargetNu: 1, ValueBytes: 8, FaultPlan: plan})
+	if err == nil || !strings.Contains(err.Error(), "simulator-only") {
+		t.Errorf("crash plan: err = %v, want eager simulator-only rejection", err)
+	}
+	_, err = netrun.Run(cl, workload.Spec{Writes: 1, TargetNu: 1, ValueBytes: 8, Crashes: 1})
+	if err == nil || !strings.Contains(err.Error(), "simulator-only") {
+		t.Errorf("crash budget: err = %v, want eager rejection", err)
+	}
+}
+
+// TestNetLossyTimeoutIsVerdict forces every message to drop before its
+// socket write: operations must time out, surface as a Quiescent verdict
+// (not a hang or an error), and the empty completed history still checks
+// atomic.
+func TestNetLossyTimeoutIsVerdict(t *testing.T) {
+	cl, _ := deploy(t, store.AlgCAS, 5, 1, 1, 1)
+	plan := &faults.Plan{Seed: 3, Rules: []faults.Rule{{DropProb: 1}}}
+	res, err := netrun.RunConfig(cl, workload.Spec{
+		Writes:     2,
+		Reads:      1,
+		TargetNu:   1,
+		ValueBytes: 8,
+		FaultPlan:  plan,
+	}, netrun.Config{OpTimeout: 50 * time.Millisecond})
+	if err != nil {
+		t.Fatalf("netrun.RunConfig: %v", err)
+	}
+	if !res.Quiescent || len(res.History.PendingOps()) == 0 {
+		t.Fatalf("total loss should be a quiescent verdict: quiescent=%t pending=%d",
+			res.Quiescent, len(res.History.PendingOps()))
+	}
+	if res.Faults.Drops == 0 {
+		t.Error("no drops counted")
+	}
+	if err := consistency.CheckAtomic(res.History, nil); err != nil {
+		t.Errorf("partial history not atomic: %v", err)
+	}
+}
+
+// TestNetInteractive exercises the single-op path: a write and a read at
+// distinct clients over live sockets, with the read returning the written
+// value, storage metered mid-session, and retirement semantics on timeout.
+func TestNetInteractive(t *testing.T) {
+	cl, _ := deploy(t, store.AlgCAS, 5, 1, 1, 1)
+	in, err := netrun.OpenInteractive(cl, nil, netrun.Config{})
+	if err != nil {
+		t.Fatalf("OpenInteractive: %v", err)
+	}
+	defer in.Close()
+
+	writer, reader := cl.Writers[0], cl.Readers[0]
+	val := register.MakeValue(32, 42)
+	ctx := context.Background()
+	if _, pending, err := in.Invoke(ctx, writer, ioa.Invocation{Kind: ioa.OpWrite, Value: val}); err != nil || pending {
+		t.Fatalf("write: pending=%t err=%v", pending, err)
+	}
+	out, pending, err := in.Invoke(ctx, reader, ioa.Invocation{Kind: ioa.OpRead})
+	if err != nil || pending {
+		t.Fatalf("read: pending=%t err=%v", pending, err)
+	}
+	if string(out) != string(val) {
+		t.Fatalf("read %d bytes, want the %d-byte written value", len(out), len(val))
+	}
+	if rep := in.Storage(cl); rep.MaxTotalBits <= 0 {
+		t.Errorf("mid-session storage not metered: %+v", rep)
+	}
+	if in.Retired(writer) || in.Retired(reader) {
+		t.Error("no operation timed out, but a client is retired")
+	}
+	if _, _, err := in.Invoke(ctx, ioa.NodeID(9999), ioa.Invocation{Kind: ioa.OpRead}); err == nil {
+		t.Error("invoking a non-client node must fail")
+	}
+	if err := in.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := in.Close(); err != nil {
+		t.Fatal(err) // idempotent
+	}
+	if _, _, err := in.Invoke(ctx, writer, ioa.Invocation{Kind: ioa.OpRead}); err == nil {
+		t.Error("invoke after close must fail")
+	}
+}

@@ -1,0 +1,191 @@
+package netrun
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/ioa"
+	"repro/internal/register"
+	"repro/internal/workload"
+)
+
+// Run executes the workload spec on the cluster's automata over real
+// sockets with the default Config. See RunConfig.
+func Run(cl *cluster.Cluster, spec workload.Spec) (*workload.Result, error) {
+	return RunConfig(cl, spec, Config{})
+}
+
+// RunConfig executes the workload on the net runtime: min(TargetNu, writers)
+// writer goroutines and every reader goroutine issue operations from shared
+// budgets until the spec's counts are exhausted, one operation in flight per
+// client, every message crossing a real TCP socket. It returns the shared
+// workload.Result shape — Latencies carries the per-operation wall times the
+// store layer aggregates into percentiles. Spec fields that parameterize the
+// simulator's discrete schedule (MaxSteps, Crashes) have no meaning here; a
+// nonzero Crashes budget is rejected eagerly, as are fault plans scheduling
+// node crashes (PlanSupported — outage windows, unlike on the live backend,
+// are supported).
+func RunConfig(cl *cluster.Cluster, spec workload.Spec, cfg Config) (*workload.Result, error) {
+	cfg = cfg.withDefaults()
+	if err := cl.Validate(); err != nil {
+		return nil, err
+	}
+	if err := spec.Validate(cl); err != nil {
+		return nil, err
+	}
+	if spec.Crashes != 0 {
+		return nil, fmt.Errorf("netrun: the random crash budget is simulator-only (step-indexed); got Crashes=%d", spec.Crashes)
+	}
+	if spec.Reads > 0 && len(cl.Readers) == 0 {
+		return nil, fmt.Errorf("netrun: %d reads requested but the cluster has no readers", spec.Reads)
+	}
+	// Clients must actually be client automata; the cluster helper checks
+	// the registered originals, which the runtime clones.
+	for _, id := range append(append([]ioa.NodeID(nil), cl.Writers...), cl.Readers...) {
+		if _, err := cl.ClientAutomaton(id); err != nil {
+			return nil, err
+		}
+	}
+	rt, err := newRuntime(cl, spec.FaultPlan, cfg)
+	if err != nil {
+		return nil, err
+	}
+	rt.start()
+
+	var writesLeft, readsLeft atomic.Int64
+	writesLeft.Store(int64(spec.Writes))
+	readsLeft.Store(int64(spec.Reads))
+	var nextVal atomic.Uint64
+	var activeWrites, peakWrites atomic.Int64
+
+	// driver issues operations sequentially at one client until its budget
+	// is exhausted or an operation times out (the client automaton is then
+	// stuck mid-protocol, so the driver retires it). Latencies are collected
+	// per driver — mutex-free, like the logs — and merged after the joins.
+	driver := func(client ioa.NodeID, kind ioa.OpKind, budget *atomic.Int64) []time.Duration {
+		var lats []time.Duration
+		for budget.Add(-1) >= 0 {
+			inv := ioa.Invocation{Kind: kind}
+			if kind == ioa.OpWrite {
+				inv.Value = register.MakeValue(spec.ValueBytes, nextVal.Add(1))
+				cur := activeWrites.Add(1)
+				for {
+					p := peakWrites.Load()
+					if cur <= p || peakWrites.CompareAndSwap(p, cur) {
+						break
+					}
+				}
+			}
+			start := time.Now()
+			_, ok := rt.invoke(context.Background(), client, inv, cfg.OpTimeout)
+			if kind == ioa.OpWrite {
+				activeWrites.Add(-1)
+			}
+			if !ok {
+				return lats
+			}
+			lats = append(lats, time.Since(start))
+		}
+		return lats
+	}
+
+	nWriters := spec.TargetNu
+	if nWriters > len(cl.Writers) {
+		nWriters = len(cl.Writers)
+	}
+	latChunks := make([][]time.Duration, nWriters+len(cl.Readers))
+	var dwg sync.WaitGroup
+	for i := 0; i < nWriters; i++ {
+		dwg.Add(1)
+		go func(slot int, id ioa.NodeID) {
+			defer dwg.Done()
+			latChunks[slot] = driver(id, ioa.OpWrite, &writesLeft)
+		}(i, cl.Writers[i])
+	}
+	for i, id := range cl.Readers {
+		dwg.Add(1)
+		go func(slot int, id ioa.NodeID) {
+			defer dwg.Done()
+			latChunks[slot] = driver(id, ioa.OpRead, &readsLeft)
+		}(nWriters+i, id)
+	}
+	dwg.Wait()
+	rt.stop()
+
+	res := &workload.Result{
+		PeakActiveWrites: int(peakWrites.Load()),
+		Log2V:            float64(8 * spec.ValueBytes),
+		Faults:           rt.faultStats(),
+	}
+	for _, chunk := range latChunks {
+		res.Latencies = append(res.Latencies, chunk...)
+	}
+
+	res.History, err = rt.mergeHistory(cl)
+	if err != nil {
+		return nil, err
+	}
+	if pending := len(res.History.PendingOps()); pending > 0 {
+		if spec.FaultPlan == nil {
+			return nil, fmt.Errorf("netrun: %d operations timed out with no fault plan installed", pending)
+		}
+		res.Quiescent = true
+	}
+	res.Storage = rt.storageReport(cl)
+	res.NormalizedTotal = float64(res.Storage.MaxTotalBits) / res.Log2V
+	return res, nil
+}
+
+// mergeHistory folds the per-client logs into one ioa.History ordered by the
+// runtime clock.
+func (rt *runtime) mergeHistory(cl *cluster.Cluster) (*ioa.History, error) {
+	var ops []ioa.Op
+	for _, ids := range [][]ioa.NodeID{cl.Writers, cl.Readers} {
+		for _, id := range ids {
+			ns := rt.nodes[id]
+			for _, rec := range ns.log {
+				op := ioa.Op{
+					Client:      id,
+					Kind:        rec.kind,
+					Input:       rec.input,
+					Output:      rec.output,
+					InvokeStep:  int(rec.invokeTS),
+					RespondStep: -1,
+				}
+				if rec.respondTS >= 0 {
+					op.RespondStep = int(rec.respondTS)
+				}
+				ops = append(ops, op)
+			}
+		}
+	}
+	sort.Slice(ops, func(i, j int) bool { return ops[i].InvokeStep < ops[j].InvokeStep })
+	return ioa.HistoryFromOps(ops)
+}
+
+// storageReport sums the per-server maxima observed by the node goroutines.
+// As on the live backend, MaxTotalBits is the sum of per-server maxima — an
+// upper estimate of the simulator's step-accurate global high-water mark,
+// since no global snapshot exists in a concurrent run.
+func (rt *runtime) storageReport(cl *cluster.Cluster) ioa.StorageReport {
+	rep := ioa.StorageReport{PerServerMaxBits: make(map[ioa.NodeID]int, len(cl.Servers))}
+	for _, id := range cl.Servers {
+		ns := rt.nodes[id]
+		if ns == nil || ns.meter == nil {
+			continue
+		}
+		maxBits := int(ns.maxBits.Load())
+		rep.PerServerMaxBits[id] = maxBits
+		rep.MaxTotalBits += maxBits
+		rep.CurrentTotalBits += int(ns.curBits.Load())
+		if maxBits > rep.MaxServerBits {
+			rep.MaxServerBits = maxBits
+		}
+	}
+	return rep
+}

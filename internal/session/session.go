@@ -34,6 +34,7 @@ import (
 	"repro/internal/faults"
 	"repro/internal/ioa"
 	"repro/internal/live"
+	"repro/internal/netrun"
 	"repro/internal/store"
 	"repro/internal/workload"
 )
@@ -55,13 +56,15 @@ type Config struct {
 	// Keys are routed to shards by workload.KeyShard.
 	Shards int
 	// Backend selects the execution substrate: store.BackendSim (default,
-	// the deterministic simulator) or store.BackendLive (the concurrent
-	// goroutine-per-node runtime).
+	// the deterministic simulator), store.BackendLive (the concurrent
+	// goroutine-per-node runtime) or store.BackendNet (every node on its own
+	// TCP socket over the real loopback network).
 	Backend string
 	// Faults assigns a fault scenario spec per shard, cycling like
 	// Algorithms; "" or "none" leaves a shard fault-free. Specs follow the
 	// internal/faults.Parse grammar. On the live backend only drop/delay
-	// scenarios are accepted (step-indexed ones are rejected at Open).
+	// scenarios are accepted; the net backend additionally accepts outage
+	// (partition) windows. Unsupported specs are rejected at Open.
 	Faults []string
 	// Writers and Readers are the per-shard client counts. Zero means the
 	// defaults: one writer and one reader for interactive shards, and the
@@ -71,11 +74,14 @@ type Config struct {
 	Readers int
 	// StepBudget bounds the deliveries one interactive simulator operation
 	// may consume (0 = workload.DefaultStepBudget). Exhausting it returns
-	// store.ErrStepBudget. Ignored on the live backend, which bounds
-	// operations by Live.OpTimeout instead.
+	// store.ErrStepBudget. Ignored on the live and net backends, which
+	// bound operations by their OpTimeout instead.
 	StepBudget int
 	// Live tunes the live runtime; the zero value selects the defaults.
 	Live live.Config
+	// Net tunes the net runtime; the zero value selects the defaults
+	// (ephemeral loopback ports, 5s op timeout).
+	Net netrun.Config
 	// Seed derives each shard's fault-plan decision stream (and seeds batch
 	// runs through RunWorkload). Same seed, same injected faults.
 	Seed int64
@@ -87,7 +93,7 @@ type Config struct {
 // face of the same knobs, for call sites that start from the zero Config.
 type Option func(*Config)
 
-// WithBackend selects the execution backend ("sim" or "live").
+// WithBackend selects the execution backend ("sim", "live" or "net").
 func WithBackend(name string) Option { return func(c *Config) { c.Backend = name } }
 
 // WithShards sets the number of independent register shards.
@@ -98,6 +104,21 @@ func WithFaults(specs ...string) Option { return func(c *Config) { c.Faults = sp
 
 // WithLiveConfig tunes the live runtime.
 func WithLiveConfig(lc live.Config) Option { return func(c *Config) { c.Live = lc } }
+
+// WithNetConfig tunes the net runtime (listen address, step duration, op
+// timeout, transport dial/queue bounds).
+func WithNetConfig(nc netrun.Config) Option { return func(c *Config) { c.Net = nc } }
+
+// WithTransport selects the net backend listening on addrSpec — an address
+// whose port part should stay 0 so every node gets its own ephemeral port
+// (e.g. "127.0.0.1:0"). Empty keeps the default loopback spec. It implies
+// WithBackend("net").
+func WithTransport(addrSpec string) Option {
+	return func(c *Config) {
+		c.Backend = store.BackendNet
+		c.Net.ListenAddr = addrSpec
+	}
+}
 
 // WithStepBudget bounds each interactive simulator operation's deliveries.
 func WithStepBudget(n int) Option { return func(c *Config) { c.StepBudget = n } }
@@ -258,6 +279,7 @@ func Open(cfg Config, opts ...Option) (*Store, error) {
 			Plan:       plan,
 			StepBudget: cfg.StepBudget,
 			Live:       cfg.Live,
+			Net:        cfg.Net,
 		})
 		if err != nil {
 			st.Close()
@@ -592,7 +614,7 @@ func (s *Store) RunWorkload(spec workload.Spec) (*workload.Result, error) {
 		}
 		spec.FaultPlan = plan
 	}
-	return s.backend.RunShard(cl, spec, store.ShardOptions{Live: s.cfg.Live})
+	return s.backend.RunShard(cl, spec, store.ShardOptions{Live: s.cfg.Live, Net: s.cfg.Net})
 }
 
 // Condition returns the consistency condition the store's first algorithm
@@ -624,6 +646,7 @@ func (s *Store) RunMulti(m workload.MultiSpec) (*store.Result, error) {
 		Writers:    s.cfg.Writers,
 		Readers:    s.cfg.Readers,
 		Live:       s.cfg.Live,
+		Net:        s.cfg.Net,
 		Workload:   m,
 	})
 }

@@ -4,12 +4,14 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"strings"
 	"sync"
 
 	"repro/internal/cluster"
 	"repro/internal/faults"
 	"repro/internal/ioa"
 	"repro/internal/live"
+	"repro/internal/netrun"
 	"repro/internal/workload"
 )
 
@@ -50,10 +52,13 @@ type ShardOptions struct {
 	Plan *faults.Plan
 	// StepBudget bounds the deliveries a single interactive operation may
 	// consume on the simulator (0 = workload.DefaultStepBudget). The live
-	// runtime bounds operations by wall-clock timeout instead.
+	// and net runtimes bound operations by wall-clock timeout instead.
 	StepBudget int
 	// Live tunes the live runtime (step duration, op timeout, mailboxes).
 	Live live.Config
+	// Net tunes the net runtime (listen address, step duration, op timeout,
+	// mailboxes, transport dial/queue bounds).
+	Net netrun.Config
 }
 
 func (o ShardOptions) stepBudget() int {
@@ -91,20 +96,31 @@ var ErrStepBudget = errors.New("store: step budget exhausted before the operatio
 const (
 	BackendSim  = "sim"
 	BackendLive = "live"
+	BackendNet  = "net"
 )
 
 // Backends lists the selectable backend names.
-func Backends() []string { return []string{BackendSim, BackendLive} }
+func Backends() []string { return []string{BackendSim, BackendLive, BackendNet} }
 
-// BackendByName returns the named backend; "" selects the simulator.
+// ErrUnknownBackend reports a backend selector naming no registered backend.
+// Every selection surface — BackendByName, Options.Backend validation,
+// shmem.WithBackend, the CLI -backend flags — funnels through it, so callers
+// branch with errors.Is(err, ErrUnknownBackend) instead of matching message
+// text. The message always lists the valid names.
+var ErrUnknownBackend = errors.New("unknown backend")
+
+// BackendByName returns the named backend; "" selects the simulator. An
+// unrecognized name wraps ErrUnknownBackend.
 func BackendByName(name string) (Backend, error) {
 	switch name {
 	case "", BackendSim:
 		return simBackend{}, nil
 	case BackendLive:
 		return liveBackend{}, nil
+	case BackendNet:
+		return netBackend{}, nil
 	default:
-		return nil, fmt.Errorf("store: unknown backend %q (known: %v)", name, Backends())
+		return nil, fmt.Errorf("store: %w %q (known: %s)", ErrUnknownBackend, name, strings.Join(Backends(), ", "))
 	}
 }
 
@@ -256,3 +272,63 @@ func (s *liveSession) RunOp(ctx context.Context, client ioa.NodeID, inv ioa.Invo
 func (s *liveSession) Storage() ioa.StorageReport { return s.in.Storage(s.cl) }
 func (s *liveSession) FaultStats() ioa.FaultStats { return s.in.FaultStats() }
 func (s *liveSession) Close() error               { return s.in.Close() }
+
+// validateNetWorkload eagerly rejects multi-key workloads the net backend
+// cannot run. Unlike the live backend, outage (partition) windows ARE
+// supported — netrun maps kernel steps to wall time — so only scheduled
+// crashes and the random crash budget stay simulator-only.
+func validateNetWorkload(o Options) error {
+	if o.Workload.Crashes != 0 {
+		return fmt.Errorf("store: net backend: the random crash budget is simulator-only (got Crashes=%d)", o.Workload.Crashes)
+	}
+	for i, spec := range o.Workload.Faults {
+		sc, err := faults.Parse(spec)
+		if err != nil {
+			return fmt.Errorf("store: Faults[%d]: %w", i, err)
+		}
+		if sc == nil {
+			continue
+		}
+		plan, err := sc.Build(o.Servers, o.F, 1)
+		if err != nil {
+			return fmt.Errorf("store: Faults[%d] %q: %w", i, spec, err)
+		}
+		if err := netrun.PlanSupported(plan); err != nil {
+			return fmt.Errorf("store: Faults[%d] %q: %w", i, spec, err)
+		}
+	}
+	return nil
+}
+
+// netBackend runs shards over real TCP sockets: every node automaton owns a
+// loopback endpoint, messages cross the wire codec, and fault rules apply at
+// socket-write time.
+type netBackend struct{}
+
+func (netBackend) Name() string { return BackendNet }
+
+func (netBackend) RunShard(cl *cluster.Cluster, spec workload.Spec, opts ShardOptions) (*workload.Result, error) {
+	return netrun.RunConfig(cl, spec, opts.Net)
+}
+
+func (netBackend) OpenShard(cl *cluster.Cluster, opts ShardOptions) (ShardSession, error) {
+	in, err := netrun.OpenInteractive(cl, opts.Plan, opts.Net)
+	if err != nil {
+		return nil, err
+	}
+	return &netSession{cl: cl, in: in}, nil
+}
+
+// netSession adapts netrun.Interactive to the ShardSession surface.
+type netSession struct {
+	cl *cluster.Cluster
+	in *netrun.Interactive
+}
+
+func (s *netSession) RunOp(ctx context.Context, client ioa.NodeID, inv ioa.Invocation) ([]byte, bool, error) {
+	return s.in.Invoke(ctx, client, inv)
+}
+
+func (s *netSession) Storage() ioa.StorageReport { return s.in.Storage(s.cl) }
+func (s *netSession) FaultStats() ioa.FaultStats { return s.in.FaultStats() }
+func (s *netSession) Close() error               { return s.in.Close() }

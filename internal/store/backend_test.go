@@ -39,17 +39,24 @@ func TestBackendEmptyDefaultsToSim(t *testing.T) {
 	}
 }
 
-// TestBackendUnknownNameError pins the error text: it must name the bad
-// selector and list the known backends.
+// TestBackendUnknownNameError pins the error contract: an unknown selector
+// wraps the typed ErrUnknownBackend, names the bad selector, and lists every
+// known backend — the single error every selection surface funnels through.
 func TestBackendUnknownNameError(t *testing.T) {
 	_, err := BackendByName("quantum")
 	if err == nil {
 		t.Fatal("BackendByName(\"quantum\") succeeded")
 	}
-	for _, want := range []string{`"quantum"`, BackendSim, BackendLive, "unknown backend"} {
+	if !errors.Is(err, ErrUnknownBackend) {
+		t.Errorf("error %v is not ErrUnknownBackend", err)
+	}
+	for _, want := range append([]string{`"quantum"`, "unknown backend"}, Backends()...) {
 		if !strings.Contains(err.Error(), want) {
 			t.Errorf("error %q does not mention %q", err, want)
 		}
+	}
+	if _, err := Run(Options{Shards: 1, Backend: "quantum"}); !errors.Is(err, ErrUnknownBackend) {
+		t.Errorf("store.Run with unknown backend: err = %v, want ErrUnknownBackend", err)
 	}
 }
 

@@ -16,6 +16,7 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/ioa"
 	"repro/internal/live"
+	"repro/internal/netrun"
 	"repro/internal/workload"
 )
 
@@ -41,9 +42,11 @@ type Options struct {
 	// count (see Run).
 	Workers int
 	// Backend selects the execution substrate for every shard: BackendSim
-	// (default, the deterministic simulator) or BackendLive (the concurrent
-	// goroutine-per-node runtime). Fingerprints are only meaningful on the
-	// simulator; live results vary run to run and are checked for safety.
+	// (default, the deterministic simulator), BackendLive (the concurrent
+	// goroutine-per-node runtime) or BackendNet (the live runtime's real-
+	// network sibling: one TCP socket per node). Fingerprints are only
+	// meaningful on the simulator; live and net results vary run to run and
+	// are checked for safety.
 	Backend string
 	// Writers and Readers override each shard's client counts. Zero keeps
 	// DeployAlgorithm's per-algorithm shapes (the default); setting them is
@@ -55,6 +58,10 @@ type Options struct {
 	// duration for fault delays, per-op timeout, mailbox capacity). The
 	// zero value selects the defaults; ignored on the simulator.
 	Live live.Config
+	// Net tunes the net runtime when Backend is BackendNet (listen address,
+	// step duration, per-op timeout, transport bounds). The zero value
+	// selects the defaults; ignored elsewhere.
+	Net netrun.Config
 	// Workload is the multi-key workload to partition across shards.
 	Workload workload.MultiSpec
 }
@@ -86,6 +93,11 @@ func (o Options) validate() error {
 	}
 	if o.Backend == BackendLive {
 		if err := validateLiveWorkload(o); err != nil {
+			return err
+		}
+	}
+	if o.Backend == BackendNet {
+		if err := validateNetWorkload(o); err != nil {
 			return err
 		}
 	}
@@ -373,7 +385,7 @@ func runShard(o Options, backend Backend, alg string, load workload.ShardLoad) (
 	if plan != nil {
 		spec.FaultPlan = plan
 	}
-	wres, err := backend.RunShard(cl, spec, ShardOptions{Live: o.Live})
+	wres, err := backend.RunShard(cl, spec, ShardOptions{Live: o.Live, Net: o.Net})
 	if err != nil {
 		return ShardResult{}, err
 	}

@@ -1,0 +1,334 @@
+// Package transport is the connection layer of the real-network execution
+// backend: every node automaton owns one Endpoint — a TCP listener plus a
+// pool of dialed, reused outbound connections — and exchanges opaque
+// length-prefixed frames with its peers. The split mirrors memberlist's
+// transport design (a listener feeding a handler, connections cached per
+// peer address), scaled down to what the register emulations need:
+//
+//   - Frames, not streams: one message per frame, 4-byte big-endian length
+//     prefix, MaxFrame cap enforced on both sides so a corrupt or hostile
+//     length cannot force an unbounded allocation.
+//   - Dialed-connection reuse: the first Send to a peer dials it (bounded
+//     by DialTimeout) and installs a writer goroutine fed by a bounded
+//     outbox; later Sends enqueue onto the same connection. A failed dial
+//     or write tears the pooled entry down, so the next Send redials —
+//     message loss on a broken connection is surfaced to the layer above
+//     as what it is on a real network: silence, bounded by op timeouts.
+//   - Non-blocking sends: when an outbox is full the frame is handed to a
+//     spawned goroutine instead of blocking the caller. Node loops
+//     therefore never deadlock on a cycle of full TCP buffers; the cost is
+//     possible reordering, which the unordered-channel model and the
+//     simulator's delay rules already allow.
+//   - Graceful shutdown: Close stops the accept loop, closes every inbound
+//     and outbound connection, and joins every goroutine the endpoint
+//     started — no frame handler runs after Close returns.
+package transport
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+)
+
+// MaxFrame bounds a frame's payload length (16 MiB). Values in this
+// repository's workloads are a few KiB; the cap only exists to keep a
+// corrupt length prefix from looking like a multi-gigabyte allocation.
+const MaxFrame = 16 << 20
+
+// ErrClosed reports a Send on an endpoint that has been closed.
+var ErrClosed = errors.New("transport: endpoint closed")
+
+// Config tunes an Endpoint. The zero value selects the defaults.
+type Config struct {
+	// DialTimeout bounds an outbound connection attempt (default 2s).
+	DialTimeout time.Duration
+	// Outbox is the per-connection send queue capacity (default 256).
+	// Overflow never blocks the sender: excess frames complete from
+	// spawned goroutines.
+	Outbox int
+}
+
+func (c Config) withDefaults() Config {
+	if c.DialTimeout <= 0 {
+		c.DialTimeout = 2 * time.Second
+	}
+	if c.Outbox <= 0 {
+		c.Outbox = 256
+	}
+	return c
+}
+
+// Endpoint is one node's network identity: a TCP listener whose inbound
+// frames are delivered to the handler passed to Serve, and a pool of
+// outbound connections reused across Sends. Safe for concurrent use.
+type Endpoint struct {
+	cfg      Config
+	listener net.Listener
+
+	mu      sync.Mutex
+	conns   map[string]*outConn // keyed by peer address
+	inbound map[net.Conn]struct{}
+	closed  bool
+
+	done chan struct{}
+	wg   sync.WaitGroup
+}
+
+// outConn is one pooled outbound connection: a writer goroutine drains the
+// outbox so senders only ever block on channel capacity, never on the
+// socket itself.
+type outConn struct {
+	c      net.Conn
+	outbox chan []byte
+	closed chan struct{} // closed when the writer goroutine exits
+}
+
+// Listen opens an endpoint on addr ("127.0.0.1:0" for an ephemeral
+// loopback port). The listener is live immediately; inbound frames are
+// buffered by the kernel until Serve installs the handler.
+func Listen(addr string, cfg Config) (*Endpoint, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: listen %s: %w", addr, err)
+	}
+	return &Endpoint{
+		cfg:      cfg.withDefaults(),
+		listener: ln,
+		conns:    make(map[string]*outConn),
+		inbound:  make(map[net.Conn]struct{}),
+		done:     make(chan struct{}),
+	}, nil
+}
+
+// Addr returns the endpoint's dialable address (with the resolved port).
+func (e *Endpoint) Addr() string { return e.listener.Addr().String() }
+
+// Serve starts the accept loop: every inbound connection gets a reader
+// goroutine that decodes length-prefixed frames and calls handler with
+// each payload. The handler runs on the reader goroutine; a handler that
+// blocks exerts backpressure on that peer's TCP stream only. Serve returns
+// immediately.
+func (e *Endpoint) Serve(handler func(frame []byte)) {
+	e.wg.Add(1)
+	go func() {
+		defer e.wg.Done()
+		for {
+			c, err := e.listener.Accept()
+			if err != nil {
+				return // listener closed
+			}
+			e.mu.Lock()
+			if e.closed {
+				e.mu.Unlock()
+				c.Close()
+				return
+			}
+			e.inbound[c] = struct{}{}
+			e.mu.Unlock()
+			e.wg.Add(1)
+			go func() {
+				defer e.wg.Done()
+				defer func() {
+					e.mu.Lock()
+					delete(e.inbound, c)
+					e.mu.Unlock()
+					c.Close()
+				}()
+				for {
+					frame, err := ReadFrame(c)
+					if err != nil {
+						return
+					}
+					select {
+					case <-e.done:
+						return
+					default:
+					}
+					handler(frame)
+				}
+			}()
+		}
+	}()
+}
+
+// Send enqueues one frame to the peer at addr, dialing (or redialing) it if
+// no healthy pooled connection exists. Send never blocks on the socket: a
+// full outbox falls back to a spawned goroutine. Frame delivery is not
+// acknowledged — a connection that breaks mid-flight loses frames, exactly
+// like a real asynchronous network; protocol-level timeouts own recovery.
+func (e *Endpoint) Send(addr string, frame []byte) error {
+	if len(frame) > MaxFrame {
+		return fmt.Errorf("transport: frame of %d bytes exceeds MaxFrame %d", len(frame), MaxFrame)
+	}
+	oc, err := e.conn(addr)
+	if err != nil {
+		return err
+	}
+	select {
+	case oc.outbox <- frame:
+		return nil
+	case <-oc.closed:
+		// Writer died between lookup and enqueue; retry once on a fresh
+		// connection, then give up (the message is "lost in the network").
+		oc2, err := e.conn(addr)
+		if err != nil {
+			return err
+		}
+		select {
+		case oc2.outbox <- frame:
+			return nil
+		default:
+		}
+		e.spawnEnqueue(oc2, frame)
+		return nil
+	case <-e.done:
+		return ErrClosed
+	default:
+		e.spawnEnqueue(oc, frame)
+		return nil
+	}
+}
+
+// spawnEnqueue completes an overflowing enqueue off the caller's goroutine.
+func (e *Endpoint) spawnEnqueue(oc *outConn, frame []byte) {
+	e.wg.Add(1)
+	go func() {
+		defer e.wg.Done()
+		select {
+		case oc.outbox <- frame:
+		case <-oc.closed:
+		case <-e.done:
+		}
+	}()
+}
+
+// conn returns the pooled connection to addr, dialing one if needed. A
+// pooled entry whose writer has exited is replaced.
+func (e *Endpoint) conn(addr string) (*outConn, error) {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return nil, ErrClosed
+	}
+	if oc, ok := e.conns[addr]; ok {
+		select {
+		case <-oc.closed:
+			delete(e.conns, addr) // writer dead; fall through to redial
+		default:
+			e.mu.Unlock()
+			return oc, nil
+		}
+	}
+	e.mu.Unlock()
+
+	// Dial outside the lock: a slow peer must not serialize every sender.
+	c, err := net.DialTimeout("tcp", addr, e.cfg.DialTimeout)
+	if err != nil {
+		return nil, fmt.Errorf("transport: dial %s: %w", addr, err)
+	}
+
+	oc := &outConn{c: c, outbox: make(chan []byte, e.cfg.Outbox), closed: make(chan struct{})}
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		c.Close()
+		return nil, ErrClosed
+	}
+	if racing, ok := e.conns[addr]; ok {
+		// Another sender dialed concurrently; keep theirs.
+		select {
+		case <-racing.closed:
+			e.conns[addr] = oc
+		default:
+			e.mu.Unlock()
+			c.Close()
+			return racing, nil
+		}
+	} else {
+		e.conns[addr] = oc
+	}
+	e.mu.Unlock()
+
+	e.wg.Add(1)
+	go e.writeLoop(oc)
+	return oc, nil
+}
+
+// writeLoop drains one pooled connection's outbox onto the socket. Any
+// write error retires the connection (the pool redials on the next Send).
+func (e *Endpoint) writeLoop(oc *outConn) {
+	defer e.wg.Done()
+	defer close(oc.closed)
+	defer oc.c.Close()
+	for {
+		select {
+		case frame := <-oc.outbox:
+			if err := WriteFrame(oc.c, frame); err != nil {
+				return
+			}
+		case <-e.done:
+			return
+		}
+	}
+}
+
+// Close shuts the endpoint down: no new accepts or dials, every connection
+// closed, every reader and writer goroutine joined. Frames already handed
+// to handlers have completed when Close returns. Idempotent.
+func (e *Endpoint) Close() error {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return nil
+	}
+	e.closed = true
+	close(e.done)
+	err := e.listener.Close()
+	for _, oc := range e.conns {
+		oc.c.Close()
+	}
+	for c := range e.inbound {
+		c.Close()
+	}
+	e.mu.Unlock()
+	e.wg.Wait()
+	return err
+}
+
+// WriteFrame writes one length-prefixed frame.
+func WriteFrame(w io.Writer, payload []byte) error {
+	if len(payload) > MaxFrame {
+		return fmt.Errorf("transport: frame of %d bytes exceeds MaxFrame %d", len(payload), MaxFrame)
+	}
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(payload)))
+	// One Write per frame section; TCP coalesces, and interleaving is
+	// impossible because each connection has a single writer goroutine.
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+// ReadFrame reads one length-prefixed frame, rejecting lengths over
+// MaxFrame before allocating.
+func ReadFrame(r io.Reader) ([]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > MaxFrame {
+		return nil, fmt.Errorf("transport: frame length %d exceeds MaxFrame %d", n, MaxFrame)
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return nil, err
+	}
+	return payload, nil
+}

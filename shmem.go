@@ -49,6 +49,7 @@ import (
 	"repro/internal/faults"
 	"repro/internal/ioa"
 	"repro/internal/live"
+	"repro/internal/netrun"
 	"repro/internal/register"
 	"repro/internal/session"
 	"repro/internal/store"
@@ -87,9 +88,22 @@ type StoreShardMetrics = session.ShardMetrics
 func Open(cfg Config, opts ...Option) (*Store, error) { return session.Open(cfg, opts...) }
 
 // WithBackend selects the execution backend: "sim" (the deterministic
-// simulator, the default) or "live" (the concurrent goroutine-per-node
-// runtime).
+// simulator, the default), "live" (the concurrent goroutine-per-node
+// runtime) or "net" (the live runtime's real-network sibling: every node
+// owns a TCP socket and messages cross the loopback network). Unknown names
+// fail Open with ErrUnknownBackend.
 func WithBackend(name string) Option { return session.WithBackend(name) }
+
+// WithTransport selects the net backend with every node endpoint listening
+// on addrSpec — an address whose port part should stay 0 so each node gets
+// its own ephemeral port (e.g. "127.0.0.1:0"; "" keeps that default). It
+// implies WithBackend("net").
+func WithTransport(addrSpec string) Option { return session.WithTransport(addrSpec) }
+
+// WithNetConfig tunes the net runtime (listen address, step duration for
+// fault delays and partitions, per-operation timeout, transport dial and
+// queue bounds).
+func WithNetConfig(nc NetConfig) Option { return session.WithNetConfig(nc) }
 
 // WithShards sets the number of independent register shards keys are
 // routed across.
@@ -125,6 +139,12 @@ const DefaultStepBudget = workload.DefaultStepBudget
 // ErrStepBudget reports that an interactive simulator operation exhausted
 // its delivery budget before completing; widen it with WithStepBudget.
 var ErrStepBudget = store.ErrStepBudget
+
+// ErrUnknownBackend reports a backend selector naming no registered backend.
+// Every selection surface — Open, WithBackend, StoreOptions.Backend, the CLI
+// -backend flags — wraps it, so callers branch with errors.Is; the message
+// lists the valid names (StoreBackends).
+var ErrUnknownBackend = store.ErrUnknownBackend
 
 // Re-exported foundation types.
 type (
@@ -226,7 +246,11 @@ func DeploySolo(n, f, readers int) (*Cluster, error) {
 // storage.
 //
 // Deprecated: use Store.RunWorkload on an Open handle, which deploys the
-// cluster itself and runs on either backend.
+// cluster itself and runs on any backend (see MIGRATION.md).
+//
+// This is a pure forwarder to the internal workload engine, kept only for
+// compatibility — in the style of a //go:fix inline forwarder, calls should
+// be replaced by their handle-based equivalent rather than new ones written.
 func RunWorkload(cl *Cluster, spec WorkloadSpec) (*WorkloadResult, error) {
 	return workload.Run(cl, spec)
 }
@@ -238,7 +262,12 @@ func RunWorkload(cl *Cluster, spec WorkloadSpec) (*WorkloadResult, error) {
 // byte-identical across runs regardless of the worker count.
 //
 // Deprecated: use Store.RunMulti on an Open handle, which carries the
-// algorithm mix, backend and fault scenarios in its Config.
+// algorithm mix, backend and fault scenarios in its Config (see
+// MIGRATION.md).
+//
+// This is a pure forwarder to the internal store engine, kept only for
+// compatibility — in the style of a //go:fix inline forwarder, calls should
+// be replaced by their handle-based equivalent rather than new ones written.
 func RunStore(opts StoreOptions) (*StoreResult, error) {
 	return store.Run(opts)
 }
@@ -266,14 +295,22 @@ func DeployAlgorithmSized(alg string, n, f, writers, readers int) (*Cluster, str
 func StoreAlgorithms() []string { return store.Algorithms() }
 
 // StoreBackends lists the execution backends StoreOptions.Backend accepts:
-// "sim" (the deterministic simulator, the default) and "live" (the
-// concurrent goroutine-per-node runtime).
+// "sim" (the deterministic simulator, the default), "live" (the concurrent
+// goroutine-per-node runtime) and "net" (one real TCP socket per node over
+// the loopback network).
 func StoreBackends() []string { return store.Backends() }
 
 // LiveConfig tunes the live concurrent runtime (step duration for fault
 // delays, per-operation timeout, mailbox capacity). The zero value selects
 // the defaults.
 type LiveConfig = live.Config
+
+// NetConfig tunes the real-network runtime behind the "net" backend: the
+// listen address spec (ephemeral loopback ports by default), the step
+// duration mapping fault delays and partition windows to wall time, the
+// per-operation timeout, and the transport's dial timeout and per-connection
+// send queue capacity. The zero value selects the defaults.
+type NetConfig = netrun.Config
 
 // LiveResult reports a live run: safety fields mirror WorkloadResult, plus
 // wall-clock throughput and per-operation latencies.
@@ -286,7 +323,12 @@ type LiveResult = live.Result
 // safety only.
 //
 // Deprecated: use Store.RunWorkload on a handle opened with
-// WithBackend("live"); latencies now travel on WorkloadResult.Latencies.
+// WithBackend("live") — or WithBackend("net") for real sockets; latencies
+// now travel on WorkloadResult.Latencies (see MIGRATION.md).
+//
+// This is a pure forwarder to the internal live runtime, kept only for
+// compatibility — in the style of a //go:fix inline forwarder, calls should
+// be replaced by their handle-based equivalent rather than new ones written.
 func RunLiveWorkload(cl *Cluster, spec WorkloadSpec, cfg LiveConfig) (*LiveResult, error) {
 	return live.RunConfig(cl, spec, cfg)
 }
@@ -325,8 +367,9 @@ func FaultScenarioUsage() string { return faults.Usage() }
 // with a DefaultStepBudget delivery budget (ErrStepBudget when exhausted).
 //
 // Deprecated: open a handle with Open and use Store.Put, which works on
-// both backends and takes a context; WithStepBudget replaces the fixed
-// budget.
+// every backend and takes a context; WithStepBudget replaces the fixed
+// budget (see MIGRATION.md). This forwarder is simulator-only and kept for
+// compatibility; replace calls rather than writing new ones.
 func Write(cl *Cluster, writer int, value []byte) error {
 	if writer < 0 || writer >= len(cl.Writers) {
 		return fmt.Errorf("shmem: writer index %d out of range [0,%d)", writer, len(cl.Writers))
@@ -340,8 +383,9 @@ func Write(cl *Cluster, writer int, value []byte) error {
 // (ErrStepBudget when exhausted).
 //
 // Deprecated: open a handle with Open and use Store.Get, which works on
-// both backends and takes a context; WithStepBudget replaces the fixed
-// budget.
+// every backend and takes a context; WithStepBudget replaces the fixed
+// budget (see MIGRATION.md). This forwarder is simulator-only and kept for
+// compatibility; replace calls rather than writing new ones.
 func Read(cl *Cluster, reader int) ([]byte, error) {
 	if reader < 0 || reader >= len(cl.Readers) {
 		return nil, fmt.Errorf("shmem: reader index %d out of range [0,%d)", reader, len(cl.Readers))

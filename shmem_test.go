@@ -72,6 +72,50 @@ func TestWriteStepBudgetTyped(t *testing.T) {
 	}
 }
 
+// TestUnknownBackendIsTyped pins the unified selection error: Open with an
+// unknown backend fails with the typed ErrUnknownBackend, whose message
+// lists every valid name.
+func TestUnknownBackendIsTyped(t *testing.T) {
+	_, err := Open(Config{}, WithBackend("quantum"))
+	if !errors.Is(err, ErrUnknownBackend) {
+		t.Fatalf("Open with unknown backend: err = %v, want ErrUnknownBackend", err)
+	}
+	for _, name := range StoreBackends() {
+		if !strings.Contains(err.Error(), name) {
+			t.Errorf("error %q does not list backend %q", err, name)
+		}
+	}
+}
+
+// TestWithTransportSelectsNetBackend pins the WithTransport option: it
+// implies the net backend, and a Put/Get pair round-trips over real loopback
+// sockets.
+func TestWithTransportSelectsNetBackend(t *testing.T) {
+	st, err := Open(Config{}, WithTransport("127.0.0.1:0"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	if got := st.Backend(); got != "net" {
+		t.Fatalf("WithTransport backend = %q, want \"net\"", got)
+	}
+	ctx := context.Background()
+	v := MakeValue(48, 7)
+	if err := st.Put(ctx, 0, v); err != nil {
+		t.Fatal(err)
+	}
+	out, err := st.Get(ctx, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(out, v) {
+		t.Fatalf("Get returned %d bytes, want the written value", len(out))
+	}
+	if err := st.CheckConsistency(); err != nil {
+		t.Fatal(err)
+	}
+}
+
 // TestCrossBackendOpen is the PR's acceptance criterion: the same Config
 // opened on "sim" and on "live" drives the same multi-key operation
 // sequence through Put/Get, and both backends deliver passing consistency

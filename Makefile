@@ -25,9 +25,11 @@ live-race:
 	$(GO) test -race -count=2 ./internal/live
 
 # End-to-end smoke of the live load generator: a small client-count sweep on
-# two shards, consistency-checked per shard.
+# two shards, consistency-checked per shard, plus one pipelined point
+# (depth > 1) exercising the bounded-mailbox flow-control path.
 liveload-smoke:
 	$(GO) run ./cmd/liveload -clients 1,2,4 -ops 48 -shards 2 -keys 16 > /dev/null
+	$(GO) run ./cmd/liveload -clients 4 -ops 64 -shards 1 -keys 8 -pipeline 4 > /dev/null
 	@echo liveload-smoke ok
 
 # End-to-end smoke of the real-network load generator: the same sweep shape
@@ -36,6 +38,7 @@ liveload-smoke:
 netload-smoke:
 	$(GO) run ./cmd/netload -clients 1,2,4 -ops 48 -shards 2 -keys 16 > /dev/null
 	$(GO) run ./cmd/netload -clients 1 -ops 16 -shards 1 -keys 4 -faults partition@0:200 > /dev/null
+	$(GO) run ./cmd/netload -clients 4 -ops 64 -shards 1 -keys 8 -pipeline 4 > /dev/null
 	@echo netload-smoke ok
 
 bench:
@@ -54,14 +57,14 @@ bench-micro:
 bench-micro-smoke:
 	$(GO) test -run NONE -bench $(MICRO_BENCH) -benchtime 1x $(MICRO_PKGS)
 
-# Machine-readable perf record: runs the micro-benchmarks plus the E9-E11
+# Machine-readable perf record: runs the micro-benchmarks plus the E9-E12
 # experiment benchmarks and writes BENCH_<date>.json for the repository's
 # perf trajectory. Override DATE to control the filename/stamp. Bench output
 # is staged in a temp file so a failing benchmark run aborts the target
 # instead of silently committing a partial baseline.
 bench-json:
 	$(GO) test -run NONE -bench $(MICRO_BENCH) -benchmem -benchtime 0.2s $(MICRO_PKGS) > bench-json.tmp
-	$(GO) test -run NONE -bench 'E9|E10ShardedStore|E11FaultScenarios' -benchmem -benchtime 2x . >> bench-json.tmp
+	$(GO) test -run NONE -bench 'E9|E10ShardedStore|E11FaultScenarios|E12LiveThroughput' -benchmem -benchtime 2x . >> bench-json.tmp
 	$(GO) run ./cmd/benchjson -date $(DATE) < bench-json.tmp > BENCH_$(DATE).json
 	@rm -f bench-json.tmp
 	@echo wrote BENCH_$(DATE).json

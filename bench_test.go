@@ -15,6 +15,7 @@ package shmem
 //	E9 BenchmarkE9CheckerThroughput  — consistency-checker throughput
 //	E10 BenchmarkE10ShardedStore     — sharded store: normcost and ops/sec vs shard count
 //	E11 BenchmarkE11FaultScenarios   — storage high-water marks and liveness verdicts across the fault scenario grid
+//	E12 BenchmarkE12LiveThroughput   — live-backend throughput across client counts and pipeline depths
 //
 // Custom metrics (b.ReportMetric) carry the experiment's headline numbers so
 // that bench output doubles as the results record: "normcost" is total
@@ -294,6 +295,49 @@ func BenchmarkE11FaultScenarios(b *testing.B) {
 				b.ReportMetric(float64(res.QuiescentShards), "quiescent")
 			})
 		}
+	}
+}
+
+// E12: live-backend throughput across client counts and pipeline depths —
+// the flow-control record. Bounded mailboxes give the run backpressure
+// instead of goroutine storms, and pipelining keeps each client's next
+// operations queued at the node, so throughput holds as concurrency grows.
+// Consistency checking is disabled (the checkers are worst-case exponential
+// in write concurrency); history well-formedness is still enforced by
+// construction. "ops/sec" is the headline metric; "lost" must stay 0 on a
+// fault-free run.
+func BenchmarkE12LiveThroughput(b *testing.B) {
+	for _, tc := range []struct{ clients, pipeline int }{
+		{16, 1}, {16, 4}, {64, 4}, {256, 8},
+	} {
+		b.Run(fmt.Sprintf("clients=%d/pipeline=%d", tc.clients, tc.pipeline), func(b *testing.B) {
+			var res *StoreResult
+			for i := 0; i < b.N; i++ {
+				st, err := Open(Config{
+					Algorithms: []string{"abd-mwmr"},
+					Servers:    5,
+					F:          1,
+					Backend:    "live",
+				}, WithClients(tc.clients, tc.clients), WithPipeline(tc.pipeline), WithSkipCheck())
+				if err != nil {
+					b.Fatal(err)
+				}
+				res, err = st.RunMulti(MultiWorkloadSpec{
+					Seed:         11,
+					Keys:         32,
+					Ops:          8 * tc.clients,
+					ReadFraction: 0.3,
+					TargetNu:     tc.clients,
+					ValueBytes:   64,
+				})
+				st.Close()
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(res.OpsPerSec, "ops/sec")
+			b.ReportMetric(float64(res.Faults.Drops+res.Faults.TransportDropped), "lost")
+		})
 	}
 }
 

@@ -2,14 +2,17 @@
 // on its own goroutine, messages over channels — through a sharded keyspace
 // workload and reports what only a live backend can measure: aggregate
 // throughput and per-operation latency percentiles, swept across client
-// counts. Safety is still enforced: every shard's merged history is checked
-// against the algorithm's consistency condition, exactly as the simulator
-// backend does.
+// counts. Safety is still enforced by default: every shard's merged history
+// is checked against the algorithm's consistency condition, exactly as the
+// simulator backend does. High-concurrency sweeps can disable the check
+// (-check=false) — the checkers are worst-case exponential in write
+// concurrency — while history well-formedness stays enforced.
 //
 // Usage:
 //
 //	liveload -alg cas -shards 4 -clients 2,4,8 -ops 256
 //	liveload -alg abd-mwmr -clients 1,2,4 -faults lossy=0.01+delay=1:8
+//	liveload -alg abd-mwmr -clients 1000 -pipeline 8 -check=false -ops 4000
 package main
 
 import (
@@ -35,6 +38,7 @@ type gridPoint struct {
 	clients   int
 	completed int
 	pending   int
+	lost      int
 	quiescent int
 	elapsed   time.Duration
 	opsPerSec float64
@@ -55,6 +59,8 @@ func run() error {
 	faultSpec := flag.String("faults", "", "drop/delay fault scenario applied to every shard (lossy=P, delay=MIN:MAX, composable with +)")
 	stepDur := flag.Duration("stepdur", 100*time.Microsecond, "wall-clock duration of one fault delay step")
 	opTimeout := flag.Duration("optimeout", 5*time.Second, "per-operation completion timeout")
+	pipeline := flag.Int("pipeline", 1, "operations kept in flight per client (per-client order preserved)")
+	check := flag.Bool("check", true, "consistency-check every shard history (disable for high-concurrency sweeps; the checkers are exponential in write concurrency)")
 	flag.Parse()
 
 	clients, err := parseClients(*clientsFlag)
@@ -63,15 +69,18 @@ func run() error {
 	}
 	cfg := shmem.LiveConfig{StepDur: *stepDur, OpTimeout: *opTimeout}
 
-	fmt.Printf("live load        : %s, %d shards x (N=%d f=%d), %d keys, %d ops/setting, seed %d\n",
-		*alg, *shards, *n, *f, *keys, *ops, *seed)
+	fmt.Printf("live load        : %s, %d shards x (N=%d f=%d), %d keys, %d ops/setting, pipeline %d, seed %d\n",
+		*alg, *shards, *n, *f, *keys, *ops, *pipeline, *seed)
 	fmt.Printf("fault scenario   : %s\n", orNone(*faultSpec))
+	if !*check {
+		fmt.Println("consistency check: disabled (-check=false)")
+	}
 	fmt.Println()
-	fmt.Printf("%-8s %-7s %-10s %-8s %-10s %-12s %-12s %-10s\n",
-		"clients", "shards", "completed", "pending", "ops/sec", "p50", "p99", "verdict")
+	fmt.Printf("%-8s %-7s %-10s %-8s %-6s %-10s %-12s %-12s %-10s\n",
+		"clients", "shards", "completed", "pending", "lost", "ops/sec", "p50", "p99", "verdict")
 
 	for _, c := range clients {
-		pt, err := runPoint(*alg, *n, *f, *shards, c, *keys, *ops, *readFrac, *valueBytes, *seed, *faultSpec, cfg)
+		pt, err := runPoint(*alg, *n, *f, *shards, c, *keys, *ops, *readFrac, *valueBytes, *seed, *faultSpec, *pipeline, *check, cfg)
 		if err != nil {
 			return err
 		}
@@ -79,8 +88,8 @@ func run() error {
 		if pt.quiescent > 0 {
 			verdict = fmt.Sprintf("%d quiescent", pt.quiescent)
 		}
-		fmt.Printf("%-8d %-7d %-10d %-8d %-10.0f %-12v %-12v %-10s\n",
-			pt.clients, *shards, pt.completed, pt.pending, pt.opsPerSec,
+		fmt.Printf("%-8d %-7d %-10d %-8d %-6d %-10.0f %-12v %-12v %-10s\n",
+			pt.clients, *shards, pt.completed, pt.pending, pt.lost, pt.opsPerSec,
 			pt.p50.Round(time.Microsecond), pt.p99.Round(time.Microsecond), verdict)
 	}
 	return nil
@@ -89,12 +98,16 @@ func run() error {
 // runPoint runs one client-count setting: a store handle opened on the
 // live backend with `clients` writers and readers per shard runs the
 // keyspace load through the parallel store engine, which partitions it,
-// deploys a fresh cluster per shard, consistency-checks every shard and
-// aggregates the latency percentiles.
-func runPoint(alg string, n, f, shards, clients, keys, ops int, readFrac float64, valueBytes int, seed int64, faultSpec string, cfg shmem.LiveConfig) (gridPoint, error) {
+// deploys a fresh cluster per shard, consistency-checks every shard (unless
+// disabled) and aggregates the latency percentiles.
+func runPoint(alg string, n, f, shards, clients, keys, ops int, readFrac float64, valueBytes int, seed int64, faultSpec string, pipeline int, check bool, cfg shmem.LiveConfig) (gridPoint, error) {
 	var faultSpecs []string
 	if faultSpec != "" {
 		faultSpecs = []string{faultSpec}
+	}
+	opts := []shmem.Option{shmem.WithClients(clients, clients), shmem.WithPipeline(pipeline)}
+	if !check {
+		opts = append(opts, shmem.WithSkipCheck())
 	}
 	st, err := shmem.Open(shmem.Config{
 		Algorithms: []string{alg},
@@ -105,7 +118,7 @@ func runPoint(alg string, n, f, shards, clients, keys, ops int, readFrac float64
 		Faults:     faultSpecs,
 		Live:       cfg,
 		Seed:       seed,
-	}, shmem.WithClients(clients, clients))
+	}, opts...)
 	if err != nil {
 		return gridPoint{}, err
 	}
@@ -127,6 +140,7 @@ func runPoint(alg string, n, f, shards, clients, keys, ops int, readFrac float64
 		elapsed:   res.Elapsed,
 		p50:       res.LatencyP50,
 		p99:       res.LatencyP99,
+		lost:      res.Faults.Drops + res.Faults.TransportDropped,
 	}
 	for _, s := range res.PerShard {
 		pt.pending += s.PendingOps

@@ -2,9 +2,11 @@
 // owning its own TCP socket, protocol messages crossing the loopback network
 // as binary frames — through a sharded keyspace workload and reports
 // aggregate throughput and per-operation latency percentiles, swept across
-// client counts. Safety is still enforced: every shard's merged history is
-// checked against the algorithm's consistency condition, exactly as the
-// simulator and live backends do.
+// client counts. Safety is still enforced by default: every shard's merged
+// history is checked against the algorithm's consistency condition, exactly
+// as the simulator and live backends do; high-concurrency sweeps can disable
+// the check (-check=false), since the checkers are worst-case exponential in
+// write concurrency.
 //
 // Unlike liveload, partition scenarios are fair game: outage windows gate
 // the socket writes and heal in wall-clock time (-stepdur maps steps to
@@ -15,6 +17,7 @@
 //	netload -alg cas -shards 2 -clients 1,8,64 -ops 256
 //	netload -alg abd-mwmr -clients 1,8 -faults lossy=0.01+delay=1:8
 //	netload -clients 1,4 -faults partition@0:2000 -stepdur 1ms
+//	netload -clients 64 -pipeline 8 -check=false -ops 1024
 package main
 
 import (
@@ -40,6 +43,7 @@ type gridPoint struct {
 	clients   int
 	completed int
 	pending   int
+	lost      int
 	quiescent int
 	elapsed   time.Duration
 	opsPerSec float64
@@ -61,6 +65,8 @@ func run() error {
 	listen := flag.String("listen", "127.0.0.1:0", "listen address spec; keep the port 0 so every node gets its own ephemeral port")
 	stepDur := flag.Duration("stepdur", 100*time.Microsecond, "wall-clock duration of one fault step (delays and partition windows)")
 	opTimeout := flag.Duration("optimeout", 5*time.Second, "per-operation completion timeout")
+	pipeline := flag.Int("pipeline", 1, "operations kept in flight per client (per-client order preserved)")
+	check := flag.Bool("check", true, "consistency-check every shard history (disable for high-concurrency sweeps; the checkers are exponential in write concurrency)")
 	flag.Parse()
 
 	clients, err := parseClients(*clientsFlag)
@@ -69,16 +75,19 @@ func run() error {
 	}
 	cfg := shmem.NetConfig{ListenAddr: *listen, StepDur: *stepDur, OpTimeout: *opTimeout}
 
-	fmt.Printf("net load         : %s, %d shards x (N=%d f=%d), %d keys, %d ops/setting, seed %d\n",
-		*alg, *shards, *n, *f, *keys, *ops, *seed)
+	fmt.Printf("net load         : %s, %d shards x (N=%d f=%d), %d keys, %d ops/setting, pipeline %d, seed %d\n",
+		*alg, *shards, *n, *f, *keys, *ops, *pipeline, *seed)
 	fmt.Printf("transport        : TCP %s, one socket per node\n", *listen)
 	fmt.Printf("fault scenario   : %s\n", orNone(*faultSpec))
+	if !*check {
+		fmt.Println("consistency check: disabled (-check=false)")
+	}
 	fmt.Println()
-	fmt.Printf("%-8s %-7s %-10s %-8s %-10s %-12s %-12s %-10s\n",
-		"clients", "shards", "completed", "pending", "ops/sec", "p50", "p99", "verdict")
+	fmt.Printf("%-8s %-7s %-10s %-8s %-6s %-10s %-12s %-12s %-10s\n",
+		"clients", "shards", "completed", "pending", "lost", "ops/sec", "p50", "p99", "verdict")
 
 	for _, c := range clients {
-		pt, err := runPoint(*alg, *n, *f, *shards, c, *keys, *ops, *readFrac, *valueBytes, *seed, *faultSpec, cfg)
+		pt, err := runPoint(*alg, *n, *f, *shards, c, *keys, *ops, *readFrac, *valueBytes, *seed, *faultSpec, *pipeline, *check, cfg)
 		if err != nil {
 			return err
 		}
@@ -86,8 +95,8 @@ func run() error {
 		if pt.quiescent > 0 {
 			verdict = fmt.Sprintf("%d quiescent", pt.quiescent)
 		}
-		fmt.Printf("%-8d %-7d %-10d %-8d %-10.0f %-12v %-12v %-10s\n",
-			pt.clients, *shards, pt.completed, pt.pending, pt.opsPerSec,
+		fmt.Printf("%-8d %-7d %-10d %-8d %-6d %-10.0f %-12v %-12v %-10s\n",
+			pt.clients, *shards, pt.completed, pt.pending, pt.lost, pt.opsPerSec,
 			pt.p50.Round(time.Microsecond), pt.p99.Round(time.Microsecond), verdict)
 	}
 	return nil
@@ -97,11 +106,16 @@ func run() error {
 // backend with `clients` writers and readers per shard runs the keyspace
 // load through the parallel store engine, which partitions it, deploys a
 // fresh cluster per shard — every node listening on its own socket —
-// consistency-checks every shard and aggregates the latency percentiles.
-func runPoint(alg string, n, f, shards, clients, keys, ops int, readFrac float64, valueBytes int, seed int64, faultSpec string, cfg shmem.NetConfig) (gridPoint, error) {
+// consistency-checks every shard (unless disabled) and aggregates the
+// latency percentiles.
+func runPoint(alg string, n, f, shards, clients, keys, ops int, readFrac float64, valueBytes int, seed int64, faultSpec string, pipeline int, check bool, cfg shmem.NetConfig) (gridPoint, error) {
 	var faultSpecs []string
 	if faultSpec != "" {
 		faultSpecs = []string{faultSpec}
+	}
+	opts := []shmem.Option{shmem.WithClients(clients, clients), shmem.WithPipeline(pipeline)}
+	if !check {
+		opts = append(opts, shmem.WithSkipCheck())
 	}
 	st, err := shmem.Open(shmem.Config{
 		Algorithms: []string{alg},
@@ -112,7 +126,7 @@ func runPoint(alg string, n, f, shards, clients, keys, ops int, readFrac float64
 		Faults:     faultSpecs,
 		Net:        cfg,
 		Seed:       seed,
-	}, shmem.WithClients(clients, clients))
+	}, opts...)
 	if err != nil {
 		return gridPoint{}, err
 	}
@@ -134,6 +148,7 @@ func runPoint(alg string, n, f, shards, clients, keys, ops int, readFrac float64
 		elapsed:   res.Elapsed,
 		p50:       res.LatencyP50,
 		p99:       res.LatencyP99,
+		lost:      res.Faults.Drops + res.Faults.TransportDropped,
 	}
 	for _, s := range res.PerShard {
 		pt.pending += s.PendingOps

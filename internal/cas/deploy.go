@@ -41,7 +41,7 @@ func Deploy(opts Options) (*cluster.Cluster, error) {
 			return nil, err
 		}
 	}
-	readers := cluster.ReaderIDs(opts.Readers)
+	readers := cluster.ReaderIDsAfter(opts.Writers, opts.Readers)
 	for _, id := range readers {
 		c, err := NewClient(id, RoleReader, cfg)
 		if err != nil {

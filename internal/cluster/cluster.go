@@ -60,9 +60,22 @@ func WriterIDs(n int) []ioa.NodeID {
 
 // ReaderIDs returns the conventional reader ids.
 func ReaderIDs(n int) []ioa.NodeID {
+	return ReaderIDsAfter(0, n)
+}
+
+// ReaderIDsAfter returns n reader ids placed after a deployment with the
+// given writer count. The fixed WriterBase..ReaderBase gap fits 100 writers;
+// a larger deployment shifts the reader range up past the writers instead of
+// colliding with them ("duplicate node id"). Deployments that fit the fixed
+// ranges keep their historical ids, so simulator fingerprints are unchanged.
+func ReaderIDsAfter(writers, n int) []ioa.NodeID {
+	base := ReaderBase
+	if WriterBase+writers > base {
+		base = WriterBase + writers
+	}
 	out := make([]ioa.NodeID, n)
 	for i := range out {
-		out[i] = ioa.NodeID(ReaderBase + i)
+		out[i] = ioa.NodeID(base + i)
 	}
 	return out
 }

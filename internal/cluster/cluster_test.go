@@ -66,3 +66,26 @@ func TestWithSystem(t *testing.T) {
 		t.Error("metadata must carry over")
 	}
 }
+
+func TestReaderIDsAfterAvoidsWriterCollisions(t *testing.T) {
+	// Deployments that fit the fixed ranges keep their historical ids, so
+	// simulator fingerprints are unchanged.
+	small := ReaderIDsAfter(4, 3)
+	if small[0] != ReaderBase || small[2] != ReaderBase+2 {
+		t.Fatalf("small deployment moved the reader base: %v", small)
+	}
+	// 1000 writers used to collide with the fixed reader range ("duplicate
+	// node id 201"); the shifted range must start past the last writer.
+	writers := WriterIDs(1000)
+	readers := ReaderIDsAfter(1000, 1000)
+	if readers[0] != writers[len(writers)-1]+1 {
+		t.Fatalf("reader base %d does not follow last writer %d", readers[0], writers[len(writers)-1])
+	}
+	seen := make(map[ioa.NodeID]bool)
+	for _, id := range append(append([]ioa.NodeID{}, writers...), readers...) {
+		if seen[id] {
+			t.Fatalf("duplicate node id %d", id)
+		}
+		seen[id] = true
+	}
+}

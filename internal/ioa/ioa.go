@@ -205,6 +205,14 @@ type FaultStats struct {
 	// because every queued message was delayed, blocked or addressed to a
 	// crashed node.
 	FastForwards int
+	// TransportDropped counts messages lost below the fault plan: mailbox
+	// or connection outboxes that stayed full past the send deadline, and
+	// frames stranded in a dead connection's outbox. Zero on the simulator,
+	// whose channels are unbounded.
+	TransportDropped int
+	// TransportRequeued counts frames moved to a freshly dialed connection
+	// after their original connection died between lookup and enqueue.
+	TransportRequeued int
 }
 
 // Add accumulates another execution's fault counts — the one place
@@ -217,6 +225,8 @@ func (s *FaultStats) Add(o FaultStats) {
 	s.Crashes += o.Crashes
 	s.Recoveries += o.Recoveries
 	s.FastForwards += o.FastForwards
+	s.TransportDropped += o.TransportDropped
+	s.TransportRequeued += o.TransportRequeued
 }
 
 // ValueBearer marks messages that carry information about a written value

@@ -1,0 +1,17 @@
+package ioa
+
+import "sync/atomic"
+
+// RaiseMax lifts the watermark at m to at least v. A plain
+// load-compare-store loses updates when two raisers interleave (the smaller
+// value can land last and regress the recorded maximum); the CAS loop keeps
+// the watermark monotone under any number of concurrent writers. Both
+// concurrent runtimes use it for the per-server storage high-water marks.
+func RaiseMax(m *atomic.Int64, v int64) {
+	for {
+		cur := m.Load()
+		if v <= cur || m.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}

@@ -1,0 +1,46 @@
+package ioa
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// The regression this guards: a load-compare-store watermark loses updates
+// when raisers interleave — writer A loads 0, writer B stores 100, writer A
+// stores 10, and the high-water mark has regressed. RaiseMax must end at the
+// true maximum under heavy contention.
+func TestRaiseMaxMonotonicUnderContention(t *testing.T) {
+	const (
+		writers = 8
+		perW    = 5000
+	)
+	var m atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perW; i++ {
+				// Interleave high and low raises so stale CAS attempts
+				// are common.
+				RaiseMax(&m, int64(w*perW+i))
+				RaiseMax(&m, 1)
+			}
+		}(w)
+	}
+	wg.Wait()
+	want := int64(writers*perW - 1)
+	if got := m.Load(); got != want {
+		t.Fatalf("watermark = %d, want %d", got, want)
+	}
+}
+
+func TestRaiseMaxNeverLowers(t *testing.T) {
+	var m atomic.Int64
+	RaiseMax(&m, 42)
+	RaiseMax(&m, 7)
+	if got := m.Load(); got != 42 {
+		t.Fatalf("watermark lowered to %d", got)
+	}
+}

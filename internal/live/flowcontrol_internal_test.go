@@ -1,0 +1,126 @@
+package live
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"repro/internal/abd"
+	"repro/internal/faults"
+	"repro/internal/ioa"
+)
+
+// TestPostFIFOUnderSustainedOverflow drives 1000 sequence-marked events
+// through one link whose mailbox (capacity 4) is overflowing the whole time,
+// with a consumer slower than the producer. Every post must survive (the
+// producer blocks for backpressure, never drops within SendTimeout) and
+// arrive in order — the per-link FIFO the old spawn-on-overflow fallback
+// silently broke.
+func TestPostFIFOUnderSustainedOverflow(t *testing.T) {
+	rt := &runtime{
+		cfg:    Config{Mailbox: 4, SendTimeout: 10 * time.Second}.withDefaults(),
+		timers: make(map[*time.Timer]struct{}),
+		done:   make(chan struct{}),
+	}
+	defer close(rt.done)
+	ns := &nodeState{mb: make(chan event, 4), pendingIdx: -1}
+
+	const n = 1000
+	got := make([]int, 0, n)
+	consumed := make(chan struct{})
+	go func() {
+		defer close(consumed)
+		for i := 0; i < n; i++ {
+			ev := <-ns.mb
+			got = append(got, int(ev.from))
+			time.Sleep(20 * time.Microsecond) // slower than the producer
+		}
+	}()
+	for i := 0; i < n; i++ {
+		if !rt.post(ns, event{from: ioa.NodeID(i)}) {
+			t.Fatalf("post %d dropped despite backpressure budget", i)
+		}
+	}
+	<-consumed
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("event %d arrived with sequence %d; per-link FIFO broken", i, v)
+		}
+	}
+	if d := rt.overflow.Load(); d != 0 {
+		t.Fatalf("%d drops on a consuming link", d)
+	}
+}
+
+// TestPostDropsAfterSendTimeout wedges a mailbox with no consumer: posts
+// beyond capacity must return within roughly SendTimeout, report failure,
+// and be counted — not park goroutines or vanish silently.
+func TestPostDropsAfterSendTimeout(t *testing.T) {
+	rt := &runtime{
+		cfg:    Config{Mailbox: 2, SendTimeout: 20 * time.Millisecond}.withDefaults(),
+		timers: make(map[*time.Timer]struct{}),
+		done:   make(chan struct{}),
+	}
+	defer close(rt.done)
+	ns := &nodeState{mb: make(chan event, 2), pendingIdx: -1}
+	for i := 0; i < 2; i++ {
+		if !rt.post(ns, event{}) {
+			t.Fatal("post to empty mailbox failed")
+		}
+	}
+	start := time.Now()
+	if rt.post(ns, event{}) {
+		t.Fatal("post to wedged mailbox succeeded")
+	}
+	if took := time.Since(start); took > time.Second {
+		t.Fatalf("drop took %v; must resolve around SendTimeout", took)
+	}
+	if d := rt.overflow.Load(); d != 1 {
+		t.Fatalf("overflow counter = %d, want 1", d)
+	}
+}
+
+// TestDelayTimersStoppedOnClose schedules long delay timers (every message
+// delayed seconds into the future with a short StepDur run) and stops the
+// runtime while they are pending: stop must cancel and forget them all. The
+// old untracked time.AfterFunc calls kept firing into the dead runtime.
+func TestDelayTimersStoppedOnClose(t *testing.T) {
+	cl, err := abd.Deploy(abd.Options{Servers: 3, F: 1, Writers: 1, Readers: 1, MultiWriter: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc, err := faults.Parse("delay=2000:4000") // 2-10s of wall delay at these StepDurs
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := sc.Build(3, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt, err := newRuntime(cl, plan, Config{StepDur: time.Millisecond}.withDefaults())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt.start()
+	// The write's initial sends are all delayed, so the op cannot finish;
+	// the short wait just lets the timers get registered.
+	_, started, ok := rt.invoke(context.Background(), cl.Writers[0], ioa.Invocation{Kind: ioa.OpWrite, Value: []byte("v")}, 50*time.Millisecond)
+	if !started || ok {
+		t.Fatalf("expected a started, timed-out op (started=%v ok=%v)", started, ok)
+	}
+	rt.timerMu.Lock()
+	pending := len(rt.timers)
+	rt.timerMu.Unlock()
+	if pending == 0 {
+		t.Fatal("no delay timers pending; the scenario should have delayed every send")
+	}
+	rt.stop()
+	rt.timerMu.Lock()
+	defer rt.timerMu.Unlock()
+	if rt.timers != nil {
+		t.Fatalf("%d timers still tracked after stop", len(rt.timers))
+	}
+	if !rt.stopped {
+		t.Fatal("stop did not mark the runtime stopped")
+	}
+}

@@ -93,8 +93,14 @@ func (s *Interactive) Invoke(ctx context.Context, client ioa.NodeID, inv ioa.Inv
 	if err := ctx.Err(); err != nil {
 		return nil, false, err
 	}
-	out, ok := s.rt.invoke(ctx, client, inv, s.cfg.OpTimeout)
+	out, started, ok := s.rt.invoke(ctx, client, inv, s.cfg.OpTimeout)
 	if !ok {
+		if !started {
+			// Backpressure dropped the invocation before the automaton saw
+			// it: the client is untouched and stays usable, and the op
+			// must NOT appear in any checked history.
+			return nil, false, fmt.Errorf("live: operation at client %d was dropped before it started (mailbox full past SendTimeout)", client)
+		}
 		gate.retired = true
 		if err := ctx.Err(); err != nil {
 			return nil, true, fmt.Errorf("live: operation at client %d abandoned: %w", client, err)

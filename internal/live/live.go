@@ -25,6 +25,15 @@
 //     time by Config.StepDur. Outage windows and scheduled crashes are
 //     defined in kernel steps and have no wall-clock meaning, so plans using
 //     them are rejected eagerly; those scenarios stay on the simulator.
+//   - Flow control (DESIGN.md section 11): mailboxes are bounded and a
+//     sender facing a full mailbox blocks up to Config.SendTimeout before
+//     the message is dropped and counted — real backpressure in place of
+//     the old unbounded spawn-on-overflow fallback, which grew a goroutine
+//     per overflowing message, broke per-link FIFO, and lost messages with
+//     no accounting. The paper's channels are unordered, so the stronger
+//     FIFO the bounded path preserves is sound; the drop-after-deadline is
+//     message loss the asynchronous model already admits, surfaced in
+//     FaultStats.TransportDropped.
 //   - Liveness is a verdict, not a hang: every operation carries a timeout,
 //     and a run whose operations time out under a fault plan reports
 //     Quiescent with the timed-out operations pending in the history (their
@@ -55,9 +64,19 @@ type Config struct {
 	// history unless its response arrives before shutdown.
 	OpTimeout time.Duration
 	// Mailbox is the per-node buffered channel capacity (default 128).
-	// Overflow never blocks a node loop: excess sends complete from
-	// spawned goroutines.
 	Mailbox int
+	// SendTimeout bounds how long a sender blocks on a full mailbox before
+	// the message is dropped and counted (default 1s). This is the
+	// backpressure window: under sustained overload, senders slow to the
+	// receiver's drain rate instead of growing unbounded queues.
+	SendTimeout time.Duration
+	// Pipeline is the number of operations each batch driver keeps in
+	// flight per client (default 1: one at a time, the pre-pipelining
+	// behavior). The node queues invocations and starts each only when its
+	// predecessor responds, so the client automaton still holds one
+	// operation at a time and per-client program order is preserved;
+	// recorded operation intervals never overlap within a client.
+	Pipeline int
 }
 
 func (c Config) withDefaults() Config {
@@ -70,8 +89,19 @@ func (c Config) withDefaults() Config {
 	if c.Mailbox <= 0 {
 		c.Mailbox = 128
 	}
+	if c.SendTimeout <= 0 {
+		c.SendTimeout = time.Second
+	}
+	if c.Pipeline <= 0 {
+		c.Pipeline = 1
+	}
 	return c
 }
+
+// drainBatch bounds how many extra mailbox events a node loop handles per
+// wakeup: coalescing amortizes the scheduler round trip under load, the
+// bound keeps one hot node from running unpreempted forever.
+const drainBatch = 32
 
 // PlanSupported reports whether a fault plan can run on the live runtime:
 // drop/delay rules only. Outage windows and scheduled crash/recovery events
@@ -97,9 +127,20 @@ type event struct {
 	inv  *invokeEvent
 }
 
+// Invocation lifecycle states. The single atomic state arbitrates the race
+// between the node loop starting a queued invocation and a driver abandoning
+// it on timeout: exactly one of the two CAS transitions wins, so an
+// abandoned invocation either never ran at all or is a genuine pending op.
+const (
+	invQueued    int32 = iota // in a mailbox or node queue, not yet started
+	invStarted                // the automaton has been invoked
+	invAbandoned              // the driver gave up before it started
+)
+
 type invokeEvent struct {
-	inv  ioa.Invocation
-	done chan []byte // buffered 1; receives the response value when recorded
+	inv   ioa.Invocation
+	done  chan []byte  // buffered 1; receives the response value when recorded
+	state atomic.Int32 // invQueued -> invStarted (node) | invAbandoned (driver)
 }
 
 // opRecord is one per-client log entry. InvokeTS/RespondTS come from the
@@ -125,6 +166,8 @@ type nodeState struct {
 	log         []opRecord
 	pendingIdx  int // index in log of the outstanding op; -1 when none
 	pendingDone chan []byte
+	invq        []*invokeEvent // pipelined invocations awaiting their turn
+	deferred    []event        // events siphoned off mb while blocked on a peer's full mailbox
 
 	meter            ioa.StorageMeter // nil unless the node reports storage
 	curBits, maxBits atomic.Int64     // written by the node loop, readable mid-run
@@ -140,6 +183,11 @@ type runtime struct {
 	seq   atomic.Uint64 // global send sequence number for MessageFate
 
 	drops, delayed, delaySteps atomic.Int64
+	overflow                   atomic.Int64 // messages dropped after SendTimeout on a full mailbox
+
+	timerMu sync.Mutex
+	timers  map[*time.Timer]struct{} // pending delay timers, stopped at shutdown
+	stopped bool
 
 	done chan struct{}
 	wg   sync.WaitGroup
@@ -153,10 +201,11 @@ func newRuntime(cl *cluster.Cluster, plan *faults.Plan, cfg Config) (*runtime, e
 		return nil, err
 	}
 	rt := &runtime{
-		cfg:   cfg,
-		plan:  plan,
-		nodes: make(map[ioa.NodeID]*nodeState),
-		done:  make(chan struct{}),
+		cfg:    cfg,
+		plan:   plan,
+		nodes:  make(map[ioa.NodeID]*nodeState),
+		timers: make(map[*time.Timer]struct{}),
+		done:   make(chan struct{}),
 	}
 	for _, id := range cl.Sys.NodeIDs() {
 		n, err := cl.Automaton(id)
@@ -183,45 +232,121 @@ func (rt *runtime) start() {
 	}
 }
 
-// stop shuts the node goroutines down and joins them. After stop returns,
-// the per-node logs and storage maxima are safe to read from the caller.
+// stop shuts the node goroutines down, stops every pending delay timer and
+// joins everything. After stop returns, the per-node logs and storage maxima
+// are safe to read from the caller, and no timer from this run remains
+// scheduled.
 func (rt *runtime) stop() {
 	close(rt.done)
+	rt.timerMu.Lock()
+	rt.stopped = true
+	for t := range rt.timers {
+		t.Stop()
+	}
+	rt.timers = nil
+	rt.timerMu.Unlock()
 	rt.wg.Wait()
 }
 
+// after schedules f to run once after d, tracking the timer so stop can
+// cancel it. The old untracked time.AfterFunc calls leaked every in-flight
+// delay timer past Close — harmless-looking until a short run with a long
+// delay tail keeps firing into a dead runtime.
+func (rt *runtime) after(d time.Duration, f func()) {
+	rt.timerMu.Lock()
+	defer rt.timerMu.Unlock()
+	if rt.stopped {
+		return
+	}
+	var t *time.Timer
+	t = time.AfterFunc(d, func() {
+		// The callback can only fire after the registration below released
+		// the mutex, so t is always the registered timer here.
+		rt.timerMu.Lock()
+		delete(rt.timers, t)
+		rt.timerMu.Unlock()
+		select {
+		case <-rt.done:
+		default:
+			f()
+		}
+	})
+	rt.timers[t] = struct{}{}
+}
+
+// loop is one node goroutine: it handles its first event, then drains up to
+// drainBatch more without going back to the scheduler — under load a node
+// wakes once per burst instead of once per message. Events the node siphoned
+// off its own mailbox while blocked sending (see postFrom) are handled
+// first: they arrived before anything still queued, so per-link FIFO holds.
 func (rt *runtime) loop(ns *nodeState) {
 	defer rt.wg.Done()
 	for {
+		if len(ns.deferred) > 0 {
+			select {
+			case <-rt.done:
+				return
+			default:
+			}
+			ev := ns.deferred[0]
+			ns.deferred = ns.deferred[1:]
+			rt.handle(ns, ev)
+			continue
+		}
 		select {
 		case <-rt.done:
 			return
 		case ev := <-ns.mb:
 			rt.handle(ns, ev)
+			for i := 0; i < drainBatch && len(ns.deferred) == 0; i++ {
+				select {
+				case ev := <-ns.mb:
+					rt.handle(ns, ev)
+				default:
+					i = drainBatch
+				}
+			}
 		}
 	}
 }
 
-// handle processes one mailbox event on the node's goroutine. The response
-// timestamp is recorded before the effects' sends are dispatched: the
-// response is determined by then, so shrinking the recorded operation
-// interval to that point is sound for the checkers (the linearization point
-// of a quorum operation precedes response determination).
+// handle processes one mailbox event on the node's goroutine. Invocations
+// are queued and started only while no operation is pending, so a pipelining
+// driver may submit several ops while the automaton still holds one at a
+// time; deliveries go straight to the automaton.
 func (rt *runtime) handle(ns *nodeState, ev event) {
-	var eff ioa.Effects
 	if ev.inv != nil {
+		ns.invq = append(ns.invq, ev.inv)
+	} else {
+		rt.apply(ns, ns.node.Deliver(ev.from, ev.msg))
+	}
+	// Start queued invocations while the client is free. Normally at most
+	// one starts; the loop only cascades when an invocation responds
+	// immediately (e.g. a degenerate automaton), or skips abandoned entries.
+	for ns.pendingIdx < 0 && len(ns.invq) > 0 {
+		ie := ns.invq[0]
+		ns.invq = ns.invq[1:]
+		if !ie.state.CompareAndSwap(invQueued, invStarted) {
+			continue // abandoned before it started: it never happened
+		}
 		ns.log = append(ns.log, opRecord{
-			kind:      ev.inv.inv.Kind,
-			input:     ev.inv.inv.Value,
+			kind:      ie.inv.Kind,
+			input:     ie.inv.Value,
 			invokeTS:  rt.clock.Add(1),
 			respondTS: -1,
 		})
 		ns.pendingIdx = len(ns.log) - 1
-		ns.pendingDone = ev.inv.done
-		eff = ns.node.(ioa.Client).Invoke(ev.inv.inv)
-	} else {
-		eff = ns.node.Deliver(ev.from, ev.msg)
+		ns.pendingDone = ie.done
+		rt.apply(ns, ns.node.(ioa.Client).Invoke(ie.inv))
 	}
+}
+
+// apply records a response (the timestamp is taken before the effects' sends
+// are dispatched: the response is determined by then, so shrinking the
+// recorded operation interval to that point is sound for the checkers — the
+// linearization point of a quorum operation precedes response
+// determination), dispatches the sends, and refreshes the storage meters.
+func (rt *runtime) apply(ns *nodeState, eff ioa.Effects) {
 	if eff.Response != nil && ns.pendingIdx >= 0 {
 		rec := &ns.log[ns.pendingIdx]
 		rec.output = eff.Response.Value
@@ -233,29 +358,27 @@ func (rt *runtime) handle(ns *nodeState, ev event) {
 		}
 	}
 	for _, send := range eff.Sends {
-		rt.send(ns.id, send)
+		rt.send(ns, send)
 	}
 	if ns.meter != nil {
 		bits := int64(ns.meter.StorageBits())
 		ns.curBits.Store(bits)
-		if bits > ns.maxBits.Load() {
-			ns.maxBits.Store(bits)
-		}
+		ioa.RaiseMax(&ns.maxBits, bits)
 	}
 }
 
 // send applies the fault plan's drop/delay rules and routes the message to
 // the target mailbox. Sequence numbers are global, as in the kernel, so the
 // same plan seed draws from the same decision stream.
-func (rt *runtime) send(from ioa.NodeID, s ioa.Send) {
+func (rt *runtime) send(from *nodeState, s ioa.Send) {
 	to := rt.nodes[s.To]
 	if to == nil {
 		return
 	}
-	ev := event{from: from, msg: s.Msg}
+	ev := event{from: from.id, msg: s.Msg}
 	if rt.plan != nil {
 		seq := rt.seq.Add(1) - 1
-		drop, delay := rt.plan.MessageFate(from, s.To, seq, 0)
+		drop, delay := rt.plan.MessageFate(from.id, s.To, seq, 0)
 		if drop {
 			rt.drops.Add(1)
 			return
@@ -263,61 +386,149 @@ func (rt *runtime) send(from ioa.NodeID, s ioa.Send) {
 		if delay > 0 {
 			rt.delayed.Add(1)
 			rt.delaySteps.Add(int64(delay))
-			time.AfterFunc(time.Duration(delay)*rt.cfg.StepDur, func() {
-				select {
-				case <-rt.done:
-				default:
-					rt.post(to, ev)
-				}
+			rt.after(time.Duration(delay)*rt.cfg.StepDur, func() {
+				// A timer goroutine has no mailbox to siphon; it blocks
+				// plainly with the deadline.
+				rt.postFrom(nil, to, ev, rt.cfg.SendTimeout)
 			})
 			return
 		}
 	}
-	rt.post(to, ev)
+	rt.postFrom(from, to, ev, rt.cfg.SendTimeout)
 }
 
-// post enqueues without ever blocking the caller: a full mailbox falls back
-// to a spawned goroutine, so node loops cannot deadlock on a cycle of full
-// buffers. Overflow reordering is fine — the channels are unordered in the
-// paper's model, and the simulator's delay rules reorder links anyway.
-func (rt *runtime) post(to *nodeState, ev event) {
+// post enqueues with backpressure from outside any node loop: the fast path
+// is a non-blocking channel send; a full mailbox blocks the caller up to
+// timeout, after which the event is dropped and counted. It reports whether
+// the event was enqueued.
+func (rt *runtime) post(to *nodeState, ev event) bool {
+	return rt.postFrom(nil, to, ev, rt.cfg.SendTimeout)
+}
+
+// postFrom enqueues with backpressure and deadlock avoidance. A node loop
+// (sender != nil) blocked on a peer's full mailbox keeps siphoning its OWN
+// mailbox into its deferred queue, so a cycle of mutually full mailboxes
+// (client blocked on server, server blocked on that client's responses)
+// cannot wedge: every blocked node keeps consuming, some send always
+// completes, and the system self-regulates to the slowest consumer instead
+// of spawning a goroutine per overflowing message. Only when the deadline
+// expires with the peer still full is the event dropped and counted —
+// message loss the unordered lossy channel model already admits. Per-link
+// FIFO is preserved: siphoned events are handled before anything still in
+// the mailbox, in arrival order.
+func (rt *runtime) postFrom(sender, to *nodeState, ev event, timeout time.Duration) bool {
 	select {
 	case to.mb <- ev:
+		return true
+	case <-rt.done:
+		return false
 	default:
-		go func() {
+	}
+	t := time.NewTimer(timeout)
+	defer t.Stop()
+	for {
+		if sender == nil {
 			select {
 			case to.mb <- ev:
+				return true
+			case <-t.C:
+				rt.overflow.Add(1)
+				return false
 			case <-rt.done:
+				return false
 			}
-		}()
+		}
+		select {
+		case to.mb <- ev:
+			return true
+		case own := <-sender.mb:
+			sender.deferred = append(sender.deferred, own)
+		case <-t.C:
+			rt.overflow.Add(1)
+			return false
+		case <-rt.done:
+			return false
+		}
 	}
+}
+
+// pendingOp is a handle on one asynchronously submitted invocation.
+type pendingOp struct {
+	ie     *invokeEvent
+	failed bool // the post was dropped; the op never reached the node
+}
+
+// invokeAsync submits an operation at a client and returns immediately; the
+// node starts it when every earlier invocation at that client has responded.
+// Pipelining drivers keep several handles open per client.
+func (rt *runtime) invokeAsync(client ioa.NodeID, inv ioa.Invocation) *pendingOp {
+	ns := rt.nodes[client]
+	ie := &invokeEvent{inv: inv, done: make(chan []byte, 1)}
+	p := &pendingOp{ie: ie}
+	// Invocations get the full op timeout to enqueue, not just SendTimeout:
+	// a client mailbox saturated by protocol traffic clears as the node
+	// drains, and dropping the invocation early would under-run fault-free
+	// workloads that are merely overloaded.
+	if !rt.postFrom(nil, ns, event{inv: ie}, rt.cfg.OpTimeout) {
+		ie.state.Store(invAbandoned)
+		p.failed = true
+	}
+	return p
+}
+
+// wait blocks for the response, the timeout, or ctx cancellation. It returns
+// the response value, whether the operation actually started (a started but
+// incomplete op is genuinely pending: it may still take effect and must stay
+// pending in any checked history; an unstarted one never happened), and
+// whether it completed.
+func (p *pendingOp) wait(ctx context.Context, timeout time.Duration) (out []byte, started, ok bool) {
+	if p.failed {
+		return nil, false, false
+	}
+	t := time.NewTimer(timeout)
+	defer t.Stop()
+	select {
+	case out := <-p.ie.done:
+		return out, true, true
+	case <-t.C:
+	case <-ctx.Done():
+	}
+	if p.ie.state.CompareAndSwap(invQueued, invAbandoned) {
+		return nil, false, false // never started; the node will skip it
+	}
+	// Already started — it may even have completed in the race window.
+	select {
+	case out := <-p.ie.done:
+		return out, true, true
+	default:
+		return nil, true, false
+	}
+}
+
+// abandon cancels an invocation that has not started and reports whether it
+// did; a started invocation is left to run.
+func (p *pendingOp) abandon() bool {
+	return p.failed || p.ie.state.CompareAndSwap(invQueued, invAbandoned)
 }
 
 // invoke injects an operation at a client and waits for its response, the
 // timeout, or the context's cancellation. It returns the response value and
-// whether the operation completed in time; an abandoned operation stays
-// pending in the client's log and the client automaton remains mid-protocol.
-func (rt *runtime) invoke(ctx context.Context, client ioa.NodeID, inv ioa.Invocation, timeout time.Duration) ([]byte, bool) {
-	ns := rt.nodes[client]
-	done := make(chan []byte, 1)
-	rt.post(ns, event{inv: &invokeEvent{inv: inv, done: done}})
-	t := time.NewTimer(timeout)
-	defer t.Stop()
-	select {
-	case out := <-done:
-		return out, true
-	case <-t.C:
-		return nil, false
-	case <-ctx.Done():
-		return nil, false
-	}
+// whether the operation completed in time, plus whether it actually started:
+// an abandoned-but-started operation stays pending in the client's log and
+// the client automaton remains mid-protocol; an unstarted one was dropped by
+// backpressure and left no trace.
+func (rt *runtime) invoke(ctx context.Context, client ioa.NodeID, inv ioa.Invocation, timeout time.Duration) (out []byte, started, ok bool) {
+	return rt.invokeAsync(client, inv).wait(ctx, timeout)
 }
 
-// faultStats snapshots the fault counters in kernel form.
+// faultStats snapshots the fault counters in kernel form. Backpressure
+// drops (mailbox full past SendTimeout) are transport-level loss, not plan
+// decisions, so they land in TransportDropped.
 func (rt *runtime) faultStats() ioa.FaultStats {
 	return ioa.FaultStats{
-		Drops:           int(rt.drops.Load()),
-		DelayedMessages: int(rt.delayed.Load()),
-		DelayStepsTotal: int(rt.delaySteps.Load()),
+		Drops:            int(rt.drops.Load()),
+		DelayedMessages:  int(rt.delayed.Load()),
+		DelayStepsTotal:  int(rt.delaySteps.Load()),
+		TransportDropped: int(rt.overflow.Load()),
 	}
 }

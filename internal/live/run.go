@@ -135,16 +135,46 @@ func RunConfig(cl *cluster.Cluster, spec workload.Spec, cfg Config) (*Result, er
 	var nextVal atomic.Uint64
 	var activeWrites, peakWrites atomic.Int64
 
-	// driver issues operations sequentially at one client until its budget
-	// is exhausted or an operation times out (the client automaton is then
-	// stuck mid-protocol, so the driver retires it). Latencies are
-	// collected per driver — like the logs, mutex-free — and merged after
-	// the joins.
+	// driver issues operations at one client, keeping up to cfg.Pipeline in
+	// flight (the node starts each only when its predecessor responds, so
+	// per-client program order holds and the automaton still sees one op at
+	// a time), until its budget is exhausted or an operation times out (the
+	// client automaton is then stuck mid-protocol, so the driver retires
+	// it). Latencies are collected per driver — like the logs, mutex-free —
+	// and merged after the joins; a pipelined latency includes the queue
+	// wait at the node, and PeakActiveWrites counts submitted in-flight
+	// writes (an upper bound on the protocol-level ν the history records).
+	type flight struct {
+		p       *pendingOp
+		start   time.Time
+		isWrite bool
+	}
 	driver := func(client ioa.NodeID, kind ioa.OpKind, budget *atomic.Int64) []time.Duration {
 		var lats []time.Duration
-		for budget.Add(-1) >= 0 {
+		var window []flight
+		settle := func(fl flight) bool {
+			_, _, ok := fl.p.wait(context.Background(), cfg.OpTimeout)
+			if fl.isWrite {
+				activeWrites.Add(-1)
+			}
+			if ok {
+				lats = append(lats, time.Since(fl.start))
+			}
+			return ok
+		}
+		alive := true
+		for alive && budget.Add(-1) >= 0 {
+			if len(window) == cfg.Pipeline {
+				alive = settle(window[0])
+				window = window[1:]
+				if !alive {
+					budget.Add(1) // this op was never submitted; return its slot
+					break
+				}
+			}
 			inv := ioa.Invocation{Kind: kind}
-			if kind == ioa.OpWrite {
+			isWrite := kind == ioa.OpWrite
+			if isWrite {
 				inv.Value = register.MakeValue(spec.ValueBytes, nextVal.Add(1))
 				cur := activeWrites.Add(1)
 				for {
@@ -154,15 +184,24 @@ func RunConfig(cl *cluster.Cluster, spec workload.Spec, cfg Config) (*Result, er
 					}
 				}
 			}
-			start := time.Now()
-			_, ok := rt.invoke(context.Background(), client, inv, cfg.OpTimeout)
-			if kind == ioa.OpWrite {
-				activeWrites.Add(-1)
+			window = append(window, flight{rt.invokeAsync(client, inv), time.Now(), isWrite})
+		}
+		for i, fl := range window {
+			if alive {
+				alive = settle(fl)
+				continue
 			}
-			if !ok {
-				return lats
+			// An earlier op at this client is stuck, so nothing behind it
+			// can start; abandon instead of waiting a full timeout each.
+			// The rare loser of the abandon race (the stuck op completed
+			// right after its timeout) is settled normally.
+			if fl.p.abandon() {
+				if fl.isWrite {
+					activeWrites.Add(-1)
+				}
+				continue
 			}
-			lats = append(lats, time.Since(start))
+			alive = settle(window[i])
 		}
 		return lats
 	}

@@ -27,6 +27,17 @@
 //     NextLinkChange boundary. Scheduled crash/recovery events remain
 //     simulator-only (killing a node goroutine mid-run would also have to
 //     reset its TCP peer state) and are rejected eagerly.
+//   - Flow control (DESIGN.md section 11): mailboxes and the transport's
+//     per-connection outboxes are bounded; a full queue blocks the sender
+//     up to its SendTimeout and then drops, counted in
+//     FaultStats.TransportDropped — real backpressure in place of the old
+//     unbounded spawn-on-overflow fallback. A transport reader blocked on
+//     a full mailbox stops reading its socket, so backpressure propagates
+//     peer-to-peer through TCP's own flow control; the kernel's socket
+//     buffers (megabytes per connection) break sender/receiver cycles long
+//     before the drop deadline does. The transport writer coalesces queued
+//     frames into compound envelopes (internal/wire), so a burst costs one
+//     syscall instead of one per message.
 //   - Liveness is a verdict, not a hang: every operation carries a timeout,
 //     and a run whose operations time out under a fault plan reports
 //     Quiescent with those operations pending in the history.
@@ -64,8 +75,6 @@ type Config struct {
 	// history unless its response arrives before shutdown.
 	OpTimeout time.Duration
 	// Mailbox is the per-node buffered event queue capacity (default 128).
-	// Overflow never blocks a reader or node loop: excess posts complete
-	// from spawned goroutines.
 	Mailbox int
 	// DialTimeout bounds each outbound connection attempt (default: the
 	// transport's own 2s).
@@ -73,6 +82,17 @@ type Config struct {
 	// Outbox is the transport's per-connection send queue capacity
 	// (default: the transport's own 256).
 	Outbox int
+	// SendTimeout bounds how long a sender blocks on a full mailbox or
+	// transport outbox before the message is dropped and counted (default
+	// 1s). This is the backpressure window replacing the old unbounded
+	// spawn-on-overflow fallback.
+	SendTimeout time.Duration
+	// Pipeline is the number of operations each batch driver keeps in
+	// flight per client (default 1). The node queues invocations and
+	// starts each only when its predecessor responds, so per-client
+	// program order is preserved and the automaton still holds one
+	// operation at a time.
+	Pipeline int
 }
 
 func (c Config) withDefaults() Config {
@@ -88,12 +108,23 @@ func (c Config) withDefaults() Config {
 	if c.Mailbox <= 0 {
 		c.Mailbox = 128
 	}
+	if c.SendTimeout <= 0 {
+		c.SendTimeout = time.Second
+	}
+	if c.Pipeline <= 0 {
+		c.Pipeline = 1
+	}
 	return c
 }
 
 func (c Config) transportConfig() transport.Config {
-	return transport.Config{DialTimeout: c.DialTimeout, Outbox: c.Outbox}
+	return transport.Config{DialTimeout: c.DialTimeout, Outbox: c.Outbox, SendTimeout: c.SendTimeout}
 }
+
+// drainBatch bounds how many extra mailbox events a node loop handles per
+// wakeup (see internal/live: coalescing amortizes the scheduler round trip,
+// the bound keeps one hot node preemptible).
+const drainBatch = 32
 
 // PlanSupported reports whether a fault plan can run on the net runtime:
 // drop/delay rules and outage (partition) windows. Scheduled crash/recovery
@@ -121,9 +152,19 @@ type event struct {
 	inv  *invokeEvent
 }
 
+// Invocation lifecycle states, arbitrated by one atomic CAS exactly as on
+// the live backend: the node's queued->started transition races the
+// driver's queued->abandoned transition and exactly one wins.
+const (
+	invQueued    int32 = iota // in a mailbox or node queue, not yet started
+	invStarted                // the automaton has been invoked
+	invAbandoned              // the driver gave up before it started
+)
+
 type invokeEvent struct {
-	inv  ioa.Invocation
-	done chan []byte // buffered 1; receives the response value when recorded
+	inv   ioa.Invocation
+	done  chan []byte  // buffered 1; receives the response value when recorded
+	state atomic.Int32 // invQueued -> invStarted (node) | invAbandoned (driver)
 }
 
 // opRecord is one per-client log entry, timestamped by the runtime's atomic
@@ -150,6 +191,7 @@ type nodeState struct {
 	log         []opRecord
 	pendingIdx  int // index in log of the outstanding op; -1 when none
 	pendingDone chan []byte
+	invq        []*invokeEvent // pipelined invocations awaiting their turn
 
 	meter            ioa.StorageMeter // nil unless the node reports storage
 	curBits, maxBits atomic.Int64     // written by the node loop, readable mid-run
@@ -168,6 +210,12 @@ type runtime struct {
 
 	drops, delayed, delaySteps atomic.Int64
 	badFrames                  atomic.Int64 // undecodable inbound frames, dropped
+	overflow                   atomic.Int64 // events dropped after SendTimeout on a full mailbox
+	sendErrs                   atomic.Int64 // frames lost to failed dials/closed endpoints
+
+	timerMu sync.Mutex
+	timers  map[*time.Timer]struct{} // pending delay/outage timers, stopped at shutdown
+	stopped bool
 
 	done chan struct{}
 	wg   sync.WaitGroup
@@ -183,11 +231,12 @@ func newRuntime(cl *cluster.Cluster, plan *faults.Plan, cfg Config) (*runtime, e
 		return nil, err
 	}
 	rt := &runtime{
-		cfg:   cfg,
-		plan:  plan,
-		nodes: make(map[ioa.NodeID]*nodeState),
-		addrs: make(map[ioa.NodeID]string),
-		done:  make(chan struct{}),
+		cfg:    cfg,
+		plan:   plan,
+		nodes:  make(map[ioa.NodeID]*nodeState),
+		addrs:  make(map[ioa.NodeID]string),
+		timers: make(map[*time.Timer]struct{}),
+		done:   make(chan struct{}),
 	}
 	for _, id := range cl.Sys.NodeIDs() {
 		n, err := cl.Automaton(id)
@@ -233,10 +282,18 @@ func (rt *runtime) start() {
 }
 
 // stop shuts everything down: no more frames are handed to mailboxes, every
-// socket closes, every goroutine joins. After stop returns, the per-node
-// logs and storage maxima are safe to read from the caller.
+// pending delay/outage timer is stopped, every socket closes, every
+// goroutine joins. After stop returns, the per-node logs and storage maxima
+// are safe to read from the caller.
 func (rt *runtime) stop() {
 	close(rt.done)
+	rt.timerMu.Lock()
+	rt.stopped = true
+	for t := range rt.timers {
+		t.Stop()
+	}
+	rt.timers = nil
+	rt.timerMu.Unlock()
 	rt.closeEndpoints()
 	rt.wg.Wait()
 }
@@ -248,7 +305,9 @@ func (rt *runtime) stepNow() int {
 
 // inbound decodes one frame off a node's socket and posts it to the node's
 // mailbox. Undecodable frames are counted and dropped — on a real network a
-// corrupt datagram is silence, and protocol timeouts own recovery.
+// corrupt datagram is silence, and protocol timeouts own recovery. A full
+// mailbox blocks the reader (bounded by SendTimeout), which stops the
+// socket read loop — backpressure the peer's TCP stack propagates.
 func (rt *runtime) inbound(ns *nodeState, frame []byte) {
 	from, n := binary.Uvarint(frame)
 	if n <= 0 {
@@ -263,6 +322,8 @@ func (rt *runtime) inbound(ns *nodeState, frame []byte) {
 	rt.post(ns, event{from: ioa.NodeID(from), msg: msg})
 }
 
+// loop is one node goroutine: it handles its first event, then drains up to
+// drainBatch more without going back to the scheduler.
 func (rt *runtime) loop(ns *nodeState) {
 	defer rt.wg.Done()
 	for {
@@ -271,29 +332,52 @@ func (rt *runtime) loop(ns *nodeState) {
 			return
 		case ev := <-ns.mb:
 			rt.handle(ns, ev)
+			for i := 0; i < drainBatch; i++ {
+				select {
+				case ev := <-ns.mb:
+					rt.handle(ns, ev)
+				default:
+					i = drainBatch
+				}
+			}
 		}
 	}
 }
 
 // handle processes one mailbox event on the node's goroutine, exactly as the
-// live runtime does: the response timestamp is recorded before the effects'
-// sends are dispatched (the response is determined by then, so shrinking the
-// recorded interval to that point is sound for the checkers).
+// live runtime does: invocations are queued and started only while no
+// operation is pending, so a pipelining driver may submit several ops while
+// the automaton still holds one at a time; deliveries go straight to the
+// automaton.
 func (rt *runtime) handle(ns *nodeState, ev event) {
-	var eff ioa.Effects
 	if ev.inv != nil {
+		ns.invq = append(ns.invq, ev.inv)
+	} else {
+		rt.apply(ns, ns.node.Deliver(ev.from, ev.msg))
+	}
+	for ns.pendingIdx < 0 && len(ns.invq) > 0 {
+		ie := ns.invq[0]
+		ns.invq = ns.invq[1:]
+		if !ie.state.CompareAndSwap(invQueued, invStarted) {
+			continue // abandoned before it started: it never happened
+		}
 		ns.log = append(ns.log, opRecord{
-			kind:      ev.inv.inv.Kind,
-			input:     ev.inv.inv.Value,
+			kind:      ie.inv.Kind,
+			input:     ie.inv.Value,
 			invokeTS:  rt.clock.Add(1),
 			respondTS: -1,
 		})
 		ns.pendingIdx = len(ns.log) - 1
-		ns.pendingDone = ev.inv.done
-		eff = ns.node.(ioa.Client).Invoke(ev.inv.inv)
-	} else {
-		eff = ns.node.Deliver(ev.from, ev.msg)
+		ns.pendingDone = ie.done
+		rt.apply(ns, ns.node.(ioa.Client).Invoke(ie.inv))
 	}
+}
+
+// apply records a response (timestamped before the effects' sends are
+// dispatched — the response is determined by then, so shrinking the
+// recorded interval to that point is sound for the checkers), dispatches
+// the sends, and refreshes the storage meters.
+func (rt *runtime) apply(ns *nodeState, eff ioa.Effects) {
 	if eff.Response != nil && ns.pendingIdx >= 0 {
 		rec := &ns.log[ns.pendingIdx]
 		rec.output = eff.Response.Value
@@ -310,9 +394,7 @@ func (rt *runtime) handle(ns *nodeState, ev event) {
 	if ns.meter != nil {
 		bits := int64(ns.meter.StorageBits())
 		ns.curBits.Store(bits)
-		if bits > ns.maxBits.Load() {
-			ns.maxBits.Store(bits)
-		}
+		ioa.RaiseMax(&ns.maxBits, bits)
 	}
 }
 
@@ -371,74 +453,159 @@ func (rt *runtime) dispatch(from, to ioa.NodeID, frame []byte) {
 	rt.transmit(from, to, frame)
 }
 
-// transmit writes the frame to the sender's own socket pool. Send errors are
-// real-network silence — a broken connection loses frames, the pool redials
-// on the next send, and protocol timeouts own recovery — so they are not
-// surfaced to the automaton.
+// transmit writes the frame to the sender's own socket pool. A Send error
+// (failed dial, closed endpoint) is real-network silence — the pool redials
+// on the next send and protocol timeouts own recovery — but it is counted,
+// so lossy-run reports stop understating loss.
 func (rt *runtime) transmit(from, to ioa.NodeID, frame []byte) {
 	src := rt.nodes[from]
 	addr, ok := rt.addrs[to]
 	if src == nil || !ok {
 		return
 	}
-	_ = src.ep.Send(addr, frame)
+	if err := src.ep.Send(addr, frame); err != nil {
+		rt.sendErrs.Add(1)
+	}
 }
 
-// after runs f after d unless the runtime stops first.
+// after schedules f to run once after d, tracking the timer so stop can
+// cancel it; the old untracked time.AfterFunc calls leaked every in-flight
+// delay/outage timer past Close.
 func (rt *runtime) after(d time.Duration, f func()) {
-	time.AfterFunc(d, func() {
+	rt.timerMu.Lock()
+	defer rt.timerMu.Unlock()
+	if rt.stopped {
+		return
+	}
+	var t *time.Timer
+	t = time.AfterFunc(d, func() {
+		// The callback can only fire after the registration below released
+		// the mutex, so t is always the registered timer here.
+		rt.timerMu.Lock()
+		delete(rt.timers, t)
+		rt.timerMu.Unlock()
 		select {
 		case <-rt.done:
 		default:
 			f()
 		}
 	})
+	rt.timers[t] = struct{}{}
 }
 
-// post enqueues without ever blocking the caller: a full mailbox falls back
-// to a spawned goroutine, so transport readers and node loops cannot
-// deadlock on a cycle of full buffers. Overflow reordering is fine — the
-// channels are unordered in the paper's model.
-func (rt *runtime) post(to *nodeState, ev event) {
+// post enqueues with backpressure: the fast path is a non-blocking channel
+// send; a full mailbox blocks the caller — a transport reader or a driver —
+// up to timeout, after which the event is dropped and counted. A blocked
+// reader stops consuming its socket, so the pressure propagates to the peer
+// through TCP flow control instead of growing unbounded queues; the node
+// loops themselves never block here (their sends go to sockets), so
+// mailbox/outbox cycles cannot wedge the runtime.
+func (rt *runtime) post(to *nodeState, ev event) bool {
+	return rt.postTimeout(to, ev, rt.cfg.SendTimeout)
+}
+
+func (rt *runtime) postTimeout(to *nodeState, ev event, timeout time.Duration) bool {
 	select {
 	case to.mb <- ev:
+		return true
+	case <-rt.done:
+		return false
 	default:
-		go func() {
-			select {
-			case to.mb <- ev:
-			case <-rt.done:
-			}
-		}()
 	}
+	t := time.NewTimer(timeout)
+	defer t.Stop()
+	select {
+	case to.mb <- ev:
+		return true
+	case <-t.C:
+		rt.overflow.Add(1)
+		return false
+	case <-rt.done:
+		return false
+	}
+}
+
+// pendingOp is a handle on one asynchronously submitted invocation.
+type pendingOp struct {
+	ie     *invokeEvent
+	failed bool // the post was dropped; the op never reached the node
+}
+
+// invokeAsync submits an operation at a client and returns immediately; the
+// node starts it when every earlier invocation at that client has responded.
+// Pipelining drivers keep several handles open per client. Invocations get
+// the full op timeout to enqueue (a saturated client mailbox clears as the
+// node drains).
+func (rt *runtime) invokeAsync(client ioa.NodeID, inv ioa.Invocation) *pendingOp {
+	ns := rt.nodes[client]
+	ie := &invokeEvent{inv: inv, done: make(chan []byte, 1)}
+	p := &pendingOp{ie: ie}
+	if !rt.postTimeout(ns, event{inv: ie}, rt.cfg.OpTimeout) {
+		ie.state.Store(invAbandoned)
+		p.failed = true
+	}
+	return p
+}
+
+// wait blocks for the response, the timeout, or ctx cancellation. It returns
+// the response value, whether the operation actually started (a started but
+// incomplete op is genuinely pending and must stay pending in any checked
+// history; an unstarted one never happened), and whether it completed.
+func (p *pendingOp) wait(ctx context.Context, timeout time.Duration) (out []byte, started, ok bool) {
+	if p.failed {
+		return nil, false, false
+	}
+	t := time.NewTimer(timeout)
+	defer t.Stop()
+	select {
+	case out := <-p.ie.done:
+		return out, true, true
+	case <-t.C:
+	case <-ctx.Done():
+	}
+	if p.ie.state.CompareAndSwap(invQueued, invAbandoned) {
+		return nil, false, false // never started; the node will skip it
+	}
+	select {
+	case out := <-p.ie.done:
+		return out, true, true
+	default:
+		return nil, true, false
+	}
+}
+
+// abandon cancels an invocation that has not started and reports whether it
+// did; a started invocation is left to run.
+func (p *pendingOp) abandon() bool {
+	return p.failed || p.ie.state.CompareAndSwap(invQueued, invAbandoned)
 }
 
 // invoke injects an operation at a client and waits for its response, the
 // timeout, or the context's cancellation. It returns the response value and
-// whether the operation completed in time; an abandoned operation stays
-// pending in the client's log and the client automaton remains mid-protocol.
-func (rt *runtime) invoke(ctx context.Context, client ioa.NodeID, inv ioa.Invocation, timeout time.Duration) ([]byte, bool) {
-	ns := rt.nodes[client]
-	done := make(chan []byte, 1)
-	rt.post(ns, event{inv: &invokeEvent{inv: inv, done: done}})
-	t := time.NewTimer(timeout)
-	defer t.Stop()
-	select {
-	case out := <-done:
-		return out, true
-	case <-t.C:
-		return nil, false
-	case <-ctx.Done():
-		return nil, false
-	}
+// whether the operation completed in time, plus whether it actually started:
+// an abandoned-but-started operation stays pending in the client's log and
+// the client automaton remains mid-protocol; an unstarted one was dropped by
+// backpressure and left no trace.
+func (rt *runtime) invoke(ctx context.Context, client ioa.NodeID, inv ioa.Invocation, timeout time.Duration) (out []byte, started, ok bool) {
+	return rt.invokeAsync(client, inv).wait(ctx, timeout)
 }
 
 // faultStats snapshots the fault counters in kernel form. Outage holds are
 // folded into the delay counters (each hold is a delay to the next window
-// boundary).
+// boundary); mailbox overflow drops, failed socket sends and the transport
+// endpoints' own loss accounting land in the transport counters, so a lossy
+// run's report no longer understates loss.
 func (rt *runtime) faultStats() ioa.FaultStats {
-	return ioa.FaultStats{
-		Drops:           int(rt.drops.Load()),
-		DelayedMessages: int(rt.delayed.Load()),
-		DelayStepsTotal: int(rt.delaySteps.Load()),
+	stats := ioa.FaultStats{
+		Drops:            int(rt.drops.Load()),
+		DelayedMessages:  int(rt.delayed.Load()),
+		DelayStepsTotal:  int(rt.delaySteps.Load()),
+		TransportDropped: int(rt.overflow.Load() + rt.sendErrs.Load() + rt.badFrames.Load()),
 	}
+	for _, ns := range rt.nodes {
+		s := ns.ep.Stats()
+		stats.TransportDropped += int(s.DroppedFull + s.DroppedDead + s.Malformed)
+		stats.TransportRequeued += int(s.Requeued)
+	}
+	return stats
 }

@@ -87,6 +87,19 @@ type Config struct {
 	Seed int64
 	// Workers bounds the goroutines RunMulti uses (0 = GOMAXPROCS).
 	Workers int
+	// Pipeline sets the per-client operation pipeline depth the live and net
+	// batch drivers use (0 keeps each runtime's default of 1): each driver
+	// keeps up to this many operations in flight at one client, with the
+	// node starting each only after its predecessor responds, so per-client
+	// program order is preserved. It defaults Live.Pipeline and Net.Pipeline
+	// when those are unset; ignored on the simulator and for interactive
+	// Put/Get, which stay one-op-per-client.
+	Pipeline int
+	// SkipCheck disables batch runs' per-shard consistency checking
+	// (store.Options.SkipCheck): required for high-concurrency throughput
+	// sweeps, since the checkers are worst-case exponential in write
+	// concurrency. Interactive CheckConsistency is unaffected.
+	SkipCheck bool
 }
 
 // Option mutates a Config before Open validates it — the functional-options
@@ -134,6 +147,14 @@ func WithSeed(seed int64) Option { return func(c *Config) { c.Seed = seed } }
 // WithWorkers bounds RunMulti's worker pool.
 func WithWorkers(n int) Option { return func(c *Config) { c.Workers = n } }
 
+// WithPipeline sets the per-client pipeline depth for live and net batch
+// drivers (per-client program order is preserved; see Config.Pipeline).
+func WithPipeline(depth int) Option { return func(c *Config) { c.Pipeline = depth } }
+
+// WithSkipCheck disables batch runs' per-shard consistency checking — for
+// high-concurrency throughput sweeps the exponential checkers cannot afford.
+func WithSkipCheck() Option { return func(c *Config) { c.SkipCheck = true } }
+
 func (c Config) withDefaults() Config {
 	if len(c.Algorithms) == 0 {
 		c.Algorithms = []string{store.AlgCAS}
@@ -146,6 +167,14 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Shards == 0 {
 		c.Shards = 1
+	}
+	if c.Pipeline > 0 {
+		if c.Live.Pipeline == 0 {
+			c.Live.Pipeline = c.Pipeline
+		}
+		if c.Net.Pipeline == 0 {
+			c.Net.Pipeline = c.Pipeline
+		}
 	}
 	return c
 }
@@ -175,6 +204,9 @@ func (c Config) validate() error {
 	}
 	if c.Workers < 0 {
 		return fmt.Errorf("session: negative worker count")
+	}
+	if c.Pipeline < 0 {
+		return fmt.Errorf("session: negative pipeline depth %d", c.Pipeline)
 	}
 	for _, a := range c.Algorithms {
 		if !slices.Contains(store.Algorithms(), a) {
@@ -647,6 +679,7 @@ func (s *Store) RunMulti(m workload.MultiSpec) (*store.Result, error) {
 		Readers:    s.cfg.Readers,
 		Live:       s.cfg.Live,
 		Net:        s.cfg.Net,
+		SkipCheck:  s.cfg.SkipCheck,
 		Workload:   m,
 	})
 }

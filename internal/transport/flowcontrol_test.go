@@ -1,0 +1,142 @@
+package transport
+
+import (
+	"encoding/binary"
+	"net"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestBatchedDeliveryPreservesOrder floods one link with numbered frames
+// through a tiny outbox. The writer coalesces them into compound envelopes;
+// the reader must hand every frame to the handler exactly once, in enqueue
+// order — the per-link FIFO that the old spawn-on-overflow fallback broke.
+func TestBatchedDeliveryPreservesOrder(t *testing.T) {
+	a, err := Listen("127.0.0.1:0", Config{Outbox: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	b, err := Listen("127.0.0.1:0", Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+
+	const n = 2000
+	var mu sync.Mutex
+	var got []uint64
+	b.Serve(func(frame []byte) {
+		v, _ := binary.Uvarint(frame)
+		mu.Lock()
+		got = append(got, v)
+		mu.Unlock()
+	})
+	for i := 0; i < n; i++ {
+		if err := a.Send(b.Addr(), binary.AppendUvarint(nil, uint64(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	waitFor(t, 10*time.Second, func() bool {
+		mu.Lock()
+		defer mu.Unlock()
+		return len(got) == n
+	})
+	mu.Lock()
+	defer mu.Unlock()
+	for i, v := range got {
+		if v != uint64(i) {
+			t.Fatalf("frame %d arrived with sequence %d; per-link FIFO broken", i, v)
+		}
+	}
+	if s := a.Stats(); s.DroppedFull+s.DroppedDead > 0 {
+		t.Fatalf("healthy link dropped frames: %+v", s)
+	}
+}
+
+// TestSendBackpressureDropsAreCounted wedges the socket (a peer that
+// accepts and never reads) so the outbox cannot drain: once the TCP buffer
+// and the outbox are full, each Send must block only for SendTimeout and
+// the abandoned frames must show up in Stats — not vanish, not accumulate
+// goroutines.
+func TestSendBackpressureDropsAreCounted(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	stop := make(chan struct{})
+	defer close(stop)
+	go func() {
+		for {
+			c, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			defer c.Close()
+			<-stop // hold the connection open, never read
+		}
+	}()
+
+	a, err := Listen("127.0.0.1:0", Config{Outbox: 1, SendTimeout: 20 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+
+	before := runtime.NumGoroutine()
+	frame := make([]byte, 1<<20) // large frames fill the kernel buffer fast
+	for i := 0; i < 64 && a.Stats().DroppedFull < 3; i++ {
+		if err := a.Send(ln.Addr().String(), frame); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if s := a.Stats(); s.DroppedFull < 3 {
+		t.Fatalf("expected counted backpressure drops on a wedged socket, got %+v", s)
+	}
+	// The old overflow path parked one goroutine per dropped frame.
+	if after := runtime.NumGoroutine(); after > before+4 {
+		t.Fatalf("goroutines grew %d -> %d under overflow; drops must not spawn", before, after)
+	}
+}
+
+// TestDeadConnDropsAreCounted sends into connections the peer kills
+// immediately: frames stranded when the writer hits the error must be
+// counted as dead-connection drops instead of vanishing.
+func TestDeadConnDropsAreCounted(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		for {
+			c, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			c.(*net.TCPConn).SetLinger(0) // RST on close: writes fail fast
+			c.Close()
+		}
+	}()
+
+	a, err := Listen("127.0.0.1:0", Config{Outbox: 4, SendTimeout: 20 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+
+	frame := make([]byte, 1<<16)
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		s := a.Stats()
+		if s.DroppedDead > 0 {
+			return
+		}
+		_ = a.Send(ln.Addr().String(), frame) // dial errors are fine; keep probing
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatalf("no dead-connection drops recorded: %+v", a.Stats())
+}

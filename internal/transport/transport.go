@@ -5,20 +5,26 @@
 // transport design (a listener feeding a handler, connections cached per
 // peer address), scaled down to what the register emulations need:
 //
-//   - Frames, not streams: one message per frame, 4-byte big-endian length
-//     prefix, MaxFrame cap enforced on both sides so a corrupt or hostile
-//     length cannot force an unbounded allocation.
+//   - Frames, not streams: one envelope per socket write, 4-byte big-endian
+//     length prefix, MaxFrame cap enforced on both sides so a corrupt or
+//     hostile length cannot force an unbounded allocation.
+//   - Compound batching: the per-connection writer drains everything queued
+//     in its outbox and coalesces it into one compound envelope per write
+//     (wire.AppendCompound — memberlist's MakeCompoundMessage idiom), so a
+//     burst of small protocol messages costs one syscall, not one each. The
+//     reader splits the envelope and hands members to the handler in order.
 //   - Dialed-connection reuse: the first Send to a peer dials it (bounded
 //     by DialTimeout) and installs a writer goroutine fed by a bounded
 //     outbox; later Sends enqueue onto the same connection. A failed dial
 //     or write tears the pooled entry down, so the next Send redials —
 //     message loss on a broken connection is surfaced to the layer above
 //     as what it is on a real network: silence, bounded by op timeouts.
-//   - Non-blocking sends: when an outbox is full the frame is handed to a
-//     spawned goroutine instead of blocking the caller. Node loops
-//     therefore never deadlock on a cycle of full TCP buffers; the cost is
-//     possible reordering, which the unordered-channel model and the
-//     simulator's delay rules already allow.
+//   - Bounded sends: a full outbox blocks the sender up to SendTimeout —
+//     real backpressure — and then drops the frame, counted in Stats. The
+//     old behavior (hand overflow to a spawned goroutine) kept node loops
+//     unblocked at the cost of unbounded goroutine growth, broken per-link
+//     FIFO and uncounted loss; per-link order is now preserved from enqueue
+//     to handler for every frame that survives.
 //   - Graceful shutdown: Close stops the accept loop, closes every inbound
 //     and outbound connection, and joins every goroutine the endpoint
 //     started — no frame handler runs after Close returns.
@@ -31,13 +37,32 @@ import (
 	"io"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
+
+	"repro/internal/wire"
 )
 
-// MaxFrame bounds a frame's payload length (16 MiB). Values in this
+// MaxFrame bounds an envelope's payload length (16 MiB). Values in this
 // repository's workloads are a few KiB; the cap only exists to keep a
 // corrupt length prefix from looking like a multi-gigabyte allocation.
 const MaxFrame = 16 << 20
+
+// maxSendFrame bounds one Send's frame so that even a single-frame raw
+// envelope (1 tag byte) stays under MaxFrame.
+const maxSendFrame = MaxFrame - 1
+
+// Batching caps: a writer coalesces at most maxBatchFrames queued frames or
+// maxBatchBytes of payload into one compound envelope. The byte cap keeps
+// latency bounded (a huge batch is one long socket write) and, together
+// with envelopeSlack, keeps every envelope under MaxFrame.
+const (
+	maxBatchFrames = 64
+	maxBatchBytes  = 64 << 10
+	// envelopeSlack over-estimates the compound header: tag + count +
+	// per-member uvarint lengths (≤ 5 bytes each at these sizes).
+	envelopeSlack = 8 * (maxBatchFrames + 1)
+)
 
 // ErrClosed reports a Send on an endpoint that has been closed.
 var ErrClosed = errors.New("transport: endpoint closed")
@@ -47,9 +72,12 @@ type Config struct {
 	// DialTimeout bounds an outbound connection attempt (default 2s).
 	DialTimeout time.Duration
 	// Outbox is the per-connection send queue capacity (default 256).
-	// Overflow never blocks the sender: excess frames complete from
-	// spawned goroutines.
 	Outbox int
+	// SendTimeout bounds how long Send may block on a full outbox before
+	// the frame is dropped and counted (default 1s). This is the
+	// backpressure window: under sustained overload senders slow to the
+	// socket's drain rate instead of growing unbounded queues.
+	SendTimeout time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -59,7 +87,30 @@ func (c Config) withDefaults() Config {
 	if c.Outbox <= 0 {
 		c.Outbox = 256
 	}
+	if c.SendTimeout <= 0 {
+		c.SendTimeout = time.Second
+	}
 	return c
+}
+
+// Stats is a point-in-time snapshot of an endpoint's frame-loss accounting.
+// Every frame an endpoint accepted for delivery and then lost is counted in
+// exactly one bucket; frames still queued at Close are deliberate shutdown
+// discards and are not counted.
+type Stats struct {
+	// DroppedFull counts frames dropped because a connection's outbox
+	// stayed full past SendTimeout.
+	DroppedFull uint64
+	// DroppedDead counts frames lost to a dead connection: the batch in
+	// flight when a write failed, plus frames stranded in the dead
+	// writer's outbox.
+	DroppedDead uint64
+	// Requeued counts frames re-enqueued onto a freshly dialed connection
+	// after their original connection died between lookup and enqueue.
+	Requeued uint64
+	// Malformed counts inbound envelopes the reader could not split;
+	// their member frames never reach the handler.
+	Malformed uint64
 }
 
 // Endpoint is one node's network identity: a TCP listener whose inbound
@@ -73,6 +124,11 @@ type Endpoint struct {
 	conns   map[string]*outConn // keyed by peer address
 	inbound map[net.Conn]struct{}
 	closed  bool
+
+	droppedFull atomic.Uint64
+	droppedDead atomic.Uint64
+	requeued    atomic.Uint64
+	malformed   atomic.Uint64
 
 	done chan struct{}
 	wg   sync.WaitGroup
@@ -107,11 +163,21 @@ func Listen(addr string, cfg Config) (*Endpoint, error) {
 // Addr returns the endpoint's dialable address (with the resolved port).
 func (e *Endpoint) Addr() string { return e.listener.Addr().String() }
 
+// Stats snapshots the endpoint's frame-loss counters.
+func (e *Endpoint) Stats() Stats {
+	return Stats{
+		DroppedFull: e.droppedFull.Load(),
+		DroppedDead: e.droppedDead.Load(),
+		Requeued:    e.requeued.Load(),
+		Malformed:   e.malformed.Load(),
+	}
+}
+
 // Serve starts the accept loop: every inbound connection gets a reader
-// goroutine that decodes length-prefixed frames and calls handler with
-// each payload. The handler runs on the reader goroutine; a handler that
-// blocks exerts backpressure on that peer's TCP stream only. Serve returns
-// immediately.
+// goroutine that decodes length-prefixed envelopes, splits compound
+// envelopes, and calls handler with each member frame in order. The handler
+// runs on the reader goroutine; a handler that blocks exerts backpressure
+// on that peer's TCP stream only. Serve returns immediately.
 func (e *Endpoint) Serve(handler func(frame []byte)) {
 	e.wg.Add(1)
 	go func() {
@@ -139,7 +205,7 @@ func (e *Endpoint) Serve(handler func(frame []byte)) {
 					c.Close()
 				}()
 				for {
-					frame, err := ReadFrame(c)
+					payload, err := ReadFrame(c)
 					if err != nil {
 						return
 					}
@@ -148,7 +214,17 @@ func (e *Endpoint) Serve(handler func(frame []byte)) {
 						return
 					default:
 					}
-					handler(frame)
+					frames, err := wire.SplitFrames(payload)
+					if err != nil {
+						e.malformed.Add(1)
+						continue
+					}
+					for _, frame := range frames {
+						// Members alias payload, which is freshly
+						// allocated per ReadFrame and never reused here,
+						// so handing them out without a copy is safe.
+						handler(frame)
+					}
 				}
 			}()
 		}
@@ -156,13 +232,14 @@ func (e *Endpoint) Serve(handler func(frame []byte)) {
 }
 
 // Send enqueues one frame to the peer at addr, dialing (or redialing) it if
-// no healthy pooled connection exists. Send never blocks on the socket: a
-// full outbox falls back to a spawned goroutine. Frame delivery is not
-// acknowledged — a connection that breaks mid-flight loses frames, exactly
-// like a real asynchronous network; protocol-level timeouts own recovery.
+// no healthy pooled connection exists. A full outbox blocks the caller up
+// to SendTimeout and then drops the frame (counted in Stats) — the frame is
+// "lost in the network", exactly like a frame on a connection that breaks
+// mid-flight; protocol-level timeouts own recovery. Send returns an error
+// only when no connection could be established or the endpoint is closed.
 func (e *Endpoint) Send(addr string, frame []byte) error {
-	if len(frame) > MaxFrame {
-		return fmt.Errorf("transport: frame of %d bytes exceeds MaxFrame %d", len(frame), MaxFrame)
+	if len(frame) > maxSendFrame {
+		return fmt.Errorf("transport: frame of %d bytes exceeds limit %d", len(frame), maxSendFrame)
 	}
 	oc, err := e.conn(addr)
 	if err != nil {
@@ -172,42 +249,56 @@ func (e *Endpoint) Send(addr string, frame []byte) error {
 	case oc.outbox <- frame:
 		return nil
 	case <-oc.closed:
-		// Writer died between lookup and enqueue; retry once on a fresh
-		// connection, then give up (the message is "lost in the network").
-		oc2, err := e.conn(addr)
-		if err != nil {
-			return err
-		}
-		select {
-		case oc2.outbox <- frame:
-			return nil
-		default:
-		}
-		e.spawnEnqueue(oc2, frame)
-		return nil
+		return e.resend(addr, frame)
 	case <-e.done:
 		return ErrClosed
 	default:
-		e.spawnEnqueue(oc, frame)
+	}
+	t := time.NewTimer(e.cfg.SendTimeout)
+	defer t.Stop()
+	select {
+	case oc.outbox <- frame:
 		return nil
+	case <-oc.closed:
+		return e.resend(addr, frame)
+	case <-t.C:
+		e.droppedFull.Add(1)
+		return nil
+	case <-e.done:
+		return ErrClosed
 	}
 }
 
-// spawnEnqueue completes an overflowing enqueue off the caller's goroutine.
-func (e *Endpoint) spawnEnqueue(oc *outConn, frame []byte) {
-	e.wg.Add(1)
-	go func() {
-		defer e.wg.Done()
-		select {
-		case oc.outbox <- frame:
-		case <-oc.closed:
-		case <-e.done:
-		}
-	}()
+// resend retries one frame on a fresh connection after its original
+// connection died between lookup and enqueue. One retry only: a second
+// death means the peer is gone and the frame is lost like any other frame
+// on a broken connection.
+func (e *Endpoint) resend(addr string, frame []byte) error {
+	oc, err := e.conn(addr)
+	if err != nil {
+		return err
+	}
+	t := time.NewTimer(e.cfg.SendTimeout)
+	defer t.Stop()
+	select {
+	case oc.outbox <- frame:
+		e.requeued.Add(1)
+		return nil
+	case <-oc.closed:
+		e.droppedDead.Add(1)
+		return nil
+	case <-t.C:
+		e.droppedFull.Add(1)
+		return nil
+	case <-e.done:
+		return ErrClosed
+	}
 }
 
 // conn returns the pooled connection to addr, dialing one if needed. A
-// pooled entry whose writer has exited is replaced.
+// pooled entry whose writer has exited is replaced, and any frames a racing
+// sender managed to enqueue after the dead writer's final drain are counted
+// as dead-connection drops here.
 func (e *Endpoint) conn(addr string) (*outConn, error) {
 	e.mu.Lock()
 	if e.closed {
@@ -218,6 +309,7 @@ func (e *Endpoint) conn(addr string) (*outConn, error) {
 		select {
 		case <-oc.closed:
 			delete(e.conns, addr) // writer dead; fall through to redial
+			e.drainDead(oc)
 		default:
 			e.mu.Unlock()
 			return oc, nil
@@ -243,6 +335,7 @@ func (e *Endpoint) conn(addr string) (*outConn, error) {
 		select {
 		case <-racing.closed:
 			e.conns[addr] = oc
+			e.drainDead(racing)
 		default:
 			e.mu.Unlock()
 			c.Close()
@@ -258,20 +351,81 @@ func (e *Endpoint) conn(addr string) (*outConn, error) {
 	return oc, nil
 }
 
-// writeLoop drains one pooled connection's outbox onto the socket. Any
-// write error retires the connection (the pool redials on the next Send).
-func (e *Endpoint) writeLoop(oc *outConn) {
-	defer e.wg.Done()
-	defer close(oc.closed)
-	defer oc.c.Close()
+// drainDead empties a dead connection's outbox, counting every stranded
+// frame as a dead-connection drop.
+func (e *Endpoint) drainDead(oc *outConn) {
 	for {
 		select {
-		case frame := <-oc.outbox:
-			if err := WriteFrame(oc.c, frame); err != nil {
+		case <-oc.outbox:
+			e.droppedDead.Add(1)
+		default:
+			return
+		}
+	}
+}
+
+// writeLoop drains one pooled connection's outbox onto the socket, batching
+// everything queued at each wakeup into one compound envelope per write. A
+// write error retires the connection: the failed batch and every frame
+// still queued are counted as dead-connection drops, and the pool redials
+// on the next Send.
+func (e *Endpoint) writeLoop(oc *outConn) {
+	defer e.wg.Done()
+	defer oc.c.Close()
+	var (
+		buf   []byte   // reusable envelope scratch
+		batch [][]byte // frames gathered for the current write
+		carry []byte   // frame received but deferred to the next batch
+	)
+	for {
+		batch = batch[:0]
+		if carry != nil {
+			batch = append(batch, carry)
+			carry = nil
+		} else {
+			select {
+			case f := <-oc.outbox:
+				batch = append(batch, f)
+			case <-e.done:
+				close(oc.closed)
 				return
 			}
-		case <-e.done:
-			return
+		}
+		size := len(batch[0])
+	gather:
+		for len(batch) < maxBatchFrames && size < maxBatchBytes {
+			select {
+			case f := <-oc.outbox:
+				if size+len(f)+envelopeSlack > MaxFrame {
+					carry = f // would overflow the envelope; next batch
+					break gather
+				}
+				batch = append(batch, f)
+				size += len(f)
+			default:
+				break gather
+			}
+		}
+		if len(batch) == 1 {
+			buf = wire.AppendRaw(buf[:0], batch[0])
+		} else {
+			buf = wire.AppendCompound(buf[:0], batch)
+		}
+		if err := WriteFrame(oc.c, buf); err != nil {
+			lost := uint64(len(batch))
+			if carry != nil {
+				lost++
+			}
+			close(oc.closed)
+			for {
+				select {
+				case <-oc.outbox:
+					lost++
+				default:
+					e.droppedDead.Add(lost)
+					return
+				}
+			}
 		}
 	}
 }

@@ -1,0 +1,64 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/binary"
+	"testing"
+)
+
+func TestCompoundRoundTrip(t *testing.T) {
+	cases := [][][]byte{
+		{},
+		{[]byte("a")},
+		{[]byte("a"), []byte("bb"), []byte("ccc")},
+		{{}, []byte("x"), {}}, // empty members survive
+		{bytes.Repeat([]byte{0xab}, 4096), []byte{0}},
+	}
+	for i, frames := range cases {
+		enc := AppendCompound(nil, frames)
+		got, err := SplitFrames(enc)
+		if err != nil {
+			t.Fatalf("case %d: %v", i, err)
+		}
+		if len(got) != len(frames) {
+			t.Fatalf("case %d: %d frames, want %d", i, len(got), len(frames))
+		}
+		for j := range frames {
+			if !bytes.Equal(got[j], frames[j]) {
+				t.Fatalf("case %d frame %d: %q != %q", i, j, got[j], frames[j])
+			}
+		}
+	}
+}
+
+func TestRawRoundTrip(t *testing.T) {
+	for _, payload := range [][]byte{{}, []byte("hello"), {0x00, 0x01}} {
+		got, err := SplitFrames(AppendRaw(nil, payload))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != 1 || !bytes.Equal(got[0], payload) {
+			t.Fatalf("raw round trip of %q gave %q", payload, got)
+		}
+	}
+}
+
+func TestSplitFramesRejectsMalformed(t *testing.T) {
+	huge := binary.AppendUvarint([]byte{FrameCompound}, 1)
+	huge = binary.AppendUvarint(huge, 1<<62) // member length near overflow
+	cases := map[string][]byte{
+		"empty payload":     {},
+		"unknown tag":       {0x7f, 1, 2, 3},
+		"truncated count":   {FrameCompound},
+		"count too large":   binary.AppendUvarint([]byte{FrameCompound}, 1<<40),
+		"truncated lengths": binary.AppendUvarint(binary.AppendUvarint([]byte{FrameCompound}, 2), 1),
+		"members overrun":   append(binary.AppendUvarint(binary.AppendUvarint([]byte{FrameCompound}, 1), 9), 'x'),
+		"member underrun":   append(binary.AppendUvarint(binary.AppendUvarint([]byte{FrameCompound}, 1), 1), 'x', 'y'),
+		"length overflow":   append(huge, 'x'),
+	}
+	for name, data := range cases {
+		if _, err := SplitFrames(data); err == nil {
+			t.Errorf("%s: SplitFrames accepted %v", name, data)
+		}
+	}
+}

@@ -131,6 +131,19 @@ func WithSeed(seed int64) Option { return session.WithSeed(seed) }
 // WithWorkers bounds the worker pool batch runs (Store.RunMulti) use.
 func WithWorkers(n int) Option { return session.WithWorkers(n) }
 
+// WithPipeline sets the per-client operation pipeline depth the live and net
+// batch drivers use: each driver keeps up to depth operations in flight at
+// one client, with the node starting each only after its predecessor
+// responds, so per-client program order is preserved. Ignored on the
+// simulator and for interactive Put/Get.
+func WithPipeline(depth int) Option { return session.WithPipeline(depth) }
+
+// WithSkipCheck disables batch runs' per-shard consistency checking — needed
+// for high-concurrency throughput sweeps, where the checkers' worst-case
+// exponential cost in write concurrency is unaffordable. Interactive
+// CheckConsistency is unaffected.
+func WithSkipCheck() Option { return session.WithSkipCheck() }
+
 // DefaultStepBudget is the delivery budget an interactive simulator
 // operation (or a workload run without MaxSteps) gets when no explicit
 // budget is configured.

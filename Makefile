@@ -6,7 +6,7 @@ DATE ?= $(shell date +%Y-%m-%d)
 MICRO_PKGS = ./internal/gf ./internal/erasure ./internal/ioa ./internal/consistency
 MICRO_BENCH = 'BenchmarkMulSlice|BenchmarkEncodeDecode|BenchmarkFairRunSweep|BenchmarkRandomRunSweep|BenchmarkCheckAtomicDense'
 
-.PHONY: build test race live-race liveload-smoke netload-smoke bench bench-smoke bench-micro bench-micro-smoke bench-json fuzz-smoke examples fmt fmt-check vet apicheck apicheck-update ci
+.PHONY: build test race live-race chaos-smoke liveload-smoke netload-smoke bench bench-smoke bench-micro bench-micro-smoke bench-json fuzz-smoke examples fmt fmt-check vet apicheck apicheck-update ci
 
 build:
 	$(GO) build ./...
@@ -23,6 +23,16 @@ race:
 # counted runs catch schedules a single pass misses.
 live-race:
 	$(GO) test -race -count=2 ./internal/live
+
+# Chaos smoke: the wall-clock fault scheduler's crash+partition behavior on
+# the live and net backends under the race detector — the chaos tests first
+# (snapshot-restore durability, partition gate timing, goroutine reaping,
+# quorum-kill quiescence), then a small faultsim scenario matrix driving the
+# whole grid over real goroutines and real sockets.
+chaos-smoke:
+	$(GO) test -race -count=1 -run 'Partition|Recovery|CrashRecover|CrashReaps|QuorumKill' ./internal/live ./internal/netrun
+	$(GO) run -race ./cmd/faultsim -grid -backend live,net -n 3 -f 1 -keys 8 -ops 16 -valuebytes 64 -optimeout 2s > /dev/null
+	@echo chaos-smoke ok
 
 # End-to-end smoke of the live load generator: a small client-count sweep on
 # two shards, consistency-checked per shard, plus one pipelined point
@@ -111,4 +121,4 @@ apicheck-update:
 	@echo wrote API.txt
 
 # Exactly what CI runs.
-ci: build vet fmt-check apicheck race live-race liveload-smoke netload-smoke examples fuzz-smoke bench-smoke bench-micro-smoke
+ci: build vet fmt-check apicheck race live-race chaos-smoke liveload-smoke netload-smoke examples fuzz-smoke bench-smoke bench-micro-smoke

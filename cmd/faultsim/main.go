@@ -5,13 +5,16 @@
 // shard next to a lossy one next to a fault-free control. Per-shard verdicts
 // report whether liveness survived ("ok") or was lost ("quiescent"); safety
 // is always enforced — every shard's completed operations are checked
-// against its algorithm's consistency condition, faults or not. The same
-// seed and fault specs produce the same fingerprint at any worker count.
+// against its algorithm's consistency condition, faults or not. On the
+// simulator, the same seed and fault specs produce the same fingerprint at
+// any worker count; the live and net backends execute the same plans in
+// wall-clock time via the fault scheduler and are checked for safety.
 //
 // Usage:
 //
 //	faultsim -shards 6 -algo cas -faults crash-f,lossy=0.02,none
-//	faultsim -shards 4 -algo abd-mwmr -faults partition@40:4000
+//	faultsim -backend live -faults crash-f@10:5000 -algo cas
+//	faultsim -backend net -shards 2 -faults partition@40:4000
 //	faultsim -grid -algo abd-mwmr,cas
 package main
 
@@ -20,6 +23,7 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	shmem "repro"
 )
@@ -34,6 +38,7 @@ func main() {
 func run() error {
 	shards := flag.Int("shards", 6, "number of independent register shards")
 	algo := flag.String("algo", "cas", "comma-separated algorithms, cycled per shard: "+strings.Join(shmem.StoreAlgorithms(), " | "))
+	backend := flag.String("backend", "sim", "execution backend: "+strings.Join(shmem.StoreBackends(), " | ")+" (fingerprints are sim-only)")
 	n := flag.Int("n", 5, "servers per shard N")
 	f := flag.Int("f", 1, "tolerated server failures per shard f")
 	keys := flag.Int("keys", 32, "keyspace size")
@@ -43,12 +48,19 @@ func run() error {
 	valueBytes := flag.Int("valuebytes", 128, "bytes per written value")
 	seed := flag.Int64("seed", 1, "workload and fault seed")
 	workers := flag.Int("workers", 0, "parallel shard workers (0 = GOMAXPROCS)")
+	opTimeout := flag.Duration("optimeout", 0, "live/net per-operation timeout (0 = backend default; quiescent cells cost one timeout)")
 	faultSpecs := flag.String("faults", "", "comma-separated fault scenarios, cycled per shard; grammar: "+shmem.FaultScenarioUsage())
-	grid := flag.Bool("grid", false, "run the standard scenario library against every -algo and print the verdict grid (ignores -shards/-faults)")
+	grid := flag.Bool("grid", false, "run the standard scenario library against every -algo on every backend and print the verdict matrix (ignores -shards/-faults; -backend restricts the matrix when set explicitly)")
 	flag.Parse()
 
 	if *grid {
-		return runGrid(*algo, *n, *f, *keys, *ops, *readFrac, *nu, *valueBytes, *seed, *workers)
+		backends := shmem.StoreBackends()
+		flag.Visit(func(fl *flag.Flag) {
+			if fl.Name == "backend" {
+				backends = strings.Split(*backend, ",")
+			}
+		})
+		return runGrid(backends, *algo, *n, *f, *keys, *ops, *readFrac, *nu, *valueBytes, *seed, *workers, *opTimeout)
 	}
 
 	var specs []string
@@ -57,12 +69,15 @@ func run() error {
 	}
 	st, err := shmem.Open(shmem.Config{
 		Algorithms: strings.Split(*algo, ","),
+		Backend:    *backend,
 		Servers:    *n,
 		F:          *f,
 		Shards:     *shards,
 		Faults:     specs,
 		Seed:       *seed,
 		Workers:    *workers,
+		Live:       shmem.LiveConfig{OpTimeout: *opTimeout},
+		Net:        shmem.NetConfig{OpTimeout: *opTimeout},
 	})
 	if err != nil {
 		return err
@@ -79,15 +94,15 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	fmt.Printf("faulted store    : %d shards x (N=%d f=%d), %d keys, seed %d\n",
-		*shards, *n, *f, *keys, *seed)
+	fmt.Printf("faulted store    : %d shards x (N=%d f=%d), %d keys, seed %d, backend %s\n",
+		*shards, *n, *f, *keys, *seed, *backend)
 	fmt.Printf("fault scenarios  : %s\n", orNone(*faultSpecs))
 	fmt.Println()
 	fmt.Print(res.Table())
 	fmt.Println()
-	fmt.Printf("fault events     : %d drops, %d delayed (%d steps held), %d crashes, %d recoveries\n",
+	fmt.Printf("fault events     : %d drops, %d delayed (%d steps held), %d crashes, %d recoveries, %d checkpoints\n",
 		res.Faults.Drops, res.Faults.DelayedMessages, res.Faults.DelayStepsTotal,
-		res.Faults.Crashes, res.Faults.Recoveries)
+		res.Faults.Crashes, res.Faults.Recoveries, res.Faults.Checkpoints)
 	fmt.Printf("liveness         : %d/%d shards quiescent\n", res.QuiescentShards, *shards)
 	fmt.Printf("aggregate storage: %d bits (normalized %.4f), largest server %d bits\n",
 		res.AggregateMaxTotalBits, res.NormalizedTotal, res.MaxServerBits)
@@ -96,54 +111,60 @@ func run() error {
 }
 
 // runGrid sweeps the standard scenario library (plus a fault-free control)
-// against every requested algorithm, one small store run per cell, printing
-// the E11 verdict grid: storage high-water marks plus the checker verdict.
-func runGrid(algos string, n, f, keys, ops int, readFrac float64, nu, valueBytes int, seed int64, workers int) error {
+// against every requested algorithm on every requested backend, one small
+// store run per cell, printing the E11/E13 verdict matrix: storage
+// high-water marks, fault events and the checker verdict.
+func runGrid(backends []string, algos string, n, f, keys, ops int, readFrac float64, nu, valueBytes int, seed int64, workers int, opTimeout time.Duration) error {
 	specs := []string{"none"}
 	for _, sc := range shmem.FaultScenarioLibrary() {
 		specs = append(specs, sc.String())
 	}
-	fmt.Printf("scenario grid: N=%d f=%d, %d ops over %d keys per cell, seed %d\n\n",
-		n, f, ops, keys, seed)
-	fmt.Printf("%-22s %-18s %6s %8s %6s %8s %10s %10s %-9s\n",
-		"scenario", "algorithm", "done", "pending", "drops", "crashes", "maxsrvbits", "normcost", "verdict")
+	fmt.Printf("scenario matrix: backends %s, N=%d f=%d, %d ops over %d keys per cell, seed %d\n\n",
+		strings.Join(backends, ","), n, f, ops, keys, seed)
+	fmt.Printf("%-22s %-18s %-5s %6s %8s %6s %8s %5s %10s %10s %-9s\n",
+		"scenario", "algorithm", "bknd", "done", "pending", "drops", "crashes", "recov", "maxsrvbits", "normcost", "verdict")
 	for _, spec := range specs {
 		for _, algo := range strings.Split(algos, ",") {
-			st, err := shmem.Open(shmem.Config{
-				Algorithms: []string{algo},
-				Servers:    n,
-				F:          f,
-				Shards:     2,
-				Faults:     []string{spec},
-				Seed:       seed,
-				Workers:    workers,
-			})
-			if err != nil {
-				return fmt.Errorf("scenario %q algorithm %q: %w", spec, algo, err)
+			for _, backend := range backends {
+				st, err := shmem.Open(shmem.Config{
+					Algorithms: []string{algo},
+					Backend:    backend,
+					Servers:    n,
+					F:          f,
+					Shards:     2,
+					Faults:     []string{spec},
+					Seed:       seed,
+					Workers:    workers,
+					Live:       shmem.LiveConfig{OpTimeout: opTimeout},
+					Net:        shmem.NetConfig{OpTimeout: opTimeout},
+				})
+				if err != nil {
+					return fmt.Errorf("scenario %q algorithm %q backend %q: %w", spec, algo, backend, err)
+				}
+				res, err := st.RunMulti(shmem.MultiWorkloadSpec{
+					Seed:         seed,
+					Keys:         keys,
+					Ops:          ops,
+					ReadFraction: readFrac,
+					TargetNu:     nu,
+					ValueBytes:   valueBytes,
+				})
+				st.Close()
+				if err != nil {
+					return fmt.Errorf("scenario %q algorithm %q backend %q: %w", spec, algo, backend, err)
+				}
+				pending := 0
+				for _, s := range res.PerShard {
+					pending += s.PendingOps
+				}
+				verdict := "ok"
+				if res.QuiescentShards > 0 {
+					verdict = "quiescent"
+				}
+				fmt.Printf("%-22s %-18s %-5s %6d %8d %6d %8d %5d %10d %10.4f %-9s\n",
+					spec, algo, backend, res.TotalOps-pending, pending, res.Faults.Drops,
+					res.Faults.Crashes, res.Faults.Recoveries, res.MaxServerBits, res.NormalizedTotal, verdict)
 			}
-			res, err := st.RunMulti(shmem.MultiWorkloadSpec{
-				Seed:         seed,
-				Keys:         keys,
-				Ops:          ops,
-				ReadFraction: readFrac,
-				TargetNu:     nu,
-				ValueBytes:   valueBytes,
-			})
-			st.Close()
-			if err != nil {
-				return fmt.Errorf("scenario %q algorithm %q: %w", spec, algo, err)
-			}
-			pending := 0
-			for _, s := range res.PerShard {
-				pending += s.PendingOps
-			}
-			verdict := "ok"
-			if res.QuiescentShards > 0 {
-				verdict = "quiescent"
-			}
-			fmt.Printf("%-22s %-18s %6d %8d %6d %8d %10d %10.4f %-9s\n",
-				spec, algo, res.TotalOps-pending, pending, res.Faults.Drops,
-				res.Faults.Crashes, res.MaxServerBits, res.NormalizedTotal, verdict)
 		}
 	}
 	fmt.Println("\nevery cell passed its consistency check (atomic/regular per algorithm);")

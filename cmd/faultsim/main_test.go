@@ -59,9 +59,32 @@ func TestRunReproducibleAcrossWorkers(t *testing.T) {
 	}
 }
 
-// TestRunGrid smoke-tests the scenario-grid mode.
+// TestRunBackends smoke-tests the -backend flag: the same crash+recovery
+// and partition scenarios deploy and complete on the simulator, the live
+// goroutine runtime, and the socket runtime, with the backend named in the
+// run header. Crash-f with recovery exercises the snapshot/restore path on
+// the wall-clock backends.
+func TestRunBackends(t *testing.T) {
+	for _, backend := range []string{"sim", "live", "net"} {
+		backend := backend
+		t.Run(backend, func(t *testing.T) {
+			out := runWith(t, "faultsim", "-backend", backend, "-shards", "3",
+				"-algo", "cas", "-keys", "8", "-ops", "18", "-valuebytes", "64",
+				"-optimeout", "2s", "-faults", "crash-f@10:400,partition@40:2500,none")
+			for _, want := range []string{"backend " + backend, "verdict", "fault events", "crash-f@10:400"} {
+				if !strings.Contains(out, want) {
+					t.Errorf("%s output missing %q:\n%s", backend, want, out)
+				}
+			}
+		})
+	}
+}
+
+// TestRunGrid smoke-tests the scenario-grid mode on the simulator backend
+// (the full three-backend matrix is exercised by `make chaos-smoke`, where
+// quiescent cells may each cost an op timeout).
 func TestRunGrid(t *testing.T) {
-	out := runWith(t, "faultsim", "-grid", "-algo", "abd-mwmr",
+	out := runWith(t, "faultsim", "-grid", "-algo", "abd-mwmr", "-backend", "sim",
 		"-n", "3", "-f", "1", "-keys", "8", "-ops", "16", "-valuebytes", "64")
 	for _, want := range []string{"crash-f", "crash-majority", "partition@", "lossy=", "delay=", "none"} {
 		if !strings.Contains(out, want) {

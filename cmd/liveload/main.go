@@ -56,7 +56,7 @@ func run() error {
 	readFrac := flag.Float64("reads", 0.3, "fraction of operations that are reads")
 	valueBytes := flag.Int("valuebytes", 128, "bytes per written value")
 	seed := flag.Int64("seed", 1, "workload and fault seed")
-	faultSpec := flag.String("faults", "", "drop/delay fault scenario applied to every shard (lossy=P, delay=MIN:MAX, composable with +)")
+	faultSpec := flag.String("faults", "", "fault scenario applied to every shard (lossy=P, delay=MIN:MAX, partition@START:HEAL, crash-f@STEP[:RECOVER], composable with +)")
 	stepDur := flag.Duration("stepdur", 100*time.Microsecond, "wall-clock duration of one fault delay step")
 	opTimeout := flag.Duration("optimeout", 5*time.Second, "per-operation completion timeout")
 	pipeline := flag.Int("pipeline", 1, "operations kept in flight per client (per-client order preserved)")

@@ -52,7 +52,7 @@ func TestRejectsBadFlags(t *testing.T) {
 		{"liveload", "-clients", "0"},
 		{"liveload", "-clients", "two"},
 		{"liveload", "-faults", "partition@40:10"}, // impossible window: parse-time error
-		{"liveload", "-faults", "crash-f"},         // step-indexed: live rejects eagerly
+		{"liveload", "-faults", "crash-f@40:10"},   // recovery before crash: parse-time error
 	} {
 		if err := cmdtest.RunErr(t, run, args...); err == nil {
 			t.Errorf("args %v: run succeeded, want error", args[1:])

@@ -61,7 +61,7 @@ func run() error {
 	readFrac := flag.Float64("reads", 0.3, "fraction of operations that are reads")
 	valueBytes := flag.Int("valuebytes", 128, "bytes per written value")
 	seed := flag.Int64("seed", 1, "workload and fault seed")
-	faultSpec := flag.String("faults", "", "fault scenario applied to every shard (lossy=P, delay=MIN:MAX, partition@START:HEAL, composable with +)")
+	faultSpec := flag.String("faults", "", "fault scenario applied to every shard (lossy=P, delay=MIN:MAX, partition@START:HEAL, crash-f@STEP[:RECOVER], composable with +)")
 	listen := flag.String("listen", "127.0.0.1:0", "listen address spec; keep the port 0 so every node gets its own ephemeral port")
 	stepDur := flag.Duration("stepdur", 100*time.Microsecond, "wall-clock duration of one fault step (delays and partition windows)")
 	opTimeout := flag.Duration("optimeout", 5*time.Second, "per-operation completion timeout")

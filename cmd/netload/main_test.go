@@ -32,10 +32,10 @@ func TestSmoke(t *testing.T) {
 	}
 }
 
-// TestSmokeWithPartitionFaults sweeps under a healing partition — the
-// scenario class the live backend rejects and the net backend physically
-// holds at the sockets. At -stepdur 100µs the 20ms window heals far inside
-// the op timeout, so all ops must complete and stay consistent.
+// TestSmokeWithPartitionFaults sweeps under a healing partition, which
+// the net backend physically holds at the sockets. At -stepdur 100µs the
+// 20ms window heals far inside the op timeout, so all ops must complete
+// and stay consistent.
 func TestSmokeWithPartitionFaults(t *testing.T) {
 	out := cmdtest.RunWith(t, run, "netload",
 		"-clients", "1", "-ops", "16", "-shards", "1", "-keys", "4",
@@ -54,7 +54,7 @@ func TestRejectsBadFlags(t *testing.T) {
 		{"netload", "-clients", "0"},
 		{"netload", "-clients", "sixty-four"},
 		{"netload", "-faults", "partition@40:10"}, // impossible window: parse-time error
-		{"netload", "-faults", "crash-f"},         // scheduled crashes: net rejects eagerly
+		{"netload", "-faults", "crash-f@40:10"},   // recovery before crash: parse-time error
 	} {
 		if err := cmdtest.RunErr(t, run, args...); err == nil {
 			t.Errorf("args %v: run succeeded, want error", args[1:])

@@ -10,9 +10,8 @@
 //     interactive Put/Get surface over live sockets, and checks the
 //     accumulated history with the same atomicity checker every backend
 //     answers to;
-//  2. re-opens it under a healing partition — the fault class the live
-//     (channel-based) backend rejects — and shows operations riding out the
-//     outage: frames held at the socket layer flow again when the window
+//  2. re-opens it under a healing partition and shows operations riding
+//     out the outage: frames held at the socket layer flow again when the window
 //     closes, every op completes, and the history stays atomic.
 package main
 

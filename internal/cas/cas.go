@@ -95,7 +95,16 @@ var (
 	_ ioa.Node         = (*Server)(nil)
 	_ ioa.StorageMeter = (*Server)(nil)
 	_ ioa.Digester     = (*Server)(nil)
+	_ ioa.Recoverable  = (*Server)(nil)
 )
+
+// serverImage is the durable state a CAS replica persists across a crash:
+// its version log (tag -> record) and the highest finalized tag. gcDepth is
+// configuration, not state, and stays with the node.
+type serverImage struct {
+	recs   map[register.Tag]recordState
+	maxFin register.Tag
+}
 
 // NewServer returns a CAS server. gcDepth < 0 disables garbage collection
 // (plain CAS); gcDepth = δ keeps the δ+1 highest finalized versions (CASGC).
@@ -213,6 +222,30 @@ func (s *Server) Clone() ioa.Node {
 		cp.recs[t] = rec // shard data immutable, shared
 	}
 	return cp
+}
+
+// Snapshot implements ioa.Recoverable: a copy of the version log plus the
+// finalization high-water mark. Shard payloads are immutable and shared.
+func (s *Server) Snapshot() ioa.NodeSnapshot {
+	img := serverImage{recs: make(map[register.Tag]recordState, len(s.recs)), maxFin: s.maxFin}
+	for t, rec := range s.recs {
+		img.recs[t] = rec
+	}
+	return img
+}
+
+// Restore implements ioa.Recoverable.
+func (s *Server) Restore(snap ioa.NodeSnapshot) error {
+	img, ok := snap.(serverImage)
+	if !ok {
+		return fmt.Errorf("cas: server %d: foreign snapshot %T", s.id, snap)
+	}
+	s.recs = make(map[register.Tag]recordState, len(img.recs))
+	for t, rec := range img.recs {
+		s.recs[t] = rec
+	}
+	s.maxFin = img.maxFin
+	return nil
 }
 
 // --- configuration ---

@@ -28,6 +28,7 @@ var (
 	_ ioa.Node         = (*GossipServer)(nil)
 	_ ioa.StorageMeter = (*GossipServer)(nil)
 	_ ioa.Digester     = (*GossipServer)(nil)
+	_ ioa.Recoverable  = (*GossipServer)(nil)
 )
 
 // NewGossipServer returns a gossiping two-version server. peers must list
@@ -72,6 +73,13 @@ func (g *GossipServer) Clone() ioa.Node {
 	cp.inner = *(g.inner.Clone().(*Server))
 	return cp
 }
+
+// Snapshot implements ioa.Recoverable. The peer list is configuration, not
+// durable state; only the inner two-version slots are imaged.
+func (g *GossipServer) Snapshot() ioa.NodeSnapshot { return g.inner.Snapshot() }
+
+// Restore implements ioa.Recoverable.
+func (g *GossipServer) Restore(snap ioa.NodeSnapshot) error { return g.inner.Restore(snap) }
 
 // DeployGossip builds a gossiping two-version SWSR cluster. The client
 // protocols are identical to the plain two-version register; only the

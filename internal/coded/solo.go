@@ -31,7 +31,13 @@ var (
 	_ ioa.Node         = (*SoloServer)(nil)
 	_ ioa.StorageMeter = (*SoloServer)(nil)
 	_ ioa.Digester     = (*SoloServer)(nil)
+	_ ioa.Recoverable  = (*SoloServer)(nil)
 )
+
+// soloImage is the durable state a Solo replica persists across a crash.
+type soloImage struct {
+	cur, prev slot
+}
 
 // NewSoloServer returns a single-version coded server.
 func NewSoloServer(id ioa.NodeID) *SoloServer { return &SoloServer{id: id} }
@@ -89,6 +95,22 @@ func (s *SoloServer) StateDigest() string {
 
 // Clone implements ioa.Node.
 func (s *SoloServer) Clone() ioa.Node { cp := *s; return &cp }
+
+// Snapshot implements ioa.Recoverable.
+func (s *SoloServer) Snapshot() ioa.NodeSnapshot {
+	return soloImage{cur: s.cur, prev: s.prev}
+}
+
+// Restore implements ioa.Recoverable.
+func (s *SoloServer) Restore(snap ioa.NodeSnapshot) error {
+	img, ok := snap.(soloImage)
+	if !ok {
+		return fmt.Errorf("coded: solo server %d: foreign snapshot %T", s.id, snap)
+	}
+	s.cur = img.cur
+	s.prev = img.prev
+	return nil
+}
 
 // SoloConfig configures a Solo register.
 type SoloConfig struct {

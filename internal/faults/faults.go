@@ -16,11 +16,21 @@
 package faults
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 
 	"repro/internal/ioa"
 )
+
+// ErrUnsupported marks a fault-plan feature the selected execution backend
+// genuinely cannot execute — today, scheduled recovery of a node whose
+// automaton lacks the ioa.Recoverable snapshot surface. Backends wrap it so
+// callers branch with errors.Is(err, faults.ErrUnsupported) instead of
+// matching message text. (The wall-clock backends used to reject every
+// outage and crash schedule as "step-indexed and simulator-only"; those now
+// run everywhere — see internal/faults/wallclock.go and MIGRATION.md.)
+var ErrUnsupported = errors.New("faults: plan unsupported on this backend")
 
 // NodeSet selects nodes for a rule or outage. A nil NodeSet matches every
 // node; otherwise the set matches exactly the listed ids.
@@ -190,6 +200,22 @@ func (p *Plan) NextLinkChange(from, to ioa.NodeID, step int) int {
 		consider(o.End)
 	}
 	return next
+}
+
+// RecoveredNodes returns the nodes the plan schedules a recovery for,
+// deduplicated, in schedule order. Wall-clock backends use it to verify
+// every such node's automaton offers the ioa.Recoverable snapshot surface
+// before the run starts.
+func (p *Plan) RecoveredNodes() []ioa.NodeID {
+	var out []ioa.NodeID
+	seen := make(map[ioa.NodeID]bool)
+	for _, c := range p.Crashes {
+		if c.RecoverStep > 0 && !seen[c.Node] {
+			seen[c.Node] = true
+			out = append(out, c.Node)
+		}
+	}
+	return out
 }
 
 // NodeEvents implements ioa.FaultPlan.

@@ -108,6 +108,32 @@ type StorageMeter interface {
 	StorageBits() int
 }
 
+// NodeSnapshot is an opaque durable-state image produced by a Recoverable
+// node. Images are self-contained: they must stay valid after the node that
+// produced them keeps mutating (immutable payloads — message byte slices,
+// erasure shards — may be shared, exactly as Clone shares them).
+type NodeSnapshot any
+
+// Recoverable is implemented by automata that support crash-recovery
+// durability: Snapshot captures the node's durable state, Restore replaces a
+// node's state from such an image. The wall-clock fault scheduler checkpoints
+// Recoverable servers at configurable intervals and, on a scheduled recovery,
+// restarts the node from its last checkpoint — state mutated after that
+// checkpoint is lost, which is precisely the crash-recovery model the paper's
+// storage bounds reason about (a server must persist enough to survive
+// failures). A node without this surface can still crash permanently; only
+// scheduled recovery requires it.
+type Recoverable interface {
+	Node
+	// Snapshot returns a self-contained image of the node's durable state.
+	// It is called on the node's own execution context, never concurrently
+	// with Deliver/Invoke.
+	Snapshot() NodeSnapshot
+	// Restore replaces the node's state from an image a node of the same
+	// type produced. It errors on a foreign image.
+	Restore(snap NodeSnapshot) error
+}
+
 // Digester is implemented by nodes whose state can be fingerprinted
 // deterministically. The adversary package uses digests to realize the
 // injectivity ("one-to-one mapping from value pairs to server state
@@ -201,6 +227,10 @@ type FaultStats struct {
 	// Crashes and Recoveries count applied scheduled node events.
 	Crashes    int
 	Recoveries int
+	// Checkpoints counts durable-state snapshots taken by the wall-clock
+	// backends' crash-recovery machinery. Zero on the simulator, whose
+	// crash-recovery keeps state intact in-process.
+	Checkpoints int
 	// FastForwards counts the times a scheduler advanced logical time
 	// because every queued message was delayed, blocked or addressed to a
 	// crashed node.
@@ -224,6 +254,7 @@ func (s *FaultStats) Add(o FaultStats) {
 	s.DelayStepsTotal += o.DelayStepsTotal
 	s.Crashes += o.Crashes
 	s.Recoveries += o.Recoveries
+	s.Checkpoints += o.Checkpoints
 	s.FastForwards += o.FastForwards
 	s.TransportDropped += o.TransportDropped
 	s.TransportRequeued += o.TransportRequeued

@@ -41,9 +41,10 @@ type clientGate struct {
 var ErrClientRetired = fmt.Errorf("live: client retired after a timed-out operation")
 
 // OpenInteractive clones the cluster's automata, starts the node goroutines
-// and returns a session ready for Invoke. The fault plan's drop/delay rules
-// apply to every message exactly as in Run; step-indexed outage/crash plans
-// are rejected (PlanSupported). Close stops the goroutines.
+// and returns a session ready for Invoke. The fault plan applies in full,
+// exactly as in Run: drop/delay rules at every send, outage windows and
+// scheduled crash/recovery on the runtime's wall-clock step mapping. Close
+// stops the goroutines.
 func OpenInteractive(cl *cluster.Cluster, plan *faults.Plan, cfg Config) (*Interactive, error) {
 	cfg = cfg.withDefaults()
 	if err := cl.Validate(); err != nil {

@@ -22,9 +22,15 @@
 //   - Faults: drop and delay rules of a faults.Plan are reused verbatim —
 //     MessageFate is consulted at send time with a global send sequence
 //     number, exactly as the kernel does, with delay steps scaled to wall
-//     time by Config.StepDur. Outage windows and scheduled crashes are
-//     defined in kernel steps and have no wall-clock meaning, so plans using
-//     them are rejected eagerly; those scenarios stay on the simulator.
+//     time by Config.StepDur. Outage windows and scheduled crash/recovery
+//     events, positioned in kernel steps, run against the same step clock
+//     via a faults.WallClock (DESIGN.md section 12): a partitioned link's
+//     messages are held until the window's wall-clock boundary, a crashed
+//     node's goroutine stops and its volatile state (mailbox, queues, the
+//     automaton itself) is discarded, and a scheduled recovery restarts the
+//     node from its last durable checkpoint (ioa.Recoverable). Recovery for
+//     a node without the Snapshot/Restore surface is the one remaining
+//     unsupported combination, rejected with faults.ErrUnsupported.
 //   - Flow control (DESIGN.md section 11): mailboxes are bounded and a
 //     sender facing a full mailbox blocks up to Config.SendTimeout before
 //     the message is dropped and counted — real backpressure in place of
@@ -77,6 +83,11 @@ type Config struct {
 	// operation at a time and per-client program order is preserved;
 	// recorded operation intervals never overlap within a client.
 	Pipeline int
+	// Checkpoint is the durable-state snapshot interval for nodes the fault
+	// plan schedules a recovery for (default 5ms). A recovering node
+	// restarts from its last checkpoint; state mutated after it is lost,
+	// exactly the crash-recovery model the paper's storage bounds assume.
+	Checkpoint time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -95,6 +106,9 @@ func (c Config) withDefaults() Config {
 	if c.Pipeline <= 0 {
 		c.Pipeline = 1
 	}
+	if c.Checkpoint <= 0 {
+		c.Checkpoint = 5 * time.Millisecond
+	}
 	return c
 }
 
@@ -103,17 +117,16 @@ func (c Config) withDefaults() Config {
 // bound keeps one hot node from running unpreempted forever.
 const drainBatch = 32
 
-// PlanSupported reports whether a fault plan can run on the live runtime:
-// drop/delay rules only. Outage windows and scheduled crash/recovery events
-// are positioned in kernel steps, which have no wall-clock analogue here, so
-// they stay simulator-only; rejecting them eagerly keeps the error at setup
-// time instead of mid-run.
+// PlanSupported reports whether a fault plan is well-formed for the live
+// runtime. Every fault class runs here now — drop/delay rules, outage
+// windows and scheduled crash/recovery events, the step-indexed ones mapped
+// onto wall time by a faults.WallClock — so this only validates the plan's
+// shape. The one genuinely unsupported combination, scheduled recovery of a
+// node without the ioa.Recoverable surface, needs the deployed automata to
+// detect and is rejected by the runtime itself with faults.ErrUnsupported.
 func PlanSupported(p *faults.Plan) error {
 	if p == nil {
 		return nil
-	}
-	if len(p.Outages) > 0 || len(p.Crashes) > 0 {
-		return fmt.Errorf("live: fault plan schedules outages or crashes, which are step-indexed and simulator-only; the live runtime supports drop/delay rules")
 	}
 	return p.Validate()
 }
@@ -157,11 +170,13 @@ type opRecord struct {
 
 // nodeState is everything a node goroutine owns: the automaton clone, its
 // mailbox, the client op log and the server storage maxima. Only the node's
-// own goroutine touches these fields between start and join.
+// own goroutine touches these fields between start and join — across a
+// scheduled crash, ownership passes to the WallClock's event goroutine (which
+// joins the loop first) and back to the next incarnation's loop.
 type nodeState struct {
 	id   ioa.NodeID
 	node ioa.Node
-	mb   chan event
+	mb   chan event // one channel for the node's whole lifetime, across incarnations
 
 	log         []opRecord
 	pendingIdx  int // index in log of the outstanding op; -1 when none
@@ -171,12 +186,27 @@ type nodeState struct {
 
 	meter            ioa.StorageMeter // nil unless the node reports storage
 	curBits, maxBits atomic.Int64     // written by the node loop, readable mid-run
+
+	// Crash-recovery machinery (DESIGN.md section 12). crashCh and loopDone
+	// belong to one incarnation of the node loop; the WallClock goroutine
+	// replaces them only between incarnations (after closing crashCh and
+	// joining loopDone), so the loop reads them race-free.
+	init     ioa.Node    // pristine automaton recovery restarts from; nil when no recovery is scheduled
+	ckpt     bool        // the plan schedules a recovery: checkpoint durable state
+	down     atomic.Bool // true between a crash and its recovery
+	crashCh  chan struct{}
+	loopDone chan struct{}
+
+	snapMu  sync.Mutex
+	snap    ioa.NodeSnapshot // last durable checkpoint (written by the loop, read at recovery)
+	hasSnap bool
 }
 
 // runtime drives one cluster's automata concurrently.
 type runtime struct {
 	cfg   Config
 	plan  *faults.Plan
+	wc    *faults.WallClock // step clock + crash/recovery event schedule
 	nodes map[ioa.NodeID]*nodeState
 
 	clock atomic.Int64  // history timestamp source
@@ -184,9 +214,11 @@ type runtime struct {
 
 	drops, delayed, delaySteps atomic.Int64
 	overflow                   atomic.Int64 // messages dropped after SendTimeout on a full mailbox
+	dead                       atomic.Int64 // messages addressed to a crashed node, dropped
+	checkpoints                atomic.Int64 // durable-state snapshots taken
 
 	timerMu sync.Mutex
-	timers  map[*time.Timer]struct{} // pending delay timers, stopped at shutdown
+	timers  map[*time.Timer]struct{} // pending delay/outage timers, stopped at shutdown
 	stopped bool
 
 	done chan struct{}
@@ -217,26 +249,48 @@ func newRuntime(cl *cluster.Cluster, plan *faults.Plan, cfg Config) (*runtime, e
 			node:       n.Clone(),
 			mb:         make(chan event, cfg.Mailbox),
 			pendingIdx: -1,
+			crashCh:    make(chan struct{}),
+			loopDone:   make(chan struct{}),
 		}
 		ns.meter, _ = ns.node.(ioa.StorageMeter)
 		rt.nodes[id] = ns
 	}
+	if plan != nil {
+		for _, id := range plan.RecoveredNodes() {
+			ns := rt.nodes[id]
+			if ns == nil {
+				return nil, fmt.Errorf("live: fault plan schedules recovery of unknown node %d", id)
+			}
+			if _, ok := ns.node.(ioa.Recoverable); !ok {
+				return nil, fmt.Errorf("live: %w: node %d (%T) is scheduled to recover but has no Snapshot/Restore surface",
+					faults.ErrUnsupported, id, ns.node)
+			}
+			ns.init = ns.node.Clone()
+			ns.ckpt = true
+		}
+	}
+	rt.wc = faults.NewWallClock(plan, cfg.StepDur)
 	return rt, nil
 }
 
-// start launches one goroutine per node.
+// start launches one goroutine per node, then starts the wall clock: its
+// epoch is stamped after every loop is running, so a crash scheduled at step
+// 0 still finds a live incarnation to stop.
 func (rt *runtime) start() {
 	for _, ns := range rt.nodes {
 		rt.wg.Add(1)
 		go rt.loop(ns)
 	}
+	rt.wc.Start(faults.NodeHooks{Crash: rt.crashNode, Recover: rt.recoverNode})
 }
 
 // stop shuts the node goroutines down, stops every pending delay timer and
-// joins everything. After stop returns, the per-node logs and storage maxima
-// are safe to read from the caller, and no timer from this run remains
-// scheduled.
+// joins everything. The wall clock stops first: after wc.Stop returns no
+// crash/recovery hook is in flight, so no new loop goroutine can race
+// wg.Wait. After stop returns, the per-node logs and storage maxima are safe
+// to read from the caller, and no timer from this run remains scheduled.
 func (rt *runtime) stop() {
+	rt.wc.Stop()
 	close(rt.done)
 	rt.timerMu.Lock()
 	rt.stopped = true
@@ -274,17 +328,32 @@ func (rt *runtime) after(d time.Duration, f func()) {
 	rt.timers[t] = struct{}{}
 }
 
-// loop is one node goroutine: it handles its first event, then drains up to
-// drainBatch more without going back to the scheduler — under load a node
-// wakes once per burst instead of once per message. Events the node siphoned
-// off its own mailbox while blocked sending (see postFrom) are handled
-// first: they arrived before anything still queued, so per-link FIFO holds.
+// loop is one node goroutine — one incarnation of the node: it handles its
+// first event, then drains up to drainBatch more without going back to the
+// scheduler — under load a node wakes once per burst instead of once per
+// message. Events the node siphoned off its own mailbox while blocked
+// sending (see postFrom) are handled first: they arrived before anything
+// still queued, so per-link FIFO holds. A checkpointing node additionally
+// snapshots its durable state on a ticker — on its own goroutine, so
+// Snapshot never races Deliver/Invoke — with one initial checkpoint before
+// any event, so a crash at any point has an image to recover from.
 func (rt *runtime) loop(ns *nodeState) {
+	crashed, exited := ns.crashCh, ns.loopDone
+	defer close(exited)
 	defer rt.wg.Done()
+	var tick <-chan time.Time
+	if ns.ckpt {
+		rt.checkpoint(ns)
+		t := time.NewTicker(rt.cfg.Checkpoint)
+		defer t.Stop()
+		tick = t.C
+	}
 	for {
 		if len(ns.deferred) > 0 {
 			select {
 			case <-rt.done:
+				return
+			case <-crashed:
 				return
 			default:
 			}
@@ -296,6 +365,10 @@ func (rt *runtime) loop(ns *nodeState) {
 		select {
 		case <-rt.done:
 			return
+		case <-crashed:
+			return
+		case <-tick:
+			rt.checkpoint(ns)
 		case ev := <-ns.mb:
 			rt.handle(ns, ev)
 			for i := 0; i < drainBatch && len(ns.deferred) == 0; i++ {
@@ -308,6 +381,92 @@ func (rt *runtime) loop(ns *nodeState) {
 			}
 		}
 	}
+}
+
+// checkpoint images the node's durable state under the snapshot mutex, where
+// a later recovery reads it.
+func (rt *runtime) checkpoint(ns *nodeState) {
+	r, ok := ns.node.(ioa.Recoverable)
+	if !ok {
+		return
+	}
+	snap := r.Snapshot()
+	ns.snapMu.Lock()
+	ns.snap, ns.hasSnap = snap, true
+	ns.snapMu.Unlock()
+	rt.checkpoints.Add(1)
+}
+
+// crashNode stops a node mid-run: runs on the WallClock's event goroutine.
+// The incarnation's loop is signalled and joined, then the node's volatile
+// state — everything but the checkpoint — is discarded: queued mailbox
+// events, siphoned events, not-yet-started invocations (abandoned, so their
+// drivers see "never happened"). An operation the automaton held mid-protocol
+// stays pending in the log forever, which is exactly what the consistency
+// checkers' completion semantics expect of an op lost to a crash.
+func (rt *runtime) crashNode(id ioa.NodeID) {
+	ns := rt.nodes[id]
+	if ns == nil || ns.down.Load() {
+		return
+	}
+	ns.down.Store(true)
+	close(ns.crashCh)
+	<-ns.loopDone
+	rt.discardVolatile(ns)
+}
+
+// discardVolatile empties the node's mailbox and queues between incarnations.
+// Only called with no loop goroutine running, so the loop-owned fields are
+// safe to touch.
+func (rt *runtime) discardVolatile(ns *nodeState) {
+	for {
+		select {
+		case ev := <-ns.mb:
+			if ev.inv != nil {
+				ev.inv.state.CompareAndSwap(invQueued, invAbandoned)
+			}
+		default:
+			ns.deferred = nil
+			for _, ie := range ns.invq {
+				ie.state.CompareAndSwap(invQueued, invAbandoned)
+			}
+			ns.invq = nil
+			ns.pendingIdx = -1
+			ns.pendingDone = nil
+			return
+		}
+	}
+}
+
+// recoverNode restarts a crashed node from its last durable checkpoint: runs
+// on the WallClock's event goroutine, strictly after the node's crash (the
+// clock fires all node events in schedule order on one goroutine). The new
+// incarnation is a pristine clone of the deployed automaton with the
+// checkpoint restored onto it — volatile state since the checkpoint is lost,
+// the durable state provably survives.
+func (rt *runtime) recoverNode(id ioa.NodeID) {
+	ns := rt.nodes[id]
+	if ns == nil || !ns.down.Load() || ns.init == nil {
+		return
+	}
+	node := ns.init.Clone()
+	ns.snapMu.Lock()
+	snap, ok := ns.snap, ns.hasSnap
+	ns.snapMu.Unlock()
+	if ok {
+		// Same automaton type by construction; Restore cannot reject it.
+		if err := node.(ioa.Recoverable).Restore(snap); err != nil {
+			return // leave the node down rather than rejoin with bogus state
+		}
+	}
+	ns.node = node
+	ns.meter, _ = node.(ioa.StorageMeter)
+	rt.discardVolatile(ns) // frames that raced the down flag die with the crash
+	ns.crashCh = make(chan struct{})
+	ns.loopDone = make(chan struct{})
+	ns.down.Store(false)
+	rt.wg.Add(1)
+	go rt.loop(ns)
 }
 
 // handle processes one mailbox event on the node's goroutine. Invocations
@@ -378,7 +537,7 @@ func (rt *runtime) send(from *nodeState, s ioa.Send) {
 	ev := event{from: from.id, msg: s.Msg}
 	if rt.plan != nil {
 		seq := rt.seq.Add(1) - 1
-		drop, delay := rt.plan.MessageFate(from.id, s.To, seq, 0)
+		drop, delay := rt.plan.MessageFate(from.id, s.To, seq, rt.wc.Step())
 		if drop {
 			rt.drops.Add(1)
 			return
@@ -389,12 +548,32 @@ func (rt *runtime) send(from *nodeState, s ioa.Send) {
 			rt.after(time.Duration(delay)*rt.cfg.StepDur, func() {
 				// A timer goroutine has no mailbox to siphon; it blocks
 				// plainly with the deadline.
-				rt.postFrom(nil, to, ev, rt.cfg.SendTimeout)
+				rt.deliver(nil, to, ev)
 			})
 			return
 		}
 	}
-	rt.postFrom(from, to, ev, rt.cfg.SendTimeout)
+	rt.deliver(from, to, ev)
+}
+
+// deliver gates the message on the plan's outage windows at the current
+// step, then posts it. A blocked message is held — not dropped — and
+// re-delivered at the next outage boundary, re-checking then in case windows
+// abut; held messages are accounted as delays of (boundary - now) steps,
+// exactly as on the net backend. Messages addressed to a crashed node are
+// transport-level loss: nothing is listening.
+func (rt *runtime) deliver(sender, to *nodeState, ev event) {
+	if hold, steps := rt.wc.Hold(ev.from, to.id); hold > 0 {
+		rt.delayed.Add(1)
+		rt.delaySteps.Add(int64(steps))
+		rt.after(hold, func() { rt.deliver(nil, to, ev) })
+		return
+	}
+	if to.down.Load() {
+		rt.dead.Add(1)
+		return
+	}
+	rt.postFrom(sender, to, ev, rt.cfg.SendTimeout)
 }
 
 // post enqueues with backpressure from outside any node loop: the fast path
@@ -443,6 +622,12 @@ func (rt *runtime) postFrom(sender, to *nodeState, ev event, timeout time.Durati
 			return true
 		case own := <-sender.mb:
 			sender.deferred = append(sender.deferred, own)
+		case <-sender.crashCh:
+			// The sender's incarnation was crashed while blocked here; the
+			// undelivered message dies with it, and the loop above notices
+			// the crash as soon as this send unwinds.
+			rt.dead.Add(1)
+			return false
 		case <-t.C:
 			rt.overflow.Add(1)
 			return false
@@ -522,13 +707,18 @@ func (rt *runtime) invoke(ctx context.Context, client ioa.NodeID, inv ioa.Invoca
 }
 
 // faultStats snapshots the fault counters in kernel form. Backpressure
-// drops (mailbox full past SendTimeout) are transport-level loss, not plan
-// decisions, so they land in TransportDropped.
+// drops (mailbox full past SendTimeout) and messages addressed to a crashed
+// node are transport-level loss, not plan decisions, so they land in
+// TransportDropped; outage holds fold into the delay counters exactly as on
+// the net backend.
 func (rt *runtime) faultStats() ioa.FaultStats {
 	return ioa.FaultStats{
 		Drops:            int(rt.drops.Load()),
 		DelayedMessages:  int(rt.delayed.Load()),
 		DelayStepsTotal:  int(rt.delaySteps.Load()),
-		TransportDropped: int(rt.overflow.Load()),
+		Crashes:          rt.wc.Crashes(),
+		Recoveries:       rt.wc.Recoveries(),
+		Checkpoints:      int(rt.checkpoints.Load()),
+		TransportDropped: int(rt.overflow.Load() + rt.dead.Load()),
 	}
 }

@@ -1,13 +1,14 @@
 package live_test
 
 import (
-	"strings"
+	"errors"
 	"testing"
 	"time"
 
 	"repro/internal/cluster"
 	"repro/internal/consistency"
 	"repro/internal/faults"
+	"repro/internal/ioa"
 	"repro/internal/live"
 	"repro/internal/store"
 	"repro/internal/workload"
@@ -106,23 +107,65 @@ func TestLiveDelayRulesApply(t *testing.T) {
 	check(t, store.AlgCAS, cond, res)
 }
 
-// TestLiveRejectsSimulatorOnlyPlans pins the eager validation: step-indexed
-// outage and crash schedules, and the random crash budget, are simulator
-// constructs and must fail before any goroutine starts.
-func TestLiveRejectsSimulatorOnlyPlans(t *testing.T) {
-	cl, _ := deploy(t, store.AlgCAS, 5, 1, 1, 1)
-	for name, plan := range map[string]*faults.Plan{
-		"partition": {Outages: []faults.Outage{{Start: 10, End: 20}}},
-		"crash":     {Crashes: []faults.Crash{{Node: 1, Step: 5}}},
-	} {
-		_, err := live.Run(cl, workload.Spec{Writes: 1, TargetNu: 1, ValueBytes: 8, FaultPlan: plan})
-		if err == nil || !strings.Contains(err.Error(), "simulator-only") {
-			t.Errorf("%s plan: err = %v, want eager simulator-only rejection", name, err)
-		}
+// bareServer is a minimal automaton WITHOUT the ioa.Recoverable surface,
+// for pinning the one fault-plan combination the wall-clock backends still
+// reject: scheduled recovery of a node that cannot snapshot its state.
+type bareServer struct{ id ioa.NodeID }
+
+func (s *bareServer) ID() ioa.NodeID                                       { return s.id }
+func (s *bareServer) Deliver(from ioa.NodeID, msg ioa.Message) ioa.Effects { return ioa.Effects{} }
+func (s *bareServer) Clone() ioa.Node                                      { cp := *s; return &cp }
+
+type bareClient struct{ id ioa.NodeID }
+
+func (c *bareClient) ID() ioa.NodeID                                       { return c.id }
+func (c *bareClient) Busy() bool                                           { return false }
+func (c *bareClient) Deliver(from ioa.NodeID, msg ioa.Message) ioa.Effects { return ioa.Effects{} }
+func (c *bareClient) Clone() ioa.Node                                      { cp := *c; return &cp }
+func (c *bareClient) Invoke(inv ioa.Invocation) ioa.Effects {
+	return ioa.Effects{Response: &ioa.Response{Kind: inv.Kind}}
+}
+
+// bareCluster deploys one bareServer and one bareClient writer.
+func bareCluster(t *testing.T) *cluster.Cluster {
+	t.Helper()
+	sys := ioa.NewSystem()
+	if err := sys.AddServer(&bareServer{id: 1}); err != nil {
+		t.Fatal(err)
 	}
+	if err := sys.AddClient(&bareClient{id: 101}); err != nil {
+		t.Fatal(err)
+	}
+	return &cluster.Cluster{
+		Name:    "bare",
+		Sys:     sys,
+		Servers: []ioa.NodeID{1},
+		Writers: []ioa.NodeID{101},
+	}
+}
+
+// TestLiveUnsupportedPlansAreTyped pins the remaining eager rejections and
+// their type: the random crash budget, and scheduled recovery of a node
+// without a Snapshot/Restore surface, both surface as faults.ErrUnsupported
+// via errors.Is before any goroutine starts. Outage windows and crash
+// schedules themselves are no longer rejected (see the chaos tests).
+func TestLiveUnsupportedPlansAreTyped(t *testing.T) {
+	cl, _ := deploy(t, store.AlgCAS, 5, 1, 1, 1)
 	_, err := live.Run(cl, workload.Spec{Writes: 1, TargetNu: 1, ValueBytes: 8, Crashes: 1})
-	if err == nil || !strings.Contains(err.Error(), "simulator-only") {
-		t.Errorf("crash budget: err = %v, want eager rejection", err)
+	if !errors.Is(err, faults.ErrUnsupported) {
+		t.Errorf("crash budget: err = %v, want faults.ErrUnsupported", err)
+	}
+
+	plan := &faults.Plan{Crashes: []faults.Crash{{Node: 1, Step: 5, RecoverStep: 10}}}
+	_, err = live.Run(bareCluster(t), workload.Spec{Writes: 1, TargetNu: 1, ValueBytes: 8, FaultPlan: plan})
+	if !errors.Is(err, faults.ErrUnsupported) {
+		t.Errorf("recovery without snapshot surface: err = %v, want faults.ErrUnsupported", err)
+	}
+
+	// A crash WITHOUT scheduled recovery needs no snapshot surface.
+	noRecover := &faults.Plan{Crashes: []faults.Crash{{Node: 1, Step: 5}}}
+	if err := live.PlanSupported(noRecover); err != nil {
+		t.Errorf("crash-only plan: PlanSupported = %v, want nil", err)
 	}
 }
 

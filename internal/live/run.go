@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"repro/internal/cluster"
+	"repro/internal/faults"
 	"repro/internal/ioa"
 	"repro/internal/register"
 	"repro/internal/workload"
@@ -98,10 +99,12 @@ func Run(cl *cluster.Cluster, spec workload.Spec) (*Result, error) {
 // RunConfig executes the workload on the live runtime: min(TargetNu,
 // writers) writer goroutines and every reader goroutine issue operations
 // from shared budgets until the spec's counts are exhausted, one operation
-// in flight per client. Spec fields that parameterize the simulator's
-// discrete schedule (MaxSteps, Crashes) have no meaning here; a nonzero
-// Crashes budget is rejected eagerly, as are fault plans with step-indexed
-// outage/crash schedules (PlanSupported).
+// in flight per client. Fault plans run in full — drop/delay rules, outage
+// windows and scheduled crash/recovery, the step-indexed ones mapped onto
+// wall time by the runtime's faults.WallClock. The spec's random Crashes
+// budget remains genuinely unsupported (it draws crash points from the
+// simulator's schedule, which does not exist here) and is rejected with
+// faults.ErrUnsupported.
 func RunConfig(cl *cluster.Cluster, spec workload.Spec, cfg Config) (*Result, error) {
 	cfg = cfg.withDefaults()
 	if err := cl.Validate(); err != nil {
@@ -111,7 +114,8 @@ func RunConfig(cl *cluster.Cluster, spec workload.Spec, cfg Config) (*Result, er
 		return nil, err
 	}
 	if spec.Crashes != 0 {
-		return nil, fmt.Errorf("live: the random crash budget is simulator-only (step-indexed); got Crashes=%d", spec.Crashes)
+		return nil, fmt.Errorf("live: %w: the random crash budget draws crash points from the simulator's schedule; schedule crashes via the fault plan instead (got Crashes=%d)",
+			faults.ErrUnsupported, spec.Crashes)
 	}
 	if spec.Reads > 0 && len(cl.Readers) == 0 {
 		return nil, fmt.Errorf("live: %d reads requested but the cluster has no readers", spec.Reads)

@@ -1,0 +1,114 @@
+package netrun_test
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"repro/internal/faults"
+	"repro/internal/ioa"
+	"repro/internal/netrun"
+	"repro/internal/store"
+	"repro/internal/workload"
+)
+
+// TestNetRecoveryServesSnapshotState is the socket-backend durability
+// acceptance test: a value is written over TCP, every server endpoint is
+// then severed (its listener closed, volatile state discarded) and each
+// server recovers from its last checkpoint on a fresh socket, and a
+// subsequent read must return the value — which at that point exists
+// nowhere but in the restored snapshots behind the new endpoints.
+func TestNetRecoveryServesSnapshotState(t *testing.T) {
+	const stepDur = time.Millisecond
+	cl, _ := deploy(t, store.AlgABDMW, 3, 1, 1, 1)
+	plan := &faults.Plan{Crashes: []faults.Crash{
+		{Node: 1, Step: 500, RecoverStep: 650},
+		{Node: 2, Step: 500, RecoverStep: 650},
+		{Node: 3, Step: 500, RecoverStep: 650},
+	}}
+	t0 := time.Now()
+	in, err := netrun.OpenInteractive(cl, plan, netrun.Config{StepDur: stepDur})
+	if err != nil {
+		t.Fatalf("OpenInteractive: %v", err)
+	}
+	defer in.Close()
+
+	val := []byte("durable-across-socket-crash-0123")
+	ctx := context.Background()
+	if _, pending, err := in.Invoke(ctx, cl.Writers[0], ioa.Invocation{Kind: ioa.OpWrite, Value: val}); err != nil || pending {
+		t.Fatalf("write: pending=%t err=%v", pending, err)
+	}
+	if since := time.Since(t0); since > 450*stepDur {
+		t.Skipf("write took %v; host too slow to land it before the scheduled crash", since)
+	}
+	time.Sleep(time.Until(t0.Add(800 * stepDur)))
+	out, pending, err := in.Invoke(ctx, cl.Readers[0], ioa.Invocation{Kind: ioa.OpRead})
+	if err != nil || pending {
+		t.Fatalf("read after total crash+recovery: pending=%t err=%v", pending, err)
+	}
+	if string(out) != string(val) {
+		t.Fatalf("read %q after recovery, want the checkpointed value %q", out, val)
+	}
+	fs := in.FaultStats()
+	if fs.Crashes != 3 || fs.Recoveries != 3 {
+		t.Errorf("fault stats counted %d crashes, %d recoveries; want 3, 3", fs.Crashes, fs.Recoveries)
+	}
+	if fs.Checkpoints == 0 {
+		t.Error("no checkpoints counted for recovering nodes")
+	}
+}
+
+// TestNetHistoryAtomicThroughCrashRecover runs a batch workload over real
+// sockets while one server is down from the start and rejoins mid-run from
+// its checkpoint (taken before it acked anything, so no acknowledged state
+// is lost). The merged history must stay atomic and the crash counted.
+func TestNetHistoryAtomicThroughCrashRecover(t *testing.T) {
+	cl, cond := deploy(t, store.AlgCAS, 5, 1, 2, 2)
+	plan := &faults.Plan{Crashes: []faults.Crash{{Node: 1, Step: 0, RecoverStep: 2}}}
+	res, err := netrun.RunConfig(cl, workload.Spec{
+		Writes:     16,
+		Reads:      16,
+		TargetNu:   2,
+		ValueBytes: 64,
+		FaultPlan:  plan,
+	}, netrun.Config{StepDur: time.Millisecond})
+	if err != nil {
+		t.Fatalf("netrun.RunConfig: %v", err)
+	}
+	if res.Quiescent {
+		t.Error("f-bounded crash+recovery lost liveness")
+	}
+	if res.Faults.Crashes == 0 {
+		t.Errorf("no crashes counted: %+v", res.Faults)
+	}
+	check(t, store.AlgCAS, cond, res.History)
+}
+
+// TestNetQuorumKillQuiesces severs a majority of server endpoints without
+// recovery: liveness is legitimately lost (quiescent verdict), never
+// safety, and the crashed endpoints' transport drops are still accounted.
+func TestNetQuorumKillQuiesces(t *testing.T) {
+	cl, _ := deploy(t, store.AlgABDMW, 3, 1, 1, 1)
+	plan := &faults.Plan{Crashes: []faults.Crash{
+		{Node: 1, Step: 0},
+		{Node: 2, Step: 0},
+	}}
+	res, err := netrun.RunConfig(cl, workload.Spec{
+		Writes:     2,
+		Reads:      1,
+		TargetNu:   1,
+		ValueBytes: 16,
+		FaultPlan:  plan,
+	}, netrun.Config{StepDur: time.Millisecond, OpTimeout: 150 * time.Millisecond})
+	if err != nil {
+		t.Fatalf("netrun.RunConfig: %v", err)
+	}
+	if !res.Quiescent || len(res.History.PendingOps()) == 0 {
+		t.Fatalf("majority crash should be a quiescent verdict: quiescent=%t pending=%d",
+			res.Quiescent, len(res.History.PendingOps()))
+	}
+	if res.Faults.Crashes != 2 {
+		t.Errorf("counted %d crashes, want 2", res.Faults.Crashes)
+	}
+	check(t, store.AlgABDMW, "atomic", res.History)
+}

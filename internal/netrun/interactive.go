@@ -42,10 +42,10 @@ type clientGate struct {
 var ErrClientRetired = fmt.Errorf("netrun: client retired after a timed-out operation")
 
 // OpenInteractive clones the cluster's automata, opens every node's TCP
-// endpoint and returns a session ready for Invoke. The fault plan's
-// drop/delay rules and outage windows apply to every socket write exactly
-// as in RunConfig; plans scheduling node crashes are rejected
-// (PlanSupported). Close stops the goroutines and closes every socket.
+// endpoint and returns a session ready for Invoke. The fault plan applies in
+// full, exactly as in RunConfig: drop/delay rules and outage windows at
+// every socket write, scheduled crash/recovery on the runtime's wall-clock
+// step mapping. Close stops the goroutines and closes every socket.
 func OpenInteractive(cl *cluster.Cluster, plan *faults.Plan, cfg Config) (*Interactive, error) {
 	cfg = cfg.withDefaults()
 	if err := cl.Validate(); err != nil {

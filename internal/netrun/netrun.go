@@ -20,13 +20,16 @@
 //   - Faults: drop/delay rules are consulted at socket-write time with a
 //     global send sequence number, exactly as the kernel and live runtime
 //     do, with delay steps scaled to wall time by Config.StepDur. Outage
-//     (partition) windows — live-rejected because that runtime has no step
-//     clock — ARE supported here: the runtime maps kernel steps to wall
-//     time as elapsed/StepDur, gates each socket write on LinkBlocked at
-//     the current step, and holds blocked frames until the plan's
-//     NextLinkChange boundary. Scheduled crash/recovery events remain
-//     simulator-only (killing a node goroutine mid-run would also have to
-//     reset its TCP peer state) and are rejected eagerly.
+//     (partition) windows and scheduled crash/recovery events run against
+//     the same wall-clock step mapping via a faults.WallClock (DESIGN.md
+//     section 12): each socket write is gated on LinkBlocked at the current
+//     step with blocked frames held to the window boundary; a crashed node's
+//     goroutine stops and its TCP endpoint closes (peers' in-flight frames
+//     die as real network loss), and a scheduled recovery restarts the node
+//     from its last durable checkpoint (ioa.Recoverable) on a fresh
+//     listening endpoint — peers redial the new address on their next send.
+//     Recovery for a node without the Snapshot/Restore surface is the one
+//     remaining unsupported combination, rejected with faults.ErrUnsupported.
 //   - Flow control (DESIGN.md section 11): mailboxes and the transport's
 //     per-connection outboxes are bounded; a full queue blocks the sender
 //     up to its SendTimeout and then drops, counted in
@@ -93,6 +96,10 @@ type Config struct {
 	// program order is preserved and the automaton still holds one
 	// operation at a time.
 	Pipeline int
+	// Checkpoint is the durable-state snapshot interval for nodes the fault
+	// plan schedules a recovery for (default 5ms). A recovering node
+	// restarts from its last checkpoint; state mutated after it is lost.
+	Checkpoint time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -114,6 +121,9 @@ func (c Config) withDefaults() Config {
 	if c.Pipeline <= 0 {
 		c.Pipeline = 1
 	}
+	if c.Checkpoint <= 0 {
+		c.Checkpoint = 5 * time.Millisecond
+	}
 	return c
 }
 
@@ -126,17 +136,16 @@ func (c Config) transportConfig() transport.Config {
 // the bound keeps one hot node preemptible).
 const drainBatch = 32
 
-// PlanSupported reports whether a fault plan can run on the net runtime:
-// drop/delay rules and outage (partition) windows. Scheduled crash/recovery
-// events stay simulator-only — a crash here would have to tear down and
-// restore real sockets mid-protocol — and are rejected eagerly so the error
-// surfaces at setup time instead of mid-run.
+// PlanSupported reports whether a fault plan is well-formed for the net
+// runtime. Every fault class runs here now — drop/delay rules, outage
+// windows and scheduled crash/recovery events, the step-indexed ones mapped
+// onto wall time by a faults.WallClock — so this only validates the plan's
+// shape. The one genuinely unsupported combination, scheduled recovery of a
+// node without the ioa.Recoverable surface, needs the deployed automata to
+// detect and is rejected by the runtime itself with faults.ErrUnsupported.
 func PlanSupported(p *faults.Plan) error {
 	if p == nil {
 		return nil
-	}
-	if len(p.Crashes) > 0 {
-		return fmt.Errorf("netrun: fault plan schedules node crashes, which are simulator-only; the net runtime supports drop/delay rules and outage windows")
 	}
 	return p.Validate()
 }
@@ -181,12 +190,15 @@ type opRecord struct {
 // nodeState is everything a node goroutine owns: the automaton clone, its
 // TCP endpoint, its mailbox, the client op log and the server storage
 // maxima. Only the node's own goroutine touches the automaton and log
-// between start and join; the endpoint is internally synchronized.
+// between start and join — across a scheduled crash, ownership passes to the
+// WallClock's event goroutine (which joins the loop first) and back to the
+// next incarnation's loop. The endpoint is internally synchronized; the ep
+// FIELD is guarded by the runtime's netMu, because recovery replaces it.
 type nodeState struct {
 	id   ioa.NodeID
 	node ioa.Node
-	ep   *transport.Endpoint
-	mb   chan event
+	ep   *transport.Endpoint // guarded by runtime.netMu (replaced on recovery)
+	mb   chan event          // one channel for the node's whole lifetime, across incarnations
 
 	log         []opRecord
 	pendingIdx  int // index in log of the outstanding op; -1 when none
@@ -195,16 +207,32 @@ type nodeState struct {
 
 	meter            ioa.StorageMeter // nil unless the node reports storage
 	curBits, maxBits atomic.Int64     // written by the node loop, readable mid-run
+
+	// Crash-recovery machinery (DESIGN.md section 12). crashCh and loopDone
+	// belong to one incarnation of the node loop; the WallClock goroutine
+	// replaces them only between incarnations (after closing crashCh and
+	// joining loopDone), so the loop reads them race-free.
+	init     ioa.Node    // pristine automaton recovery restarts from; nil when no recovery is scheduled
+	ckpt     bool        // the plan schedules a recovery: checkpoint durable state
+	down     atomic.Bool // true between a crash and its recovery
+	crashCh  chan struct{}
+	loopDone chan struct{}
+
+	snapMu  sync.Mutex
+	snap    ioa.NodeSnapshot // last durable checkpoint (written by the loop, read at recovery)
+	hasSnap bool
 }
 
 // runtime drives one cluster's automata over real sockets.
 type runtime struct {
 	cfg   Config
 	plan  *faults.Plan
+	wc    *faults.WallClock // step clock + crash/recovery event schedule
 	nodes map[ioa.NodeID]*nodeState
-	addrs map[ioa.NodeID]string // dialable address per node, fixed at setup
 
-	epoch time.Time     // run start; step(t) = (t - epoch) / StepDur
+	netMu sync.RWMutex          // guards addrs and every nodeState.ep
+	addrs map[ioa.NodeID]string // dialable address per node; recovery re-points a crashed node
+
 	clock atomic.Int64  // history timestamp source
 	seq   atomic.Uint64 // global send sequence number for MessageFate
 
@@ -212,6 +240,9 @@ type runtime struct {
 	badFrames                  atomic.Int64 // undecodable inbound frames, dropped
 	overflow                   atomic.Int64 // events dropped after SendTimeout on a full mailbox
 	sendErrs                   atomic.Int64 // frames lost to failed dials/closed endpoints
+	checkpoints                atomic.Int64 // durable-state snapshots taken
+	retiredDropped             atomic.Int64 // transport loss accumulated off endpoints a crash retired
+	retiredRequeued            atomic.Int64
 
 	timerMu sync.Mutex
 	timers  map[*time.Timer]struct{} // pending delay/outage timers, stopped at shutdown
@@ -255,37 +286,62 @@ func newRuntime(cl *cluster.Cluster, plan *faults.Plan, cfg Config) (*runtime, e
 			ep:         ep,
 			mb:         make(chan event, cfg.Mailbox),
 			pendingIdx: -1,
+			crashCh:    make(chan struct{}),
+			loopDone:   make(chan struct{}),
 		}
 		ns.meter, _ = ns.node.(ioa.StorageMeter)
 		rt.nodes[id] = ns
 		rt.addrs[id] = ep.Addr()
 	}
+	if plan != nil {
+		for _, id := range plan.RecoveredNodes() {
+			ns := rt.nodes[id]
+			if ns == nil {
+				rt.closeEndpoints()
+				return nil, fmt.Errorf("netrun: fault plan schedules recovery of unknown node %d", id)
+			}
+			if _, ok := ns.node.(ioa.Recoverable); !ok {
+				rt.closeEndpoints()
+				return nil, fmt.Errorf("netrun: %w: node %d (%T) is scheduled to recover but has no Snapshot/Restore surface",
+					faults.ErrUnsupported, id, ns.node)
+			}
+			ns.init = ns.node.Clone()
+			ns.ckpt = true
+		}
+	}
+	rt.wc = faults.NewWallClock(plan, cfg.StepDur)
 	return rt, nil
 }
 
 func (rt *runtime) closeEndpoints() {
+	rt.netMu.RLock()
+	defer rt.netMu.RUnlock()
 	for _, ns := range rt.nodes {
 		ns.ep.Close()
 	}
 }
 
-// start stamps the step epoch, installs every endpoint's frame handler and
-// launches one goroutine per node.
+// start installs every endpoint's frame handler, launches one goroutine per
+// node, then starts the wall clock: its epoch is stamped after every loop is
+// running, so a crash scheduled at step 0 still finds a live incarnation to
+// stop.
 func (rt *runtime) start() {
-	rt.epoch = time.Now()
 	for _, ns := range rt.nodes {
 		ns := ns
 		ns.ep.Serve(func(frame []byte) { rt.inbound(ns, frame) })
 		rt.wg.Add(1)
 		go rt.loop(ns)
 	}
+	rt.wc.Start(faults.NodeHooks{Crash: rt.crashNode, Recover: rt.recoverNode})
 }
 
 // stop shuts everything down: no more frames are handed to mailboxes, every
 // pending delay/outage timer is stopped, every socket closes, every
-// goroutine joins. After stop returns, the per-node logs and storage maxima
-// are safe to read from the caller.
+// goroutine joins. The wall clock stops first, so no crash/recovery hook is
+// in flight when wg.Wait begins. After stop returns, the per-node logs and
+// storage maxima are safe to read from the caller.
 func (rt *runtime) stop() {
+	rt.wc.Stop()
 	close(rt.done)
 	rt.timerMu.Lock()
 	rt.stopped = true
@@ -296,11 +352,6 @@ func (rt *runtime) stop() {
 	rt.timerMu.Unlock()
 	rt.closeEndpoints()
 	rt.wg.Wait()
-}
-
-// stepNow maps elapsed wall time to the fault plan's step clock.
-func (rt *runtime) stepNow() int {
-	return int(time.Since(rt.epoch) / rt.cfg.StepDur)
 }
 
 // inbound decodes one frame off a node's socket and posts it to the node's
@@ -322,14 +373,31 @@ func (rt *runtime) inbound(ns *nodeState, frame []byte) {
 	rt.post(ns, event{from: ioa.NodeID(from), msg: msg})
 }
 
-// loop is one node goroutine: it handles its first event, then drains up to
-// drainBatch more without going back to the scheduler.
+// loop is one node goroutine — one incarnation of the node: it handles its
+// first event, then drains up to drainBatch more without going back to the
+// scheduler. A checkpointing node additionally snapshots its durable state
+// on a ticker — on its own goroutine, so Snapshot never races
+// Deliver/Invoke — with one initial checkpoint before any event, so a crash
+// at any point has an image to recover from.
 func (rt *runtime) loop(ns *nodeState) {
+	crashed, exited := ns.crashCh, ns.loopDone
+	defer close(exited)
 	defer rt.wg.Done()
+	var tick <-chan time.Time
+	if ns.ckpt {
+		rt.checkpoint(ns)
+		t := time.NewTicker(rt.cfg.Checkpoint)
+		defer t.Stop()
+		tick = t.C
+	}
 	for {
 		select {
 		case <-rt.done:
 			return
+		case <-crashed:
+			return
+		case <-tick:
+			rt.checkpoint(ns)
 		case ev := <-ns.mb:
 			rt.handle(ns, ev)
 			for i := 0; i < drainBatch; i++ {
@@ -342,6 +410,110 @@ func (rt *runtime) loop(ns *nodeState) {
 			}
 		}
 	}
+}
+
+// checkpoint images the node's durable state under the snapshot mutex, where
+// a later recovery reads it.
+func (rt *runtime) checkpoint(ns *nodeState) {
+	r, ok := ns.node.(ioa.Recoverable)
+	if !ok {
+		return
+	}
+	snap := r.Snapshot()
+	ns.snapMu.Lock()
+	ns.snap, ns.hasSnap = snap, true
+	ns.snapMu.Unlock()
+	rt.checkpoints.Add(1)
+}
+
+// crashNode stops a node mid-run: runs on the WallClock's event goroutine.
+// The incarnation's loop is signalled and joined, the node's TCP endpoint is
+// closed — in-flight frames from peers die as real network loss, counted by
+// their senders — and its volatile state (queued mailbox events,
+// not-yet-started invocations) is discarded. An operation the automaton held
+// mid-protocol stays pending in the log forever, exactly what the
+// consistency checkers' completion semantics expect of an op lost to a crash.
+func (rt *runtime) crashNode(id ioa.NodeID) {
+	ns := rt.nodes[id]
+	if ns == nil || ns.down.Load() {
+		return
+	}
+	ns.down.Store(true)
+	close(ns.crashCh)
+	<-ns.loopDone
+	rt.netMu.RLock()
+	ep := ns.ep
+	rt.netMu.RUnlock()
+	ep.Close()
+	// Fold the dead endpoint's loss accounting into the runtime's counters
+	// before a recovery replaces it, so faultStats never understates loss.
+	s := ep.Stats()
+	rt.retiredDropped.Add(int64(s.DroppedFull + s.DroppedDead + s.Malformed))
+	rt.retiredRequeued.Add(int64(s.Requeued))
+	rt.discardVolatile(ns)
+}
+
+// discardVolatile empties the node's mailbox and queues between incarnations.
+// Only called with no loop goroutine running, so the loop-owned fields are
+// safe to touch.
+func (rt *runtime) discardVolatile(ns *nodeState) {
+	for {
+		select {
+		case ev := <-ns.mb:
+			if ev.inv != nil {
+				ev.inv.state.CompareAndSwap(invQueued, invAbandoned)
+			}
+		default:
+			for _, ie := range ns.invq {
+				ie.state.CompareAndSwap(invQueued, invAbandoned)
+			}
+			ns.invq = nil
+			ns.pendingIdx = -1
+			ns.pendingDone = nil
+			return
+		}
+	}
+}
+
+// recoverNode restarts a crashed node from its last durable checkpoint: runs
+// on the WallClock's event goroutine, strictly after the node's crash. The
+// new incarnation is a pristine clone of the deployed automaton with the
+// checkpoint restored onto it, listening on a FRESH endpoint: the address
+// map is re-pointed under netMu, so peers redial the new address on their
+// next send while anything aimed at the dead socket is counted loss.
+func (rt *runtime) recoverNode(id ioa.NodeID) {
+	ns := rt.nodes[id]
+	if ns == nil || !ns.down.Load() || ns.init == nil {
+		return
+	}
+	ep, err := transport.Listen(rt.cfg.ListenAddr, rt.cfg.transportConfig())
+	if err != nil {
+		return // no listener, no rejoin; the node stays down
+	}
+	node := ns.init.Clone()
+	ns.snapMu.Lock()
+	snap, ok := ns.snap, ns.hasSnap
+	ns.snapMu.Unlock()
+	if ok {
+		// Same automaton type by construction; Restore cannot reject it.
+		if err := node.(ioa.Recoverable).Restore(snap); err != nil {
+			ep.Close()
+			return // leave the node down rather than rejoin with bogus state
+		}
+	}
+	ns.node = node
+	ns.meter, _ = node.(ioa.StorageMeter)
+	rt.discardVolatile(ns) // frames that raced the endpoint close die with the crash
+	rt.netMu.Lock()
+	ns.ep = ep
+	rt.addrs[id] = ep.Addr()
+	rt.netMu.Unlock()
+	ep.Serve(func(frame []byte) { rt.inbound(ns, frame) })
+	ns.crashCh = make(chan struct{})
+	ns.loopDone = make(chan struct{})
+	ns.down.Store(false)
+	rt.wg.Add(1)
+	go rt.loop(ns)
 }
 
 // handle processes one mailbox event on the node's goroutine, exactly as the
@@ -413,7 +585,7 @@ func (rt *runtime) send(from ioa.NodeID, s ioa.Send) {
 	}
 	if rt.plan != nil {
 		seq := rt.seq.Add(1) - 1
-		drop, delay := rt.plan.MessageFate(from, s.To, seq, rt.stepNow())
+		drop, delay := rt.plan.MessageFate(from, s.To, seq, rt.wc.Step())
 		if drop {
 			rt.drops.Add(1)
 			return
@@ -435,20 +607,11 @@ func (rt *runtime) send(from ioa.NodeID, s ioa.Send) {
 // the next outage boundary, re-checking then in case windows abut. Held
 // frames are accounted as delays of (boundary - now) steps.
 func (rt *runtime) dispatch(from, to ioa.NodeID, frame []byte) {
-	if rt.plan != nil {
-		step := rt.stepNow()
-		if rt.plan.LinkBlocked(from, to, step) {
-			next := rt.plan.NextLinkChange(from, to, step)
-			if next <= step {
-				next = step + 1 // defensive: Validate() guarantees End > step here
-			}
-			rt.delayed.Add(1)
-			rt.delaySteps.Add(int64(next - step))
-			rt.after(time.Duration(next-step)*rt.cfg.StepDur, func() {
-				rt.dispatch(from, to, frame)
-			})
-			return
-		}
+	if hold, steps := rt.wc.Hold(from, to); hold > 0 {
+		rt.delayed.Add(1)
+		rt.delaySteps.Add(int64(steps))
+		rt.after(hold, func() { rt.dispatch(from, to, frame) })
+		return
 	}
 	rt.transmit(from, to, frame)
 }
@@ -456,14 +619,22 @@ func (rt *runtime) dispatch(from, to ioa.NodeID, frame []byte) {
 // transmit writes the frame to the sender's own socket pool. A Send error
 // (failed dial, closed endpoint) is real-network silence — the pool redials
 // on the next send and protocol timeouts own recovery — but it is counted,
-// so lossy-run reports stop understating loss.
+// so lossy-run reports stop understating loss. The endpoint and address are
+// snapshotted under netMu (recovery replaces both); the Send itself runs
+// outside the lock, since it can block for a full SendTimeout.
 func (rt *runtime) transmit(from, to ioa.NodeID, frame []byte) {
 	src := rt.nodes[from]
-	addr, ok := rt.addrs[to]
-	if src == nil || !ok {
+	if src == nil {
 		return
 	}
-	if err := src.ep.Send(addr, frame); err != nil {
+	rt.netMu.RLock()
+	ep := src.ep
+	addr, ok := rt.addrs[to]
+	rt.netMu.RUnlock()
+	if !ok {
+		return
+	}
+	if err := ep.Send(addr, frame); err != nil {
 		rt.sendErrs.Add(1)
 	}
 }
@@ -600,8 +771,14 @@ func (rt *runtime) faultStats() ioa.FaultStats {
 		Drops:            int(rt.drops.Load()),
 		DelayedMessages:  int(rt.delayed.Load()),
 		DelayStepsTotal:  int(rt.delaySteps.Load()),
-		TransportDropped: int(rt.overflow.Load() + rt.sendErrs.Load() + rt.badFrames.Load()),
+		Crashes:          rt.wc.Crashes(),
+		Recoveries:       rt.wc.Recoveries(),
+		Checkpoints:      int(rt.checkpoints.Load()),
+		TransportDropped: int(rt.overflow.Load() + rt.sendErrs.Load() + rt.badFrames.Load() + rt.retiredDropped.Load()),
 	}
+	stats.TransportRequeued += int(rt.retiredRequeued.Load())
+	rt.netMu.RLock()
+	defer rt.netMu.RUnlock()
 	for _, ns := range rt.nodes {
 		s := ns.ep.Stats()
 		stats.TransportDropped += int(s.DroppedFull + s.DroppedDead + s.Malformed)

@@ -2,7 +2,7 @@ package netrun_test
 
 import (
 	"context"
-	"strings"
+	"errors"
 	"testing"
 	"time"
 
@@ -141,19 +141,55 @@ func TestNetPartitionHealsAndCompletes(t *testing.T) {
 	check(t, store.AlgCAS, cond, res.History)
 }
 
-// TestNetRejectsCrashPlans pins the eager validation: scheduled node
-// crashes and the random crash budget are simulator constructs and must
-// fail before any socket opens.
-func TestNetRejectsCrashPlans(t *testing.T) {
+// bareServer is a minimal automaton WITHOUT the ioa.Recoverable surface,
+// for pinning the one fault-plan combination the wall-clock backends still
+// reject: scheduled recovery of a node that cannot snapshot its state.
+type bareServer struct{ id ioa.NodeID }
+
+func (s *bareServer) ID() ioa.NodeID                                       { return s.id }
+func (s *bareServer) Deliver(from ioa.NodeID, msg ioa.Message) ioa.Effects { return ioa.Effects{} }
+func (s *bareServer) Clone() ioa.Node                                      { cp := *s; return &cp }
+
+type bareClient struct{ id ioa.NodeID }
+
+func (c *bareClient) ID() ioa.NodeID                                       { return c.id }
+func (c *bareClient) Busy() bool                                           { return false }
+func (c *bareClient) Deliver(from ioa.NodeID, msg ioa.Message) ioa.Effects { return ioa.Effects{} }
+func (c *bareClient) Clone() ioa.Node                                      { cp := *c; return &cp }
+func (c *bareClient) Invoke(inv ioa.Invocation) ioa.Effects {
+	return ioa.Effects{Response: &ioa.Response{Kind: inv.Kind}}
+}
+
+// TestNetUnsupportedPlansAreTyped pins the remaining eager rejections and
+// their type: the random crash budget, and scheduled recovery of a node
+// without a Snapshot/Restore surface, both surface as faults.ErrUnsupported
+// via errors.Is before any socket opens. Crash schedules themselves are no
+// longer rejected (see the chaos tests).
+func TestNetUnsupportedPlansAreTyped(t *testing.T) {
 	cl, _ := deploy(t, store.AlgCAS, 5, 1, 1, 1)
-	plan := &faults.Plan{Crashes: []faults.Crash{{Node: 1, Step: 5}}}
-	_, err := netrun.Run(cl, workload.Spec{Writes: 1, TargetNu: 1, ValueBytes: 8, FaultPlan: plan})
-	if err == nil || !strings.Contains(err.Error(), "simulator-only") {
-		t.Errorf("crash plan: err = %v, want eager simulator-only rejection", err)
+	_, err := netrun.Run(cl, workload.Spec{Writes: 1, TargetNu: 1, ValueBytes: 8, Crashes: 1})
+	if !errors.Is(err, faults.ErrUnsupported) {
+		t.Errorf("crash budget: err = %v, want faults.ErrUnsupported", err)
 	}
-	_, err = netrun.Run(cl, workload.Spec{Writes: 1, TargetNu: 1, ValueBytes: 8, Crashes: 1})
-	if err == nil || !strings.Contains(err.Error(), "simulator-only") {
-		t.Errorf("crash budget: err = %v, want eager rejection", err)
+
+	sys := ioa.NewSystem()
+	if err := sys.AddServer(&bareServer{id: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.AddClient(&bareClient{id: 101}); err != nil {
+		t.Fatal(err)
+	}
+	bare := &cluster.Cluster{Name: "bare", Sys: sys, Servers: []ioa.NodeID{1}, Writers: []ioa.NodeID{101}}
+	plan := &faults.Plan{Crashes: []faults.Crash{{Node: 1, Step: 5, RecoverStep: 10}}}
+	_, err = netrun.Run(bare, workload.Spec{Writes: 1, TargetNu: 1, ValueBytes: 8, FaultPlan: plan})
+	if !errors.Is(err, faults.ErrUnsupported) {
+		t.Errorf("recovery without snapshot surface: err = %v, want faults.ErrUnsupported", err)
+	}
+
+	// A crash WITHOUT scheduled recovery needs no snapshot surface.
+	noRecover := &faults.Plan{Crashes: []faults.Crash{{Node: 1, Step: 5}}}
+	if err := netrun.PlanSupported(noRecover); err != nil {
+		t.Errorf("crash-only plan: PlanSupported = %v, want nil", err)
 	}
 }
 

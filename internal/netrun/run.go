@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"repro/internal/cluster"
+	"repro/internal/faults"
 	"repro/internal/ioa"
 	"repro/internal/register"
 	"repro/internal/workload"
@@ -25,11 +26,12 @@ func Run(cl *cluster.Cluster, spec workload.Spec) (*workload.Result, error) {
 // budgets until the spec's counts are exhausted, one operation in flight per
 // client, every message crossing a real TCP socket. It returns the shared
 // workload.Result shape — Latencies carries the per-operation wall times the
-// store layer aggregates into percentiles. Spec fields that parameterize the
-// simulator's discrete schedule (MaxSteps, Crashes) have no meaning here; a
-// nonzero Crashes budget is rejected eagerly, as are fault plans scheduling
-// node crashes (PlanSupported — outage windows, unlike on the live backend,
-// are supported).
+// store layer aggregates into percentiles. Fault plans run in full —
+// drop/delay rules, outage windows and scheduled crash/recovery, the
+// step-indexed ones mapped onto wall time by the runtime's faults.WallClock.
+// The spec's random Crashes budget remains genuinely unsupported (it draws
+// crash points from the simulator's schedule, which does not exist here) and
+// is rejected with faults.ErrUnsupported.
 func RunConfig(cl *cluster.Cluster, spec workload.Spec, cfg Config) (*workload.Result, error) {
 	cfg = cfg.withDefaults()
 	if err := cl.Validate(); err != nil {
@@ -39,7 +41,8 @@ func RunConfig(cl *cluster.Cluster, spec workload.Spec, cfg Config) (*workload.R
 		return nil, err
 	}
 	if spec.Crashes != 0 {
-		return nil, fmt.Errorf("netrun: the random crash budget is simulator-only (step-indexed); got Crashes=%d", spec.Crashes)
+		return nil, fmt.Errorf("netrun: %w: the random crash budget draws crash points from the simulator's schedule; schedule crashes via the fault plan instead (got Crashes=%d)",
+			faults.ErrUnsupported, spec.Crashes)
 	}
 	if spec.Reads > 0 && len(cl.Readers) == 0 {
 		return nil, fmt.Errorf("netrun: %d reads requested but the cluster has no readers", spec.Reads)

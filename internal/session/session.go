@@ -62,9 +62,10 @@ type Config struct {
 	Backend string
 	// Faults assigns a fault scenario spec per shard, cycling like
 	// Algorithms; "" or "none" leaves a shard fault-free. Specs follow the
-	// internal/faults.Parse grammar. On the live backend only drop/delay
-	// scenarios are accepted; the net backend additionally accepts outage
-	// (partition) windows. Unsupported specs are rejected at Open.
+	// internal/faults.Parse grammar and every scenario class runs on every
+	// backend — the live and net runtimes execute outage windows and
+	// crash/recovery schedules against a wall-clock step mapping (see
+	// faults.WallClock). Malformed specs are rejected at Open.
 	Faults []string
 	// Writers and Readers are the per-shard client counts. Zero means the
 	// defaults: one writer and one reader for interactive shards, and the

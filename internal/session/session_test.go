@@ -53,7 +53,7 @@ func TestOpenValidation(t *testing.T) {
 		{"negative clients", Config{Writers: -1}, "negative client counts"},
 		{"negative budget", Config{StepBudget: -5}, "negative step budget"},
 		{"single-writer with many writers", Config{Algorithms: []string{store.AlgABD}, Writers: 3, Readers: 1}, "single-writer"},
-		{"step-indexed faults on live", Config{Backend: store.BackendLive, Faults: []string{"crash-f@10"}}, "simulator-only"},
+		{"malformed fault window", Config{Backend: store.BackendLive, Faults: []string{"partition@40:20"}}, "Faults[0]"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

@@ -212,12 +212,15 @@ func (s *simSession) FaultStats() ioa.FaultStats {
 func (s *simSession) Close() error { return nil }
 
 // validateLiveWorkload eagerly rejects multi-key workloads the live backend
-// cannot run — a random crash budget or step-indexed fault scenarios — so
-// the error surfaces from Options validation, not from inside a shard
-// mid-run (matching the eager window validation in faults.Parse).
+// cannot run, so the error surfaces from Options validation, not from inside
+// a shard mid-run (matching the eager window validation in faults.Parse).
+// Every fault scenario class runs on the live backend now; what remains
+// rejected is the random crash budget (it draws crash points from the
+// simulator's schedule) and malformed scenario strings.
 func validateLiveWorkload(o Options) error {
 	if o.Workload.Crashes != 0 {
-		return fmt.Errorf("store: live backend: the random crash budget is simulator-only (got Crashes=%d)", o.Workload.Crashes)
+		return fmt.Errorf("store: live backend: %w: the random crash budget draws crash points from the simulator's schedule; use a crash scenario instead (got Crashes=%d)",
+			faults.ErrUnsupported, o.Workload.Crashes)
 	}
 	for i, spec := range o.Workload.Faults {
 		sc, err := faults.Parse(spec)
@@ -274,12 +277,13 @@ func (s *liveSession) FaultStats() ioa.FaultStats { return s.in.FaultStats() }
 func (s *liveSession) Close() error               { return s.in.Close() }
 
 // validateNetWorkload eagerly rejects multi-key workloads the net backend
-// cannot run. Unlike the live backend, outage (partition) windows ARE
-// supported — netrun maps kernel steps to wall time — so only scheduled
-// crashes and the random crash budget stay simulator-only.
+// cannot run. Every fault scenario class runs on the net backend now; what
+// remains rejected is the random crash budget (it draws crash points from
+// the simulator's schedule) and malformed scenario strings.
 func validateNetWorkload(o Options) error {
 	if o.Workload.Crashes != 0 {
-		return fmt.Errorf("store: net backend: the random crash budget is simulator-only (got Crashes=%d)", o.Workload.Crashes)
+		return fmt.Errorf("store: net backend: %w: the random crash budget draws crash points from the simulator's schedule; use a crash scenario instead (got Crashes=%d)",
+			faults.ErrUnsupported, o.Workload.Crashes)
 	}
 	for i, spec := range o.Workload.Faults {
 		sc, err := faults.Parse(spec)

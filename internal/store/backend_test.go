@@ -6,6 +6,7 @@ import (
 	"strings"
 	"testing"
 
+	"repro/internal/faults"
 	"repro/internal/ioa"
 	"repro/internal/workload"
 )
@@ -60,9 +61,11 @@ func TestBackendUnknownNameError(t *testing.T) {
 	}
 }
 
-// TestValidateLiveWorkloadRejectsStepIndexedPerShard pins that a live-backend
-// options validation failure names the offending per-shard fault index.
-func TestValidateLiveWorkloadRejectsStepIndexedPerShard(t *testing.T) {
+// TestValidateLiveWorkloadPerShard pins that every fault scenario class now
+// passes live-backend options validation — the wall-clock scheduler runs
+// step-indexed outages and crashes — and that a genuinely malformed spec
+// still fails naming the offending per-shard fault index.
+func TestValidateLiveWorkloadPerShard(t *testing.T) {
 	base := Options{
 		Shards:  4,
 		Servers: 5,
@@ -79,9 +82,11 @@ func TestValidateLiveWorkloadRejectsStepIndexedPerShard(t *testing.T) {
 		want   string // substring the error must carry; "" = no error
 	}{
 		{"drop and delay rules pass", []string{"lossy=0.02", "delay=1:8", "none"}, ""},
-		{"scheduled crash is step-indexed", []string{"none", "crash-f@10"}, "Faults[1]"},
-		{"partition window is step-indexed", []string{"lossy=0.01", "delay=1:4", "partition@40:4000"}, "Faults[2]"},
+		{"scheduled crash passes", []string{"none", "crash-f@10"}, ""},
+		{"crash with recovery passes", []string{"crash-f@10:200"}, ""},
+		{"partition window passes", []string{"lossy=0.01", "delay=1:4", "partition@40:4000"}, ""},
 		{"malformed spec names its index", []string{"none", "bogus-scenario"}, "Faults[1]"},
+		{"malformed window names its index", []string{"none", "none", "partition@40:20"}, "Faults[2]"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -108,8 +113,10 @@ func TestValidateLiveWorkloadRejectsStepIndexedPerShard(t *testing.T) {
 	}
 }
 
-// TestValidateLiveWorkloadRejectsCrashBudget pins the simulator-only random
-// crash budget rejection.
+// TestValidateLiveWorkloadRejectsCrashBudget pins the random crash budget
+// rejection and its type: it stays unsupported off the simulator (it draws
+// crash points from the simulator's schedule) and surfaces as
+// faults.ErrUnsupported.
 func TestValidateLiveWorkloadRejectsCrashBudget(t *testing.T) {
 	o := Options{
 		Shards:  1,
@@ -120,8 +127,12 @@ func TestValidateLiveWorkloadRejectsCrashBudget(t *testing.T) {
 			Keys: 4, Ops: 4, TargetNu: 1, ValueBytes: 64, Crashes: 1,
 		},
 	}
-	if err := validateLiveWorkload(o); err == nil || !strings.Contains(err.Error(), "Crashes") {
+	err := validateLiveWorkload(o)
+	if err == nil || !strings.Contains(err.Error(), "Crashes") {
 		t.Errorf("crash budget accepted on live backend: %v", err)
+	}
+	if !errors.Is(err, faults.ErrUnsupported) {
+		t.Errorf("crash budget rejection is not faults.ErrUnsupported: %v", err)
 	}
 }
 

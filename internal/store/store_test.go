@@ -1,9 +1,11 @@
 package store
 
 import (
+	"errors"
 	"strings"
 	"testing"
 
+	"repro/internal/faults"
 	"repro/internal/ioa"
 	"repro/internal/workload"
 )
@@ -432,18 +434,20 @@ func TestBackendValidation(t *testing.T) {
 			t.Errorf("BackendByName(%q): %v", name, err)
 		}
 	}
-	// Simulator-only workload features must fail eagerly on the live
-	// backend — from Options validation, before any shard runs.
+	// The random crash budget must still fail eagerly on the live backend —
+	// from Options validation, before any shard runs — with the typed error.
 	crashes := acceptanceOptions(1)
 	crashes.Backend = BackendLive
 	crashes.Workload.Crashes = 1
-	if _, err := Run(crashes); err == nil || !strings.Contains(err.Error(), "simulator-only") {
-		t.Errorf("live backend with crash budget: err = %v, want eager simulator-only rejection", err)
+	if _, err := Run(crashes); !errors.Is(err, faults.ErrUnsupported) {
+		t.Errorf("live backend with crash budget: err = %v, want faults.ErrUnsupported", err)
 	}
+	// Step-indexed fault scenarios, by contrast, now pass validation: the
+	// wall-clock scheduler runs them.
 	stepFaults := acceptanceOptions(1)
 	stepFaults.Backend = BackendLive
 	stepFaults.Workload.Faults = []string{"crash-f@30"}
-	if _, err := Run(stepFaults); err == nil || !strings.Contains(err.Error(), "simulator-only") {
-		t.Errorf("live backend with step-indexed faults: err = %v, want eager simulator-only rejection", err)
+	if err := stepFaults.validate(); err != nil {
+		t.Errorf("live backend with step-indexed faults: validate = %v, want acceptance", err)
 	}
 }

@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"strings"
 	"testing"
+	"time"
 )
 
 func TestQuickstartFlow(t *testing.T) {
@@ -166,6 +167,52 @@ func TestCrossBackendOpen(t *testing.T) {
 				t.Errorf("PutAs range error = %v", err)
 			}
 		})
+	}
+}
+
+// TestCrashRecoveryVisibleInMetrics opens a live-backend store whose fault
+// scenario crashes and recovers f servers, drives a few interactive
+// operations, and checks the wall-clock scheduler's crash, recovery and
+// checkpoint counts surface in Store.Metrics — the ISSUE 8 observability
+// contract.
+func TestCrashRecoveryVisibleInMetrics(t *testing.T) {
+	st, err := Open(Config{
+		Algorithms: []string{"cas"},
+		Servers:    5,
+		F:          1,
+		Shards:     1,
+		Faults:     []string{"crash-f@50:150"},
+		Live:       LiveConfig{StepDur: time.Millisecond},
+	}, WithBackend("live"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	ctx := context.Background()
+	if err := st.Put(ctx, 0, MakeValue(64, 1)); err != nil {
+		t.Fatal(err)
+	}
+	// Poll metrics until the scheduled crash and recovery (at 50ms and
+	// 150ms) have both fired and been counted.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		m := st.Metrics()
+		if m.Faults.Crashes >= 1 && m.Faults.Recoveries >= 1 {
+			if m.Faults.Checkpoints == 0 {
+				t.Errorf("recovery fired with no checkpoints counted: %+v", m.Faults)
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("crash/recovery never surfaced in Metrics: %+v", m.Faults)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if _, err := st.Get(ctx, 0); err != nil {
+		t.Fatalf("Get after recovery: %v", err)
+	}
+	if err := st.CheckConsistency(); err != nil {
+		t.Error(err)
 	}
 }
 

@@ -6,7 +6,7 @@ DATE ?= $(shell date +%Y-%m-%d)
 MICRO_PKGS = ./internal/gf ./internal/erasure ./internal/ioa ./internal/consistency
 MICRO_BENCH = 'BenchmarkMulSlice|BenchmarkEncodeDecode|BenchmarkFairRunSweep|BenchmarkRandomRunSweep|BenchmarkCheckAtomicDense'
 
-.PHONY: build test race live-race chaos-smoke liveload-smoke netload-smoke bench bench-smoke bench-micro bench-micro-smoke bench-json fuzz-smoke examples fmt fmt-check vet apicheck apicheck-update ci
+.PHONY: build test race live-race chaos-smoke check-smoke liveload-smoke netload-smoke bench bench-smoke bench-micro bench-micro-smoke bench-json fuzz-smoke examples fmt fmt-check vet apicheck apicheck-update ci
 
 build:
 	$(GO) build ./...
@@ -33,6 +33,15 @@ chaos-smoke:
 	$(GO) test -race -count=1 -run 'Partition|Recovery|CrashRecover|CrashReaps|QuorumKill' ./internal/live ./internal/netrun
 	$(GO) run -race ./cmd/faultsim -grid -backend live,net -n 3 -f 1 -keys 8 -ops 16 -valuebytes 64 -optimeout 2s > /dev/null
 	@echo chaos-smoke ok
+
+# Streaming-checker smoke: one live-backend cluster streams a 10^5-op
+# history through the online windowed linearizability checker while it runs,
+# under the race detector — verdict clean, frontier caught up, peak checker
+# window bounded by the retirement window (not the history). This is the CI
+# step that keeps the whole streaming pipeline honest end to end.
+check-smoke:
+	$(GO) test -race -count=1 -run TestCheckSmokeOnline -v .
+	@echo check-smoke ok
 
 # End-to-end smoke of the live load generator: a small client-count sweep on
 # two shards, consistency-checked per shard, plus one pipelined point
@@ -67,14 +76,14 @@ bench-micro:
 bench-micro-smoke:
 	$(GO) test -run NONE -bench $(MICRO_BENCH) -benchtime 1x $(MICRO_PKGS)
 
-# Machine-readable perf record: runs the micro-benchmarks plus the E9-E12
-# experiment benchmarks and writes BENCH_<date>.json for the repository's
+# Machine-readable perf record: runs the micro-benchmarks plus the
+# experiment benchmarks (E9-E12, E14) and writes BENCH_<date>.json for the repository's
 # perf trajectory. Override DATE to control the filename/stamp. Bench output
 # is staged in a temp file so a failing benchmark run aborts the target
 # instead of silently committing a partial baseline.
 bench-json:
 	$(GO) test -run NONE -bench $(MICRO_BENCH) -benchmem -benchtime 0.2s $(MICRO_PKGS) > bench-json.tmp
-	$(GO) test -run NONE -bench 'E9|E10ShardedStore|E11FaultScenarios|E12LiveThroughput' -benchmem -benchtime 2x . >> bench-json.tmp
+	$(GO) test -run NONE -bench 'E9|E10ShardedStore|E11FaultScenarios|E12LiveThroughput|E14OnlineCheck' -benchmem -benchtime 2x . >> bench-json.tmp
 	$(GO) run ./cmd/benchjson -date $(DATE) < bench-json.tmp > BENCH_$(DATE).json
 	@rm -f bench-json.tmp
 	@echo wrote BENCH_$(DATE).json
@@ -121,4 +130,4 @@ apicheck-update:
 	@echo wrote API.txt
 
 # Exactly what CI runs.
-ci: build vet fmt-check apicheck race live-race chaos-smoke liveload-smoke netload-smoke examples fuzz-smoke bench-smoke bench-micro-smoke
+ci: build vet fmt-check apicheck race live-race chaos-smoke check-smoke liveload-smoke netload-smoke examples fuzz-smoke bench-smoke bench-micro-smoke

@@ -16,6 +16,8 @@ package shmem
 //	E10 BenchmarkE10ShardedStore     — sharded store: normcost and ops/sec vs shard count
 //	E11 BenchmarkE11FaultScenarios   — storage high-water marks and liveness verdicts across the fault scenario grid
 //	E12 BenchmarkE12LiveThroughput   — live-backend throughput across client counts and pipeline depths
+//	E13 (cmd/liveload, cmd/netload -faults crash-f@...) — crash-recovery durability (not timed)
+//	E14 BenchmarkE14OnlineCheck      — online windowed checking vs offline CheckAtomic vs no check on a live run
 //
 // Custom metrics (b.ReportMetric) carry the experiment's headline numbers so
 // that bench output doubles as the results record: "normcost" is total
@@ -337,6 +339,55 @@ func BenchmarkE12LiveThroughput(b *testing.B) {
 			}
 			b.ReportMetric(res.OpsPerSec, "ops/sec")
 			b.ReportMetric(float64(res.Faults.Drops+res.Faults.TransportDropped), "lost")
+		})
+	}
+}
+
+// E14: the cost of verification on a live run — the streaming-checker
+// record. The same abd-mwmr workload runs three ways: online (the windowed
+// checker rides the run via the history sink, drivers quiescing every
+// window), offline (the full history accumulates and CheckAtomic runs after
+// the fact, worst-case exponential and quadratic even when it behaves), and
+// skip (no checking: the throughput ceiling). "ops/sec" includes the check
+// for the online and offline modes — that is the point — and "verified"
+// reports how much of the history the online frontier retired.
+func BenchmarkE14OnlineCheck(b *testing.B) {
+	const ops = 20_000
+	for _, mode := range []string{"online", "offline", "skip"} {
+		b.Run(mode, func(b *testing.B) {
+			var res *StoreResult
+			for i := 0; i < b.N; i++ {
+				opts := []Option{WithClients(1, 1), WithPipeline(8)}
+				switch mode {
+				case "online":
+					opts = append(opts, WithOnlineCheck())
+				case "skip":
+					opts = append(opts, WithSkipCheck())
+				}
+				st, err := Open(Config{
+					Algorithms: []string{"abd-mwmr"},
+					Servers:    5,
+					F:          1,
+					Backend:    "live",
+				}, opts...)
+				if err != nil {
+					b.Fatal(err)
+				}
+				res, err = st.RunMulti(MultiWorkloadSpec{
+					Seed:         11,
+					Keys:         32,
+					Ops:          ops,
+					ReadFraction: 0.5,
+					TargetNu:     1,
+					ValueBytes:   16,
+				})
+				st.Close()
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(res.OpsPerSec, "ops/sec")
+			b.ReportMetric(float64(res.OpsVerified), "verified")
 		})
 	}
 }

@@ -1,0 +1,66 @@
+package shmem
+
+import (
+	"testing"
+
+	"repro/internal/consistency"
+	"repro/internal/live"
+	"repro/internal/store"
+	"repro/internal/workload"
+)
+
+// TestCheckSmokeOnline is the check-smoke CI step (make check-smoke): one
+// live-backend cluster streams a >=10^5-op history through the online
+// windowed checker while it runs, under -race in CI. It asserts the three
+// properties the streaming pipeline exists for: the verdict is clean, the
+// linearization frontier keeps up with the run (all but a bounded residue
+// retired online), and peak checker memory is bounded by the window, not
+// the history. SyncOps matches the store engine's online-check wiring: the
+// drivers quiesce every window's worth of operations, so every window is
+// guaranteed a clean cut to retire at even with saturated pipelined
+// clients that never leave a natural global idle moment.
+func TestCheckSmokeOnline(t *testing.T) {
+	ops := 100_000
+	if testing.Short() {
+		ops = 10_000
+	}
+	const window = 256
+	checker := consistency.NewOnlineChecker(nil, consistency.WithWindowOps(window))
+	cl, cond, err := store.DeployAlgorithmSized("abd-mwmr", 5, 1, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cond != "atomic" {
+		t.Fatalf("condition = %q, want atomic", cond)
+	}
+	res, err := live.RunConfig(cl, workload.Spec{
+		Seed:       11,
+		Writes:     ops / 2,
+		Reads:      ops / 2,
+		TargetNu:   1,
+		ValueBytes: 16,
+	}, live.Config{Sink: checker, Pipeline: 8, SyncOps: window})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PendingOps != 0 {
+		t.Fatalf("%d ops pending on a fault-free run", res.PendingOps)
+	}
+	if err := checker.Result(); err != nil {
+		t.Fatalf("online verdict: %v", err)
+	}
+	if got := checker.OpsObserved(); got < int64(ops) {
+		t.Fatalf("observed %d ops, want >= %d", got, ops)
+	}
+	// The frontier must keep up: all but a bounded residue retired online.
+	if v := checker.OpsVerified(); v < int64(ops-4*window) {
+		t.Fatalf("only %d of %d ops retired online (residual lag %d)", v, ops, checker.WindowLag())
+	}
+	// Peak memory bounded by the window, not the history: between two sync
+	// cuts at most SyncOps ops issue plus the in-flight pipeline, so the
+	// largest window the checker ever held stays a small multiple of the
+	// retirement window however long the run is.
+	if mw := checker.MaxWindow(); mw > 4*window {
+		t.Fatalf("peak checker window held %d ops, want <= %d (bounded by the window, not the history)", mw, 4*window)
+	}
+}

@@ -6,7 +6,10 @@
 // history is checked against the algorithm's consistency condition, exactly
 // as the simulator and live backends do; high-concurrency sweeps can disable
 // the check (-check=false), since the checkers are worst-case exponential in
-// write concurrency.
+// write concurrency. -check-online switches to the streaming windowed
+// checker instead: settled operations are verified while the run executes,
+// memory stays bounded by the window, and the verified/lag columns report
+// how far the linearization frontier got.
 //
 // Unlike liveload, partition scenarios are fair game: outage windows gate
 // the socket writes and heal in wall-clock time (-stepdur maps steps to
@@ -18,6 +21,7 @@
 //	netload -alg abd-mwmr -clients 1,8 -faults lossy=0.01+delay=1:8
 //	netload -clients 1,4 -faults partition@0:2000 -stepdur 1ms
 //	netload -clients 64 -pipeline 8 -check=false -ops 1024
+//	netload -alg cas -clients 2 -ops 100000 -check-online
 package main
 
 import (
@@ -45,6 +49,8 @@ type gridPoint struct {
 	pending   int
 	lost      int
 	quiescent int
+	verified  int64
+	lag       int
 	elapsed   time.Duration
 	opsPerSec float64
 	p50, p99  time.Duration
@@ -67,6 +73,8 @@ func run() error {
 	opTimeout := flag.Duration("optimeout", 5*time.Second, "per-operation completion timeout")
 	pipeline := flag.Int("pipeline", 1, "operations kept in flight per client (per-client order preserved)")
 	check := flag.Bool("check", true, "consistency-check every shard history (disable for high-concurrency sweeps; the checkers are exponential in write concurrency)")
+	checkOnline := flag.Bool("check-online", false, "verify atomicity with the streaming windowed checker while the run executes (memory bounded by the window; adds verified/lag columns)")
+	checkWindow := flag.Int("check-window", 0, "online checker retirement window in operations (0 = default)")
 	flag.Parse()
 
 	clients, err := parseClients(*clientsFlag)
@@ -81,13 +89,19 @@ func run() error {
 	fmt.Printf("fault scenario   : %s\n", orNone(*faultSpec))
 	if !*check {
 		fmt.Println("consistency check: disabled (-check=false)")
+	} else if *checkOnline {
+		window := *checkWindow
+		if window <= 0 {
+			window = shmem.DefaultOnlineWindow
+		}
+		fmt.Printf("consistency check: online, %d-op retirement window (-check-online)\n", window)
 	}
 	fmt.Println()
-	fmt.Printf("%-8s %-7s %-10s %-8s %-6s %-10s %-12s %-12s %-10s\n",
-		"clients", "shards", "completed", "pending", "lost", "ops/sec", "p50", "p99", "verdict")
+	fmt.Printf("%-8s %-7s %-10s %-8s %-6s %-10s %-10s %-6s %-12s %-12s %-10s\n",
+		"clients", "shards", "completed", "pending", "lost", "ops/sec", "verified", "lag", "p50", "p99", "verdict")
 
 	for _, c := range clients {
-		pt, err := runPoint(*alg, *n, *f, *shards, c, *keys, *ops, *readFrac, *valueBytes, *seed, *faultSpec, *pipeline, *check, cfg)
+		pt, err := runPoint(*alg, *n, *f, *shards, c, *keys, *ops, *readFrac, *valueBytes, *seed, *faultSpec, *pipeline, *check, *checkOnline, *checkWindow, cfg)
 		if err != nil {
 			return err
 		}
@@ -95,8 +109,9 @@ func run() error {
 		if pt.quiescent > 0 {
 			verdict = fmt.Sprintf("%d quiescent", pt.quiescent)
 		}
-		fmt.Printf("%-8d %-7d %-10d %-8d %-6d %-10.0f %-12v %-12v %-10s\n",
+		fmt.Printf("%-8d %-7d %-10d %-8d %-6d %-10.0f %-10d %-6d %-12v %-12v %-10s\n",
 			pt.clients, *shards, pt.completed, pt.pending, pt.lost, pt.opsPerSec,
+			pt.verified, pt.lag,
 			pt.p50.Round(time.Microsecond), pt.p99.Round(time.Microsecond), verdict)
 	}
 	return nil
@@ -108,7 +123,7 @@ func run() error {
 // fresh cluster per shard — every node listening on its own socket —
 // consistency-checks every shard (unless disabled) and aggregates the
 // latency percentiles.
-func runPoint(alg string, n, f, shards, clients, keys, ops int, readFrac float64, valueBytes int, seed int64, faultSpec string, pipeline int, check bool, cfg shmem.NetConfig) (gridPoint, error) {
+func runPoint(alg string, n, f, shards, clients, keys, ops int, readFrac float64, valueBytes int, seed int64, faultSpec string, pipeline int, check, checkOnline bool, checkWindow int, cfg shmem.NetConfig) (gridPoint, error) {
 	var faultSpecs []string
 	if faultSpec != "" {
 		faultSpecs = []string{faultSpec}
@@ -116,6 +131,8 @@ func runPoint(alg string, n, f, shards, clients, keys, ops int, readFrac float64
 	opts := []shmem.Option{shmem.WithClients(clients, clients), shmem.WithPipeline(pipeline)}
 	if !check {
 		opts = append(opts, shmem.WithSkipCheck())
+	} else if checkOnline {
+		opts = append(opts, shmem.WithOnlineCheck(), shmem.WithOnlineWindow(checkWindow))
 	}
 	st, err := shmem.Open(shmem.Config{
 		Algorithms: []string{alg},
@@ -145,6 +162,8 @@ func runPoint(alg string, n, f, shards, clients, keys, ops int, readFrac float64
 	pt := gridPoint{
 		clients:   clients,
 		quiescent: res.QuiescentShards,
+		verified:  res.OpsVerified,
+		lag:       res.MaxWindowLag,
 		elapsed:   res.Elapsed,
 		p50:       res.LatencyP50,
 		p99:       res.LatencyP99,

@@ -1,0 +1,314 @@
+package consistency_test
+
+// Differential tests for the online windowed checker: the OnlineChecker and
+// CheckWindowed must agree with CheckAtomic on every history — random
+// adversarial ones, the PR-2 known-violation table, and fuzzed
+// Observe/Retire interleavings — at every window size, including
+// pathologically small ones that force a retirement on nearly every op.
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"repro/internal/consistency"
+	"repro/internal/ioa"
+)
+
+// sortedOps returns the history's ops in invocation order, as the sink
+// contract requires (genHistory assigns random steps in slice order).
+func sortedOps(h *ioa.History) []ioa.Op {
+	ops := append([]ioa.Op(nil), h.Ops...)
+	sort.SliceStable(ops, func(i, j int) bool { return ops[i].InvokeStep < ops[j].InvokeStep })
+	return ops
+}
+
+// feedOnline streams ops into a fresh checker with the given window,
+// forcing a Retire after every retireEvery-th op (0 = never force), and
+// returns the final verdict.
+func feedOnline(ops []ioa.Op, window, retireEvery int) error {
+	c := consistency.NewOnlineChecker(nil, consistency.WithWindowOps(window))
+	for i, op := range ops {
+		c.Observe(op)
+		if retireEvery > 0 && (i+1)%retireEvery == 0 {
+			c.Retire()
+		}
+	}
+	return c.Result()
+}
+
+// TestOnlineDifferential compares the online checker against CheckAtomic
+// over thousands of random small histories, across window sizes and forced
+// retirement cadences.
+func TestOnlineDifferential(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	agreeViolating, agreeLinearizable := 0, 0
+	for i := 0; i < 2000; i++ {
+		h := genHistory(rng, 6, false)
+		want := consistency.CheckAtomic(h, nil) == nil
+		ops := sortedOps(h)
+		window := 1 + rng.Intn(4)
+		retireEvery := rng.Intn(3)
+		if got := feedOnline(ops, window, retireEvery) == nil; got != want {
+			t.Fatalf("case %d (window %d, retire %d): online says %t, CheckAtomic says %t, history:\n%v",
+				i, window, retireEvery, got, want, ops)
+		}
+		if wgot := consistency.CheckWindowed(h, nil, window) == nil; wgot != want {
+			t.Fatalf("case %d (window %d): CheckWindowed says %t, CheckAtomic says %t, history:\n%v",
+				i, window, wgot, want, ops)
+		}
+		if want {
+			agreeLinearizable++
+		} else {
+			agreeViolating++
+		}
+	}
+	if agreeViolating == 0 || agreeLinearizable == 0 {
+		t.Fatalf("degenerate sample: %d linearizable, %d violating", agreeLinearizable, agreeViolating)
+	}
+}
+
+// TestOnlineKnownHistories pins the online checker to the PR-2 known-verdict
+// table at several window sizes.
+func TestOnlineKnownHistories(t *testing.T) {
+	cases := []struct {
+		name   string
+		ops    []ioa.Op
+		atomic bool
+	}{
+		{
+			name: "stale read after completed write",
+			ops: []ioa.Op{
+				op(0, 1, ioa.OpWrite, "a", 0, 1),
+				op(1, 2, ioa.OpRead, "", 2, 3),
+			},
+			atomic: false,
+		},
+		{
+			name: "read of overlapping write",
+			ops: []ioa.Op{
+				op(0, 1, ioa.OpWrite, "a", 0, 5),
+				op(1, 2, ioa.OpRead, "a", 1, 2),
+			},
+			atomic: true,
+		},
+		{
+			name: "new-old inversion between two reads",
+			ops: []ioa.Op{
+				op(0, 1, ioa.OpWrite, "a", 0, 1),
+				op(1, 1, ioa.OpWrite, "b", 2, 9),
+				op(2, 2, ioa.OpRead, "b", 3, 4),
+				op(3, 3, ioa.OpRead, "a", 5, 6),
+			},
+			atomic: false,
+		},
+		{
+			name: "read returns never-written value",
+			ops: []ioa.Op{
+				op(0, 1, ioa.OpWrite, "a", 0, 1),
+				op(1, 2, ioa.OpRead, "zz", 2, 3),
+			},
+			atomic: false,
+		},
+		{
+			name: "pending write may take effect",
+			ops: []ioa.Op{
+				op(0, 1, ioa.OpWrite, "a", 0, -1),
+				op(1, 2, ioa.OpRead, "a", 1, 2),
+			},
+			atomic: true,
+		},
+		{
+			name: "value from the future",
+			ops: []ioa.Op{
+				op(0, 2, ioa.OpRead, "a", 0, 1),
+				op(1, 1, ioa.OpWrite, "a", 2, 3),
+			},
+			atomic: false,
+		},
+		{
+			name: "sequential writes then fresh read",
+			ops: []ioa.Op{
+				op(0, 1, ioa.OpWrite, "a", 0, 1),
+				op(1, 1, ioa.OpWrite, "b", 2, 3),
+				op(2, 2, ioa.OpRead, "b", 4, 5),
+			},
+			atomic: true,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			h := &ioa.History{Ops: tc.ops}
+			if got := consistency.CheckAtomic(h, nil) == nil; got != tc.atomic {
+				t.Fatalf("CheckAtomic = %t, want %t (table drifted?)", got, tc.atomic)
+			}
+			ops := sortedOps(h)
+			for _, window := range []int{1, 2, 3, consistency.DefaultWindowOps} {
+				for _, retireEvery := range []int{0, 1, 2} {
+					if got := feedOnline(ops, window, retireEvery) == nil; got != tc.atomic {
+						t.Errorf("online (window %d, retire %d) = %t, want %t", window, retireEvery, got, tc.atomic)
+					}
+				}
+				if got := consistency.CheckWindowed(h, nil, window) == nil; got != tc.atomic {
+					t.Errorf("CheckWindowed (window %d) = %t, want %t", window, got, tc.atomic)
+				}
+			}
+		})
+	}
+}
+
+// TestOnlineSeededViolation verifies the checker localizes an injected
+// violation deep in a long clean stream: a stale read thousands of ops past
+// the last retirement boundary must still fail, and everything before it
+// must have been retired with bounded window occupancy.
+func TestOnlineSeededViolation(t *testing.T) {
+	const n = 5000
+	c := consistency.NewOnlineChecker(nil, consistency.WithWindowOps(64))
+	step := 0
+	var last string
+	for i := 0; i < n; i++ {
+		last = fmt.Sprintf("v%d", i)
+		if err := c.Observe(op(i, 1, ioa.OpWrite, last, step, step+1)); err != nil {
+			t.Fatalf("op %d: unexpected violation: %v", i, err)
+		}
+		step += 2
+	}
+	if c.OpsVerified() < n-128 {
+		t.Fatalf("frontier lagging: verified %d of %d", c.OpsVerified(), n)
+	}
+	if mw := c.MaxWindow(); mw > 65 {
+		t.Fatalf("window exceeded bound: %d", mw)
+	}
+	// A read of a long-retired value: new-old inversion against the frontier.
+	if err := c.Observe(op(n, 2, ioa.OpRead, "v0", step, step+1)); err == nil && c.Result() == nil {
+		t.Fatal("stale read of a retired value not caught")
+	}
+}
+
+// TestOnlineResultMidStream verifies Result is callable mid-stream with
+// in-flight extras: a completed read of a write that is still open (its
+// ticket unsettled) must not be misreported as a violation.
+func TestOnlineResultMidStream(t *testing.T) {
+	c := consistency.NewOnlineChecker(nil)
+	// The write w is invoked at step 0 and still pending at snapshot time;
+	// a read completed inside w's window already returned its value and was
+	// emitted... except feed ordering holds it behind w, so both arrive as
+	// extras here.
+	inflight := []ioa.Op{
+		op(0, 1, ioa.OpWrite, "a", 0, -1),
+		op(1, 2, ioa.OpRead, "a", 1, 2),
+	}
+	if err := c.Result(inflight...); err != nil {
+		t.Fatalf("mid-stream Result with in-flight write: %v", err)
+	}
+	// Same shape, but the read returns a value no in-flight write explains.
+	bad := []ioa.Op{
+		op(0, 1, ioa.OpWrite, "a", 0, -1),
+		op(1, 2, ioa.OpRead, "zz", 1, 2),
+	}
+	if err := c.Result(bad...); err == nil {
+		t.Fatal("unexplained read among extras not caught")
+	}
+}
+
+// TestOnlineWindowBound verifies peak memory tracks the window, not the
+// history: a long low-concurrency stream with periodic quiescence retires
+// almost everything.
+func TestOnlineWindowBound(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	c := consistency.NewOnlineChecker(nil, consistency.WithWindowOps(32))
+	reg := []byte(nil)
+	step := 0
+	var vals [][]byte
+	vals = append(vals, nil)
+	for i := 0; i < 20000; i++ {
+		var o ioa.Op
+		if rng.Intn(2) == 0 {
+			val := fmt.Sprintf("w%d", i)
+			o = op(i, ioa.NodeID(1+rng.Intn(2)), ioa.OpWrite, val, step, step+1)
+			reg = []byte(val)
+		} else {
+			o = op(i, ioa.NodeID(1+rng.Intn(2)), ioa.OpRead, string(reg), step, step+1)
+		}
+		step += 2
+		if err := c.Observe(o); err != nil {
+			t.Fatalf("op %d: %v", i, err)
+		}
+	}
+	if err := c.Result(); err != nil {
+		t.Fatalf("clean sequential stream rejected: %v", err)
+	}
+	if mw := c.MaxWindow(); mw > 33 {
+		t.Fatalf("MaxWindow = %d, want <= window+1", mw)
+	}
+	if c.OpsVerified() < 20000-64 {
+		t.Fatalf("OpsVerified = %d of 20000", c.OpsVerified())
+	}
+	_ = vals
+}
+
+// FuzzOnlineChecker fuzzes interleaved Observe/Retire orderings: each input
+// byte becomes one operation (kind, overlap span, pending flag, read-output
+// selector, retire bit) of a well-formed concurrent history, and the online
+// verdict at a fuzzed window size must match CheckAtomic's.
+func FuzzOnlineChecker(f *testing.F) {
+	f.Add([]byte{0x00, 0x81, 0x12}, uint8(1))
+	f.Add([]byte{0xff, 0x00, 0xa5, 0x3c}, uint8(2))
+	f.Add([]byte{0x41, 0x41, 0x41, 0x41, 0x41, 0x41}, uint8(0))
+	f.Add([]byte{0x10, 0x92, 0x07, 0xe0, 0x55}, uint8(5))
+	f.Fuzz(func(t *testing.T, data []byte, window uint8) {
+		if len(data) == 0 || len(data) > 9 {
+			return // keep CheckAtomic's exponential search bounded
+		}
+		ops := make([]ioa.Op, 0, len(data))
+		var values []string
+		for i, b := range data {
+			o := ioa.Op{ID: i, Client: ioa.NodeID(10 + i)}
+			invoke := 2 * i
+			respond := invoke + 1 + 2*int(b>>5&0x3) // overlap up to 3 successors
+			if b&0x10 != 0 {
+				respond = -1
+			}
+			o.InvokeStep, o.RespondStep = invoke, respond
+			if b&0x01 != 0 {
+				o.Kind = ioa.OpWrite
+				o.Input = []byte(fmt.Sprintf("f%d", i))
+				values = append(values, string(o.Input))
+			} else {
+				o.Kind = ioa.OpRead
+			}
+			ops = append(ops, o)
+		}
+		for i, b := range data { // outputs once all writes are known
+			if ops[i].Kind != ioa.OpRead || ops[i].Pending() {
+				continue
+			}
+			switch sel := int(b >> 1 & 0x7); {
+			case sel == 7:
+				ops[i].Output = []byte("never-written")
+			case sel == 6 || len(values) == 0:
+				ops[i].Output = nil
+			default:
+				ops[i].Output = []byte(values[sel%len(values)])
+			}
+		}
+		h := &ioa.History{Ops: append([]ioa.Op(nil), ops...)}
+		want := consistency.CheckAtomic(h, nil) == nil
+
+		w := 1 + int(window%8)
+		c := consistency.NewOnlineChecker(nil, consistency.WithWindowOps(w))
+		for i, o := range ops {
+			c.Observe(o)
+			if data[i]&0x08 != 0 {
+				c.Retire()
+			}
+		}
+		if got := c.Result() == nil; got != want {
+			t.Fatalf("online (window %d) = %t, CheckAtomic = %t, ops:\n%v", w, got, want, ops)
+		}
+		if got := consistency.CheckWindowed(h, nil, w) == nil; got != want {
+			t.Fatalf("CheckWindowed (window %d) = %t, CheckAtomic = %t, ops:\n%v", w, got, want, ops)
+		}
+	})
+}

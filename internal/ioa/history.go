@@ -46,6 +46,9 @@ type History struct {
 	// doneWrites counts completed writes so drivers tracking write
 	// concurrency need not rescan Ops after every delivery.
 	doneWrites int
+	// lastEnd tracks each client's latest response step for AppendOp's
+	// incremental well-formedness check. Built lazily on first AppendOp.
+	lastEnd map[NodeID]int
 }
 
 // NewHistory returns an empty history.
@@ -62,35 +65,62 @@ func NewHistory() *History {
 func HistoryFromOps(ops []Op) (*History, error) {
 	h := NewHistory()
 	h.Ops = make([]Op, 0, len(ops))
-	lastEnd := make(map[NodeID]int, 8) // client -> RespondStep of its latest completed op
-	for i, op := range ops {
-		if i > 0 && op.InvokeStep < ops[i-1].InvokeStep {
-			return nil, fmt.Errorf("ioa: ops out of invocation order at index %d", i)
+	for _, op := range ops {
+		if err := h.AppendOp(op); err != nil {
+			return nil, err
 		}
-		// Well-formedness: a client's operations are sequential — nothing
-		// may follow a pending op, and each op must begin no earlier than
-		// the previous one's response.
-		if prev, open := h.open[op.Client]; open {
-			return nil, fmt.Errorf("ioa: client %d has op %d after its pending op %d", op.Client, i, prev)
-		}
-		if end, seen := lastEnd[op.Client]; seen && op.InvokeStep < end {
-			return nil, fmt.Errorf("ioa: client %d op %d invoked at %d overlaps its previous op ending at %d", op.Client, i, op.InvokeStep, end)
-		}
-		op.ID = i
-		if op.Pending() {
-			h.open[op.Client] = i
-		} else {
-			if op.RespondStep < op.InvokeStep {
-				return nil, fmt.Errorf("ioa: op %d responds at %d before its invocation at %d", i, op.RespondStep, op.InvokeStep)
-			}
-			lastEnd[op.Client] = op.RespondStep
-			if op.Kind == OpWrite {
-				h.doneWrites++
-			}
-		}
-		h.Ops = append(h.Ops, op)
 	}
 	return h, nil
+}
+
+// AppendOp appends one externally recorded operation, validating it
+// incrementally under exactly the rules HistoryFromOps enforces in batch:
+// nondecreasing InvokeStep, at most one pending operation per client, and no
+// operation beginning before the client's previous one responded. The op's
+// ID is reassigned to its slice position. A History fed exclusively through
+// AppendOp is indistinguishable from one built by HistoryFromOps.
+//
+// AppendOp is the canonical implementation of the HistorySink interface;
+// *History is the batch sink, an online checker is the streaming one.
+func (h *History) AppendOp(op Op) error {
+	if h.open == nil {
+		h.open = make(map[NodeID]int)
+	}
+	if h.lastEnd == nil {
+		h.lastEnd = make(map[NodeID]int, 8)
+		for _, prev := range h.Ops {
+			if !prev.Pending() {
+				h.lastEnd[prev.Client] = prev.RespondStep
+			}
+		}
+	}
+	i := len(h.Ops)
+	if i > 0 && op.InvokeStep < h.Ops[i-1].InvokeStep {
+		return fmt.Errorf("ioa: ops out of invocation order at index %d", i)
+	}
+	// Well-formedness: a client's operations are sequential — nothing
+	// may follow a pending op, and each op must begin no earlier than
+	// the previous one's response.
+	if prev, open := h.open[op.Client]; open {
+		return fmt.Errorf("ioa: client %d has op %d after its pending op %d", op.Client, i, prev)
+	}
+	if end, seen := h.lastEnd[op.Client]; seen && op.InvokeStep < end {
+		return fmt.Errorf("ioa: client %d op %d invoked at %d overlaps its previous op ending at %d", op.Client, i, op.InvokeStep, end)
+	}
+	op.ID = i
+	if op.Pending() {
+		h.open[op.Client] = i
+	} else {
+		if op.RespondStep < op.InvokeStep {
+			return fmt.Errorf("ioa: op %d responds at %d before its invocation at %d", i, op.RespondStep, op.InvokeStep)
+		}
+		h.lastEnd[op.Client] = op.RespondStep
+		if op.Kind == OpWrite {
+			h.doneWrites++
+		}
+	}
+	h.Ops = append(h.Ops, op)
+	return nil
 }
 
 // clone returns a deep copy (Ops entries copied; value slices shared, they
@@ -105,6 +135,12 @@ func (h *History) clone() *History {
 	copy(out.Ops, h.Ops)
 	for k, v := range h.open {
 		out.open[k] = v
+	}
+	if h.lastEnd != nil {
+		out.lastEnd = make(map[NodeID]int, len(h.lastEnd))
+		for k, v := range h.lastEnd {
+			out.lastEnd[k] = v
+		}
 	}
 	return out
 }
@@ -144,6 +180,9 @@ func (h *History) endOp(client NodeID, resp Response, step int) error {
 	op.RespondStep = step
 	if op.Kind == OpWrite {
 		h.doneWrites++
+	}
+	if h.lastEnd != nil {
+		h.lastEnd[client] = step
 	}
 	delete(h.open, client)
 	return nil

@@ -1,0 +1,222 @@
+package ioa
+
+import "sync"
+
+// HistorySink consumes a history one operation at a time, in invocation
+// order, as each operation settles. *History is the batch implementation
+// (AppendOp accumulates); consistency.OnlineChecker is the streaming one
+// (AppendOp verifies and retires). The sink contract mirrors AppendOp's
+// validation rules: nondecreasing InvokeStep across calls, and per-client
+// sequential well-formedness.
+type HistorySink interface {
+	AppendOp(op Op) error
+}
+
+// ticket states. A ticket is settled once it leaves ticketOpen; settled
+// tickets are emitted to the sink as soon as no earlier-invoked ticket is
+// still open (emission is strictly in invocation order, so the sink's
+// ordering contract holds by construction).
+const (
+	ticketOpen uint8 = iota
+	ticketDone
+	ticketAbandoned
+	ticketVoided
+)
+
+// Ticket is one in-flight operation registered with an OpFeed. Exactly one
+// of Complete, Abandon or Void settles it; later calls are no-ops.
+type Ticket struct {
+	feed  *OpFeed
+	op    Op
+	state uint8
+}
+
+// OpFeed orders concurrently completing operations into a HistorySink. Each
+// operation is registered with Begin at invocation time — which stamps its
+// InvokeStep from the feed's own clock, atomically with its position in the
+// feed — and settled with Complete (stamps RespondStep and the output),
+// Abandon (the op is permanently pending: it timed out or its client
+// crashed and it will be reported as such) or Void (the op never started
+// and is dropped from the history entirely). Settled operations are
+// released to the sink in invocation order, each held only until every
+// earlier-invoked operation has settled, so sink memory — not feed memory —
+// dominates: the feed retains at most the operations concurrent with the
+// oldest outstanding one.
+//
+// The feed's clock is the sole timestamp source for the history it emits;
+// callers must not mix feed-stamped ops with externally stamped ones.
+type OpFeed struct {
+	mu      sync.Mutex
+	sink    HistorySink
+	clock   int64
+	head    int       // index of the first unreleased ticket in tickets
+	tickets []*Ticket // tickets[head:] is the feed, in invocation order
+	open    int       // tickets still in state ticketOpen
+	pending []Op      // abandoned ops already released, in invocation order
+	err     error     // first sink error; emission stops, draining continues
+}
+
+// NewOpFeed returns a feed emitting into sink.
+func NewOpFeed(sink HistorySink) *OpFeed {
+	return &OpFeed{sink: sink}
+}
+
+// Begin registers a new operation, stamping its invocation from the feed
+// clock, and returns its ticket.
+func (f *OpFeed) Begin(client NodeID, kind OpKind, input []byte) *Ticket {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.clock++
+	tk := &Ticket{feed: f, op: Op{
+		Client:      client,
+		Kind:        kind,
+		Input:       input,
+		InvokeStep:  int(f.clock),
+		RespondStep: -1,
+	}}
+	f.tickets = append(f.tickets, tk)
+	f.open++
+	return tk
+}
+
+// Complete settles the ticket as responded with the given output, stamping
+// its response from the feed clock. No-op if already settled.
+func (tk *Ticket) Complete(output []byte) {
+	f := tk.feed
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if tk.state != ticketOpen {
+		return
+	}
+	f.clock++
+	tk.op.Output = output
+	tk.op.RespondStep = int(f.clock)
+	tk.state = ticketDone
+	f.open--
+	f.releaseLocked()
+}
+
+// Abandon settles the ticket as permanently pending: the operation was
+// invoked but will never be observed to respond (timeout past the point of
+// caring, client crash). It is emitted to the sink as a pending op and also
+// retained in the feed's pending list. No-op if already settled.
+func (tk *Ticket) Abandon() {
+	f := tk.feed
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if tk.state != ticketOpen {
+		return
+	}
+	tk.state = ticketAbandoned
+	f.open--
+	f.releaseLocked()
+}
+
+// Void settles the ticket as never-happened: the operation failed before
+// reaching the algorithm (validation error, closed store) and is excluded
+// from the history. No-op if already settled.
+func (tk *Ticket) Void() {
+	f := tk.feed
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if tk.state != ticketOpen {
+		return
+	}
+	tk.state = ticketVoided
+	f.open--
+	f.releaseLocked()
+}
+
+// releaseLocked emits the settled prefix of the feed to the sink, in
+// invocation order. Voided tickets are skipped; abandoned ones are recorded
+// in f.pending as well as emitted. A sink error is sticky — emission stops
+// but draining continues, so feed memory stays bounded after a violation.
+func (f *OpFeed) releaseLocked() {
+	for f.head < len(f.tickets) && f.tickets[f.head].state != ticketOpen {
+		tk := f.tickets[f.head]
+		f.tickets[f.head] = nil
+		f.head++
+		f.emitLocked(tk)
+	}
+	// Compact the released prefix once it dominates the slice.
+	if f.head > 64 && f.head*2 >= len(f.tickets) {
+		n := copy(f.tickets, f.tickets[f.head:])
+		clear(f.tickets[n:])
+		f.tickets = f.tickets[:n]
+		f.head = 0
+	}
+}
+
+func (f *OpFeed) emitLocked(tk *Ticket) {
+	if tk.state == ticketVoided {
+		return
+	}
+	if tk.state == ticketAbandoned {
+		f.pending = append(f.pending, tk.op)
+	}
+	if f.err != nil {
+		return
+	}
+	if err := f.sink.AppendOp(tk.op); err != nil {
+		f.err = err
+	}
+}
+
+// Flush abandons every still-open ticket, drains the whole feed into the
+// sink, and returns every operation that ended pending (in invocation
+// order) together with the first sink error, if any. Call once at
+// shutdown, after all Complete/Abandon racers have finished.
+func (f *OpFeed) Flush() ([]Op, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	for i := f.head; i < len(f.tickets); i++ {
+		tk := f.tickets[i]
+		if tk.state == ticketOpen {
+			tk.state = ticketAbandoned
+			f.open--
+		}
+		f.tickets[i] = nil
+		f.emitLocked(tk)
+	}
+	f.tickets = f.tickets[:0]
+	f.head = 0
+	return append([]Op(nil), f.pending...), f.err
+}
+
+// Snapshot returns the operations still held in the feed — settled ones
+// blocked behind an earlier open ticket, and open ones as pending — in
+// invocation order, voided entries skipped. Together with whatever the sink
+// has absorbed, a snapshot completes a consistent point-in-time history.
+func (f *OpFeed) Snapshot() []Op {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	out := make([]Op, 0, len(f.tickets)-f.head)
+	for i := f.head; i < len(f.tickets); i++ {
+		if tk := f.tickets[i]; tk.state != ticketVoided {
+			out = append(out, tk.op)
+		}
+	}
+	return out
+}
+
+// Open returns the number of tickets not yet settled.
+func (f *OpFeed) Open() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.open
+}
+
+// Pending returns the number of operations known to end pending: abandoned
+// tickets already released plus tickets still open right now.
+func (f *OpFeed) Pending() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return len(f.pending) + f.open
+}
+
+// Err returns the sticky sink error, if any.
+func (f *OpFeed) Err() error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.err
+}

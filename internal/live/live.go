@@ -88,6 +88,26 @@ type Config struct {
 	// restarts from its last checkpoint; state mutated after it is lost,
 	// exactly the crash-recovery model the paper's storage bounds assume.
 	Checkpoint time.Duration
+	// Sink, when non-nil, switches the runtime to streaming history mode:
+	// operations are registered with an ioa.OpFeed at invocation and
+	// released into the sink in invocation order as they settle, instead of
+	// accumulating in per-client logs merged at shutdown. The feed's own
+	// clock stamps every op, and Result.History then carries only the
+	// pending tail (the sink has absorbed everything else). Feed an
+	// OnlineChecker here to verify the run while it executes.
+	Sink ioa.HistorySink
+	// SyncOps, when positive, installs periodic quiescence points in the
+	// batch drivers: after every SyncOps issued operations (globally, across
+	// all drivers), every driver drains its in-flight operations and they
+	// meet at a barrier before any issues again. Each sync is a moment with
+	// nothing in flight — a clean cut in the recorded history — so an online
+	// checker fed through Sink is guaranteed a window-retirement opportunity
+	// at least once per sync, bounding its peak memory by construction
+	// rather than by the scheduler happening to align the clients' idle
+	// gaps. Zero disables syncing; the store engine's online-check mode
+	// (store.Options.OnlineCheck) defaults it to the retirement window, and
+	// a negative value forces it off even there.
+	SyncOps int
 }
 
 func (c Config) withDefaults() Config {
@@ -179,7 +199,8 @@ type nodeState struct {
 	mb   chan event // one channel for the node's whole lifetime, across incarnations
 
 	log         []opRecord
-	pendingIdx  int // index in log of the outstanding op; -1 when none
+	pendingIdx  int         // index in log of the outstanding op; -1 when none
+	pendingTk   *ioa.Ticket // outstanding op's feed ticket (streaming mode)
 	pendingDone chan []byte
 	invq        []*invokeEvent // pipelined invocations awaiting their turn
 	deferred    []event        // events siphoned off mb while blocked on a peer's full mailbox
@@ -209,7 +230,8 @@ type runtime struct {
 	wc    *faults.WallClock // step clock + crash/recovery event schedule
 	nodes map[ioa.NodeID]*nodeState
 
-	clock atomic.Int64  // history timestamp source
+	clock atomic.Int64  // history timestamp source (batch mode)
+	feed  *ioa.OpFeed   // streaming-mode op pipeline; nil in batch mode
 	seq   atomic.Uint64 // global send sequence number for MessageFate
 
 	drops, delayed, delaySteps atomic.Int64
@@ -238,6 +260,9 @@ func newRuntime(cl *cluster.Cluster, plan *faults.Plan, cfg Config) (*runtime, e
 		nodes:  make(map[ioa.NodeID]*nodeState),
 		timers: make(map[*time.Timer]struct{}),
 		done:   make(chan struct{}),
+	}
+	if cfg.Sink != nil {
+		rt.feed = ioa.NewOpFeed(cfg.Sink)
 	}
 	for _, id := range cl.Sys.NodeIDs() {
 		n, err := cl.Automaton(id)
@@ -432,6 +457,11 @@ func (rt *runtime) discardVolatile(ns *nodeState) {
 			}
 			ns.invq = nil
 			ns.pendingIdx = -1
+			if ns.pendingTk != nil {
+				// The op dies with the crash: permanently pending.
+				ns.pendingTk.Abandon()
+				ns.pendingTk = nil
+			}
 			ns.pendingDone = nil
 			return
 		}
@@ -482,19 +512,23 @@ func (rt *runtime) handle(ns *nodeState, ev event) {
 	// Start queued invocations while the client is free. Normally at most
 	// one starts; the loop only cascades when an invocation responds
 	// immediately (e.g. a degenerate automaton), or skips abandoned entries.
-	for ns.pendingIdx < 0 && len(ns.invq) > 0 {
+	for ns.pendingIdx < 0 && ns.pendingTk == nil && len(ns.invq) > 0 {
 		ie := ns.invq[0]
 		ns.invq = ns.invq[1:]
 		if !ie.state.CompareAndSwap(invQueued, invStarted) {
 			continue // abandoned before it started: it never happened
 		}
-		ns.log = append(ns.log, opRecord{
-			kind:      ie.inv.Kind,
-			input:     ie.inv.Value,
-			invokeTS:  rt.clock.Add(1),
-			respondTS: -1,
-		})
-		ns.pendingIdx = len(ns.log) - 1
+		if rt.feed != nil {
+			ns.pendingTk = rt.feed.Begin(ns.id, ie.inv.Kind, ie.inv.Value)
+		} else {
+			ns.log = append(ns.log, opRecord{
+				kind:      ie.inv.Kind,
+				input:     ie.inv.Value,
+				invokeTS:  rt.clock.Add(1),
+				respondTS: -1,
+			})
+			ns.pendingIdx = len(ns.log) - 1
+		}
 		ns.pendingDone = ie.done
 		rt.apply(ns, ns.node.(ioa.Client).Invoke(ie.inv))
 	}
@@ -506,13 +540,22 @@ func (rt *runtime) handle(ns *nodeState, ev event) {
 // linearization point of a quorum operation precedes response
 // determination), dispatches the sends, and refreshes the storage meters.
 func (rt *runtime) apply(ns *nodeState, eff ioa.Effects) {
-	if eff.Response != nil && ns.pendingIdx >= 0 {
-		rec := &ns.log[ns.pendingIdx]
-		rec.output = eff.Response.Value
-		rec.respondTS = rt.clock.Add(1)
-		ns.pendingIdx = -1
+	if eff.Response != nil && (ns.pendingIdx >= 0 || ns.pendingTk != nil) {
+		out := eff.Response.Value
+		if ns.pendingTk != nil {
+			// Stamped and released to the sink before the effects' sends
+			// dispatch, so the feed clock preserves real-time precedence
+			// exactly as the batch clock does.
+			ns.pendingTk.Complete(out)
+			ns.pendingTk = nil
+		} else {
+			rec := &ns.log[ns.pendingIdx]
+			rec.output = out
+			rec.respondTS = rt.clock.Add(1)
+			ns.pendingIdx = -1
+		}
 		if ns.pendingDone != nil {
-			ns.pendingDone <- rec.output // buffered, single outstanding op: never blocks
+			ns.pendingDone <- out // buffered, single outstanding op: never blocks
 			ns.pendingDone = nil
 		}
 	}

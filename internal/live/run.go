@@ -153,6 +153,7 @@ func RunConfig(cl *cluster.Cluster, spec workload.Spec, cfg Config) (*Result, er
 		start   time.Time
 		isWrite bool
 	}
+	var qc *workload.Quiescer
 	driver := func(client ioa.NodeID, kind ioa.OpKind, budget *atomic.Int64) []time.Duration {
 		var lats []time.Duration
 		var window []flight
@@ -167,7 +168,27 @@ func RunConfig(cl *cluster.Cluster, spec workload.Spec, cfg Config) (*Result, er
 			return ok
 		}
 		alive := true
-		for alive && budget.Add(-1) >= 0 {
+		var synced int64
+		defer qc.Leave()
+		for alive {
+			// Quiescence point (cfg.SyncOps): the global issue counter
+			// crossed a sync boundary, so drain the in-flight window and
+			// meet the other drivers at the barrier; the moment it releases,
+			// nothing is in flight anywhere — a clean cut in the history.
+			if r := qc.Due(); r > synced {
+				for alive && len(window) > 0 {
+					alive = settle(window[0])
+					window = window[1:]
+				}
+				if !alive {
+					break
+				}
+				qc.Await(r)
+				synced = r
+			}
+			if budget.Add(-1) < 0 {
+				break
+			}
 			if len(window) == cfg.Pipeline {
 				alive = settle(window[0])
 				window = window[1:]
@@ -189,6 +210,7 @@ func RunConfig(cl *cluster.Cluster, spec workload.Spec, cfg Config) (*Result, er
 				}
 			}
 			window = append(window, flight{rt.invokeAsync(client, inv), time.Now(), isWrite})
+			qc.Tick()
 		}
 		for i, fl := range window {
 			if alive {
@@ -214,7 +236,11 @@ func RunConfig(cl *cluster.Cluster, spec workload.Spec, cfg Config) (*Result, er
 	if nWriters > len(cl.Writers) {
 		nWriters = len(cl.Writers)
 	}
-	latChunks := make([][]time.Duration, nWriters+len(cl.Readers))
+	nDrivers := nWriters + len(cl.Readers)
+	if cfg.SyncOps > 0 {
+		qc = workload.NewQuiescer(int64(cfg.SyncOps), nDrivers)
+	}
+	latChunks := make([][]time.Duration, nDrivers)
 	var dwg sync.WaitGroup
 	started := time.Now()
 	for i := 0; i < nWriters; i++ {
@@ -249,8 +275,20 @@ func RunConfig(cl *cluster.Cluster, spec workload.Spec, cfg Config) (*Result, er
 		res.OpsPerSec = float64(res.CompletedOps) / secs
 	}
 
-	res.History, err = rt.mergeHistory(cl)
-	if err != nil {
+	if rt.feed != nil {
+		// Streaming mode: the sink has already absorbed every settled op in
+		// invocation order; all that remains here is the pending tail, which
+		// Flush settles as abandoned and reports. Result.History carries just
+		// those pending ops, so the pending/quiescent accounting below is
+		// unchanged while run memory stays bounded by the sink, not the run.
+		pend, ferr := rt.feed.Flush()
+		if ferr != nil {
+			return nil, fmt.Errorf("live: history sink: %w", ferr)
+		}
+		if res.History, err = ioa.HistoryFromOps(pend); err != nil {
+			return nil, err
+		}
+	} else if res.History, err = rt.mergeHistory(cl); err != nil {
 		return nil, err
 	}
 	res.PendingOps = len(res.History.PendingOps())

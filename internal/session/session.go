@@ -10,13 +10,19 @@
 //     op counts, live latency percentiles), and
 //   - consistency checking over the accumulated interactive history.
 //
-// The store keeps its own per-shard operation history: every interactive
-// operation is stamped on a store-wide atomic clock at invocation and at
-// response, so the recorded intervals express exactly the real-time
+// The store keeps its own per-shard operation record: every interactive
+// operation runs as a ticket on the shard's ioa.OpFeed, whose clock stamps
+// the invocation when the ticket is issued and the response when the result
+// is observed, so the recorded intervals express exactly the real-time
 // precedence the caller observed — the relation the consistency checkers
-// test. Operations abandoned by a timeout or a cancelled context stay
-// pending in that history (their effects may still land), which is the
-// standard completion semantics the atomicity checker already covers.
+// test. Settled operations stream from the feed into the shard's history
+// sink: a batch ioa.History by default (bounded by Config.HistoryCap, see
+// ErrHistoryFull), or a consistency.OnlineChecker when Config.OnlineCheck is
+// set — then provably-linearized prefixes are retired as the store runs and
+// CheckConsistency reads off the standing verdict instead of replaying the
+// full history. Operations abandoned by a timeout or a cancelled context
+// stay pending (their effects may still land), which is the standard
+// completion semantics the atomicity checker already covers.
 package session
 
 import (
@@ -24,7 +30,6 @@ import (
 	"errors"
 	"fmt"
 	"slices"
-	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -101,6 +106,26 @@ type Config struct {
 	// sweeps, since the checkers are worst-case exponential in write
 	// concurrency. Interactive CheckConsistency is unaffected.
 	SkipCheck bool
+	// OnlineCheck streams every settled operation into a windowed online
+	// atomicity checker instead of accumulating a batch history. Interactive
+	// atomic-condition shards then retire provably-linearized prefixes as the
+	// store runs — CheckConsistency reads off the standing verdict plus the
+	// residual window, memory stays bounded by the window rather than the op
+	// count, and Metrics reports the verified frontier (OpsVerified,
+	// WindowLag). Regular-condition shards keep the batch history — the
+	// windowed decomposition is proved for atomicity. Batch runs (RunMulti)
+	// inherit the same switch through store.Options.OnlineCheck.
+	OnlineCheck bool
+	// OnlineWindow is the online checker's retirement window in operations
+	// (0 = consistency.DefaultWindowOps).
+	OnlineWindow int
+	// HistoryCap bounds the interactive operations a batch-history shard
+	// retains (0 = DefaultHistoryCap). Once a shard's retained history
+	// reaches the cap, further operations on it fail with ErrHistoryFull
+	// rather than growing without bound. Online-checked shards reclaim
+	// retired prefixes instead, so the cap binds only their unretired
+	// residue (pending ops plus the open window), not the total op count.
+	HistoryCap int
 }
 
 // Option mutates a Config before Open validates it — the functional-options
@@ -156,6 +181,18 @@ func WithPipeline(depth int) Option { return func(c *Config) { c.Pipeline = dept
 // high-concurrency throughput sweeps the exponential checkers cannot afford.
 func WithSkipCheck() Option { return func(c *Config) { c.SkipCheck = true } }
 
+// WithOnlineCheck streams settled operations into the windowed online
+// atomicity checker as the store runs (see Config.OnlineCheck).
+func WithOnlineCheck() Option { return func(c *Config) { c.OnlineCheck = true } }
+
+// WithOnlineWindow sets the online checker's retirement window in operations
+// (0 keeps consistency.DefaultWindowOps).
+func WithOnlineWindow(n int) Option { return func(c *Config) { c.OnlineWindow = n } }
+
+// WithHistoryCap bounds the interactive history a batch shard retains (see
+// Config.HistoryCap and ErrHistoryFull).
+func WithHistoryCap(n int) Option { return func(c *Config) { c.HistoryCap = n } }
+
 func (c Config) withDefaults() Config {
 	if len(c.Algorithms) == 0 {
 		c.Algorithms = []string{store.AlgCAS}
@@ -209,6 +246,12 @@ func (c Config) validate() error {
 	if c.Pipeline < 0 {
 		return fmt.Errorf("session: negative pipeline depth %d", c.Pipeline)
 	}
+	if c.OnlineWindow < 0 {
+		return fmt.Errorf("session: negative online window %d", c.OnlineWindow)
+	}
+	if c.HistoryCap < 0 {
+		return fmt.Errorf("session: negative history cap %d", c.HistoryCap)
+	}
 	for _, a := range c.Algorithms {
 		if !slices.Contains(store.Algorithms(), a) {
 			return fmt.Errorf("session: unknown algorithm %q (known: %v)", a, store.Algorithms())
@@ -225,9 +268,16 @@ func (c Config) validate() error {
 	return nil
 }
 
-// voidStep marks a history slot whose operation never started (the backend
-// rejected the invocation): it is dropped before any consistency check.
-const voidStep = -2
+// DefaultHistoryCap is the retained-history bound a batch shard gets when
+// Config.HistoryCap is zero. A million 16-byte operations is roughly 100 MB
+// of retained history — past that, callers should either check and reopen,
+// or switch to WithOnlineCheck, whose retirement keeps residue small.
+const DefaultHistoryCap = 1 << 20
+
+// ErrHistoryFull reports an interactive operation refused because the
+// shard's retained history reached Config.HistoryCap. The operation never
+// started (the register is untouched); branch with errors.Is.
+var ErrHistoryFull = errors.New("session: interactive history at capacity")
 
 // shard is one register deployment plus the session state layered on it.
 type shard struct {
@@ -238,8 +288,19 @@ type shard struct {
 	faultSpec string
 	sess      store.ShardSession
 
-	mu         sync.Mutex
-	ops        []ioa.Op // accumulated interactive history (voidStep slots dropped)
+	mu sync.Mutex
+	// feed stamps and orders the shard's interactive operations; settled ones
+	// stream into exactly one of the two sinks below.
+	feed *ioa.OpFeed
+	// hist is the batch sink: the retained history CheckConsistency replays
+	// (nil on online-checked shards).
+	hist *ioa.History
+	// checker is the streaming sink: it retires provably-linearized prefixes
+	// as ops settle (nil on batch shards).
+	checker *consistency.OnlineChecker
+	// recorded counts operations accepted into the feed and not voided — the
+	// batch shard's retained-history size for the HistoryCap bound.
+	recorded   int
 	latencies  []time.Duration
 	writes     int
 	reads      int
@@ -269,7 +330,6 @@ type Store struct {
 	cfg     Config
 	backend store.Backend
 	shards  []*shard
-	clock   atomic.Int64
 	closed  atomic.Bool
 }
 
@@ -324,7 +384,7 @@ func Open(cfg Config, opts ...Option) (*Store, error) {
 				locks[id] = &sync.Mutex{}
 			}
 		}
-		st.shards = append(st.shards, &shard{
+		sh := &shard{
 			index:       i,
 			cl:          cl,
 			algorithm:   alg,
@@ -333,7 +393,18 @@ func Open(cfg Config, opts ...Option) (*Store, error) {
 			sess:        sess,
 			clientLocks: locks,
 			retired:     make(map[ioa.NodeID]bool),
-		})
+		}
+		// The windowed decomposition is proved for atomicity, so only
+		// atomic-condition shards stream into the online checker; the rest
+		// retain the batch history CheckConsistency replays.
+		if cfg.OnlineCheck && cond == "atomic" {
+			sh.checker = consistency.NewOnlineChecker(nil, consistency.WithWindowOps(cfg.OnlineWindow))
+			sh.feed = ioa.NewOpFeed(sh.checker)
+		} else {
+			sh.hist = ioa.NewHistory()
+			sh.feed = ioa.NewOpFeed(sh.hist)
+		}
+		st.shards = append(st.shards, sh)
 	}
 	return st, nil
 }
@@ -432,10 +503,30 @@ func (sh *shard) pickClient(ids []ioa.NodeID, next *int, role string) (ioa.NodeI
 	return 0, fmt.Errorf("session: shard %d: every %s client is retired after abandoned operations", sh.index, role)
 }
 
-// runOp records the operation in the shard's history, executes it on the
-// backend session, and stamps the response. The invoke stamp is taken
-// before the backend sees the operation and the respond stamp after its
-// completion is observed, so recorded precedence is real precedence.
+// retainedLocked is the shard's retained-history size for the HistoryCap
+// bound: everything recorded on a batch shard (the history keeps it all),
+// minus the retired prefix on an online shard (the checker reclaimed it).
+// Callers hold sh.mu.
+func (sh *shard) retainedLocked() int {
+	if sh.checker != nil {
+		return sh.recorded - int(sh.checker.OpsVerified())
+	}
+	return sh.recorded
+}
+
+func (c Config) historyCap() int {
+	if c.HistoryCap == 0 {
+		return DefaultHistoryCap
+	}
+	return c.HistoryCap
+}
+
+// runOp opens a ticket for the operation on the shard's feed, executes it on
+// the backend session, and settles the ticket with the outcome. The feed's
+// clock stamps the invocation when the ticket is issued — before the backend
+// sees the operation — and the response when its completion is observed, so
+// recorded precedence is real precedence. The settled prefix streams into
+// the shard's sink as tickets resolve.
 func (s *Store) runOp(ctx context.Context, sh *shard, client ioa.NodeID, inv ioa.Invocation) ([]byte, error) {
 	lk := sh.clientLocks[client]
 	lk.Lock()
@@ -448,14 +539,12 @@ func (s *Store) runOp(ctx context.Context, sh *shard, client ioa.NodeID, inv ioa
 		sh.mu.Unlock()
 		return nil, fmt.Errorf("session: shard %d: client %d is retired after an abandoned operation", sh.index, client)
 	}
-	idx := len(sh.ops)
-	sh.ops = append(sh.ops, ioa.Op{
-		Client:      client,
-		Kind:        inv.Kind,
-		Input:       inv.Value,
-		InvokeStep:  int(s.clock.Add(1)),
-		RespondStep: -1,
-	})
+	if hcap := s.cfg.historyCap(); sh.retainedLocked() >= hcap {
+		sh.mu.Unlock()
+		return nil, fmt.Errorf("session: shard %d: %w (cap %d; check and reopen, raise WithHistoryCap, or switch to WithOnlineCheck)", sh.index, ErrHistoryFull, hcap)
+	}
+	tk := sh.feed.Begin(client, inv.Kind, inv.Value)
+	sh.recorded++
 	if inv.Kind == ioa.OpWrite {
 		sh.writes++
 	} else {
@@ -472,12 +561,15 @@ func (s *Store) runOp(ctx context.Context, sh *shard, client ioa.NodeID, inv ioa
 	if err != nil {
 		if pending {
 			// The abandoned op must stay the client's last recorded one, so
-			// the client accepts no further session operations.
+			// the client accepts no further session operations; its ticket
+			// stays permanently pending in the record.
 			sh.retired[client] = true
+			tk.Abandon()
 		} else {
-			// The operation never started; drop the phantom history slot
-			// and its op count.
-			sh.ops[idx].RespondStep = voidStep
+			// The operation never started; void the ticket so no history
+			// slot remains, and drop its op count.
+			tk.Void()
+			sh.recorded--
 			if inv.Kind == ioa.OpWrite {
 				sh.writes--
 			} else {
@@ -486,37 +578,56 @@ func (s *Store) runOp(ctx context.Context, sh *shard, client ioa.NodeID, inv ioa
 		}
 		return nil, fmt.Errorf("session: shard %d: %w", sh.index, err)
 	}
-	sh.ops[idx].Output = out
-	sh.ops[idx].RespondStep = int(s.clock.Add(1))
+	tk.Complete(out)
 	sh.latencies = append(sh.latencies, lat)
 	return out, nil
 }
 
-// history builds the shard's checkable history from the accumulated ops.
-// Callers hold sh.mu.
+// history rebuilds a batch shard's checkable history: the sink's settled
+// prefix plus the feed's held tail (operations behind an open ticket, the
+// open ones appearing pending). Both parts are in invocation order, the tail
+// strictly after the prefix, so concatenation preserves the feed's ordering
+// contract. Callers hold sh.mu.
 func (sh *shard) history() (*ioa.History, error) {
-	ops := make([]ioa.Op, 0, len(sh.ops))
-	for _, op := range sh.ops {
-		if op.RespondStep == voidStep {
-			continue
-		}
-		ops = append(ops, op)
-	}
-	sort.SliceStable(ops, func(i, j int) bool { return ops[i].InvokeStep < ops[j].InvokeStep })
+	ops := make([]ioa.Op, 0, len(sh.hist.Ops))
+	ops = append(ops, sh.hist.Ops...)
+	ops = append(ops, sh.feed.Snapshot()...)
 	return ioa.HistoryFromOps(ops)
 }
 
 // CheckConsistency verifies every shard's accumulated interactive history
 // against its algorithm's consistency condition ("atomic" or "regular").
+// Batch shards replay their retained history through the offline checker;
+// online-checked shards already verified their retired prefix as operations
+// settled, so only the residual window plus the feed's held tail is checked
+// here — the call stays cheap no matter how many operations have run.
 // Operations abandoned by timeouts stay pending and are checked under the
 // standard completion semantics. It returns the lowest-indexed failing
-// shard's verdict, or nil when every shard passes.
+// shard's verdict, or nil when every shard passes. Safe to call mid-run: the
+// verdict covers every operation settled so far, with in-flight ones
+// treated as pending.
 func (s *Store) CheckConsistency() error {
 	if s.closed.Load() {
 		return ErrClosed
 	}
 	for _, sh := range s.shards {
 		sh.mu.Lock()
+		if sh.checker != nil {
+			// The feed's held tail (ops invoked after the last released one,
+			// open tickets appearing pending) joins the residual window, so
+			// a settled read of an in-flight write's value is not mistaken
+			// for a read of a never-written value.
+			extra := sh.feed.Snapshot()
+			sh.mu.Unlock()
+			if err := sh.checker.Result(extra...); err != nil {
+				return fmt.Errorf("session: shard %d (%s, %s): %w", sh.index, sh.algorithm, sh.condition, err)
+			}
+			continue
+		}
+		if err := sh.feed.Err(); err != nil {
+			sh.mu.Unlock()
+			return fmt.Errorf("session: shard %d history: %w", sh.index, err)
+		}
 		h, err := sh.history()
 		cond := sh.condition
 		sh.mu.Unlock()
@@ -551,6 +662,13 @@ type ShardMetrics struct {
 	Writes     int
 	Reads      int
 	PendingOps int
+	// OpsVerified counts operations the online checker has retired as
+	// provably linearized, and WindowLag is how many settled operations
+	// still await retirement (both zero on batch-history shards). RetainedOps
+	// is what the shard currently holds against Config.HistoryCap.
+	OpsVerified int64
+	WindowLag   int
+	RetainedOps int
 	// Storage is the shard's per-server storage high-water report.
 	Storage ioa.StorageReport
 	// Faults aggregates the shard's injected fault events.
@@ -569,6 +687,11 @@ type Metrics struct {
 	TotalWrites int
 	TotalReads  int
 	PendingOps  int
+	// OpsVerified sums the shards' online-checker retirement counts and
+	// MaxWindowLag is the largest residual window across shards (zero
+	// without WithOnlineCheck).
+	OpsVerified  int64
+	MaxWindowLag int
 	// AggregateMaxTotalBits sums the per-shard storage high-water marks and
 	// MaxServerBits is the largest single-server maximum across shards.
 	AggregateMaxTotalBits int
@@ -590,19 +713,20 @@ func (s *Store) Metrics() Metrics {
 	for _, sh := range s.shards {
 		sh.mu.Lock()
 		sm := ShardMetrics{
-			Shard:     sh.index,
-			Algorithm: sh.algorithm,
-			Condition: sh.condition,
-			FaultSpec: sh.faultSpec,
-			Writes:    sh.writes,
-			Reads:     sh.reads,
-			Storage:   sh.sess.Storage(),
-			Faults:    sh.sess.FaultStats(),
+			Shard:       sh.index,
+			Algorithm:   sh.algorithm,
+			Condition:   sh.condition,
+			FaultSpec:   sh.faultSpec,
+			Writes:      sh.writes,
+			Reads:       sh.reads,
+			PendingOps:  sh.feed.Pending(),
+			RetainedOps: sh.retainedLocked(),
+			Storage:     sh.sess.Storage(),
+			Faults:      sh.sess.FaultStats(),
 		}
-		for _, op := range sh.ops {
-			if op.RespondStep == -1 {
-				sm.PendingOps++
-			}
+		if sh.checker != nil {
+			sm.OpsVerified = sh.checker.OpsVerified()
+			sm.WindowLag = sh.checker.WindowLag()
 		}
 		lats = append(lats, sh.latencies...)
 		sh.mu.Unlock()
@@ -610,6 +734,10 @@ func (s *Store) Metrics() Metrics {
 		m.TotalWrites += sm.Writes
 		m.TotalReads += sm.Reads
 		m.PendingOps += sm.PendingOps
+		m.OpsVerified += sm.OpsVerified
+		if sm.WindowLag > m.MaxWindowLag {
+			m.MaxWindowLag = sm.WindowLag
+		}
 		m.AggregateMaxTotalBits += sm.Storage.MaxTotalBits
 		if sm.Storage.MaxServerBits > m.MaxServerBits {
 			m.MaxServerBits = sm.Storage.MaxServerBits
@@ -670,18 +798,20 @@ func (s *Store) RunMulti(m workload.MultiSpec) (*store.Result, error) {
 		m.Faults = s.cfg.Faults
 	}
 	return store.Run(store.Options{
-		Shards:     s.cfg.Shards,
-		Algorithms: s.cfg.Algorithms,
-		Servers:    s.cfg.Servers,
-		F:          s.cfg.F,
-		Workers:    s.cfg.Workers,
-		Backend:    s.cfg.Backend,
-		Writers:    s.cfg.Writers,
-		Readers:    s.cfg.Readers,
-		Live:       s.cfg.Live,
-		Net:        s.cfg.Net,
-		SkipCheck:  s.cfg.SkipCheck,
-		Workload:   m,
+		Shards:       s.cfg.Shards,
+		Algorithms:   s.cfg.Algorithms,
+		Servers:      s.cfg.Servers,
+		F:            s.cfg.F,
+		Workers:      s.cfg.Workers,
+		Backend:      s.cfg.Backend,
+		Writers:      s.cfg.Writers,
+		Readers:      s.cfg.Readers,
+		Live:         s.cfg.Live,
+		Net:          s.cfg.Net,
+		SkipCheck:    s.cfg.SkipCheck,
+		OnlineCheck:  s.cfg.OnlineCheck,
+		OnlineWindow: s.cfg.OnlineWindow,
+		Workload:     m,
 	})
 }
 

@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"repro/internal/cluster"
+	"repro/internal/consistency"
 	"repro/internal/ioa"
 	"repro/internal/live"
 	"repro/internal/netrun"
@@ -69,6 +70,19 @@ type Options struct {
 	// History well-formedness (per-client interval ordering) is still
 	// enforced — it is built into history construction on every backend.
 	SkipCheck bool
+	// OnlineCheck switches atomic-condition shards to the streaming checker.
+	// On the live and net backends the runtime feeds every settled operation
+	// into a consistency.OnlineChecker as it completes, so the verdict is
+	// ready at shutdown and run memory stays bounded by the checker's window
+	// instead of the full history. On the simulator (whose schedule is a
+	// single discrete sequence with the complete history already in hand) it
+	// selects the parallel windowed batch checker instead. Shards checked
+	// under a regular condition keep the offline checker — the windowed
+	// decomposition is proved for atomicity. Ignored when SkipCheck is set.
+	OnlineCheck bool
+	// OnlineWindow is the online checker's retirement window in operations
+	// (0 = consistency.DefaultWindowOps).
+	OnlineWindow int
 	// Workload is the multi-key workload to partition across shards.
 	Workload workload.MultiSpec
 }
@@ -155,6 +169,13 @@ type ShardResult struct {
 	// backend only; empty on the simulator). Like Elapsed, they vary run to
 	// run and are excluded from Fingerprint.
 	Latencies []time.Duration
+	// OpsVerified counts operations the online checker retired as provably
+	// linearized (Options.OnlineCheck runs only; zero otherwise), and
+	// WindowLag is the residual window still unretired at shutdown. Both
+	// depend on real-time interleaving, so they are excluded from
+	// Fingerprint.
+	OpsVerified int64
+	WindowLag   int
 }
 
 // Result aggregates a sharded store run.
@@ -197,6 +218,11 @@ type Result struct {
 	// simulator). Excluded from Fingerprint.
 	LatencyP50 time.Duration
 	LatencyP99 time.Duration
+	// OpsVerified sums the per-shard online-checker retirement counts and
+	// MaxWindowLag is the largest residual window across shards (online
+	// check runs only). Excluded from Fingerprint.
+	OpsVerified  int64
+	MaxWindowLag int
 }
 
 // Fingerprint returns a hex digest of every deterministic field — per-shard
@@ -362,6 +388,10 @@ func Run(o Options) (*Result, error) {
 		if s.Storage.MaxServerBits > res.MaxServerBits {
 			res.MaxServerBits = s.Storage.MaxServerBits
 		}
+		res.OpsVerified += s.OpsVerified
+		if s.WindowLag > res.MaxWindowLag {
+			res.MaxWindowLag = s.WindowLag
+		}
 	}
 	res.TotalOps = res.TotalWrites + res.TotalReads
 	res.NormalizedTotal = float64(res.AggregateMaxTotalBits) / res.Log2V
@@ -392,7 +422,38 @@ func runShard(o Options, backend Backend, alg string, load workload.ShardLoad) (
 	if plan != nil {
 		spec.FaultPlan = plan
 	}
-	wres, err := backend.RunShard(cl, spec, ShardOptions{Live: o.Live, Net: o.Net})
+	opts := ShardOptions{Live: o.Live, Net: o.Net}
+	// Online mode streams settled operations into the checker while the
+	// concurrent backends run; the verdict and the verified-frontier metrics
+	// are ready the moment the run stops. Only the atomic condition has the
+	// windowed decomposition; regular-condition shards keep the offline path.
+	var checker *consistency.OnlineChecker
+	online := o.OnlineCheck && !o.SkipCheck && cond == "atomic"
+	if online {
+		// The drivers sync (drain + barrier) every window's worth of issued
+		// operations unless the caller tuned SyncOps themselves: each sync is
+		// a clean cut, so the checker's peak window is bounded by roughly the
+		// retirement window plus the in-flight population, by construction.
+		syncOps := o.OnlineWindow
+		if syncOps <= 0 {
+			syncOps = consistency.DefaultWindowOps
+		}
+		switch backend.Name() {
+		case BackendLive:
+			checker = consistency.NewOnlineChecker(nil, consistency.WithWindowOps(o.OnlineWindow))
+			opts.Live.Sink = checker
+			if opts.Live.SyncOps == 0 {
+				opts.Live.SyncOps = syncOps
+			}
+		case BackendNet:
+			checker = consistency.NewOnlineChecker(nil, consistency.WithWindowOps(o.OnlineWindow))
+			opts.Net.Sink = checker
+			if opts.Net.SyncOps == 0 {
+				opts.Net.SyncOps = syncOps
+			}
+		}
+	}
+	wres, err := backend.RunShard(cl, spec, opts)
 	if err != nil {
 		return ShardResult{}, err
 	}
@@ -400,7 +461,26 @@ func runShard(o Options, backend Backend, alg string, load workload.ShardLoad) (
 	// even a quiescent shard are checked against the algorithm's condition
 	// (unless the caller opted out for a high-ν sweep the exponential
 	// checker cannot afford).
-	if !o.SkipCheck {
+	var opsVerified int64
+	var windowLag int
+	switch {
+	case o.SkipCheck:
+	case checker != nil:
+		// The runtime's flush already pushed the pending tail into the
+		// checker, so Result needs no extras here.
+		if err := checker.Result(); err != nil {
+			return ShardResult{}, fmt.Errorf("consistency (%s, online): %w", cond, err)
+		}
+		opsVerified = checker.OpsVerified()
+		windowLag = checker.WindowLag()
+	case online:
+		// Simulator shards hold the full history, so the windowed checker
+		// runs as a parallel batch pass over the same clean-cut segments.
+		if err := consistency.CheckWindowed(wres.History, nil, o.OnlineWindow); err != nil {
+			return ShardResult{}, fmt.Errorf("consistency (%s, windowed): %w", cond, err)
+		}
+		opsVerified = int64(len(wres.History.Ops) - len(wres.History.PendingOps()))
+	default:
 		if err := wres.CheckConsistency(cond); err != nil {
 			return ShardResult{}, fmt.Errorf("consistency (%s): %w", cond, err)
 		}
@@ -420,6 +500,8 @@ func runShard(o Options, backend Backend, alg string, load workload.ShardLoad) (
 		Storage:          wres.Storage,
 		NormalizedTotal:  wres.NormalizedTotal,
 		Latencies:        wres.Latencies,
+		OpsVerified:      opsVerified,
+		WindowLag:        windowLag,
 	}, nil
 }
 

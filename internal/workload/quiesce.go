@@ -1,0 +1,115 @@
+package workload
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Quiescer coordinates periodic global drains across the concurrent batch
+// drivers of the wall-clock backends (live, net). Every SyncOps issued
+// operations, each active driver drains its in-flight window and parks here
+// until every other active driver has done the same; only then does anyone
+// issue again. At the instant the barrier releases, nothing is in flight, so
+// every operation issued before the sync responds before any operation
+// issued after it invokes — a clean cut in the recorded history.
+//
+// This is what makes streaming verification's memory bound hold by
+// construction rather than by scheduling luck: an online windowed checker
+// can only retire its window at clean cuts, and saturated pipelined clients
+// may never leave a natural global idle moment (their idle gaps must align
+// in real time). Sync points trade a bounded throughput cost — the drains —
+// for a guaranteed cut cadence, so the checker's peak window is bounded by
+// roughly SyncOps plus the in-flight population, independent of the run
+// length.
+//
+// Usage: each driver calls Tick for every operation it issues, checks Due
+// against the last round it synced at before issuing the next, drains and
+// calls Await when a new round is due, and calls Leave exactly once when it
+// finishes (so stragglers don't wait for a driver that will never arrive).
+type Quiescer struct {
+	syncOps int64
+	issued  atomic.Int64
+
+	mu      sync.Mutex
+	cond    *sync.Cond
+	members int
+	arrived int
+	maxReq  int64 // highest round any arrived driver is waiting on
+	round   int64 // latest released round
+}
+
+// NewQuiescer creates a Quiescer for `members` drivers syncing every
+// syncOps issued operations. It returns nil when syncOps or members is not
+// positive (no coordination; callers treat a nil Quiescer as disabled).
+func NewQuiescer(syncOps int64, members int) *Quiescer {
+	if syncOps <= 0 || members <= 0 {
+		return nil
+	}
+	q := &Quiescer{syncOps: syncOps, members: members}
+	q.cond = sync.NewCond(&q.mu)
+	return q
+}
+
+// Tick counts one issued operation. Nil-safe.
+func (q *Quiescer) Tick() {
+	if q != nil {
+		q.issued.Add(1)
+	}
+}
+
+// Due reports the sync round the global issue counter has reached. A driver
+// whose last synced round is behind Due must drain and Await. Nil-safe
+// (always round 0, which is never due: drivers start at round 0).
+func (q *Quiescer) Due() int64 {
+	if q == nil {
+		return 0
+	}
+	return q.issued.Load() / q.syncOps
+}
+
+// Await parks the calling driver — whose in-flight window must already be
+// drained — until every active driver has arrived for round r. The last
+// arrival releases everyone. Drivers may request different rounds when the
+// counter advanced between their checks; the release covers the highest
+// requested round, which satisfies every earlier one too.
+func (q *Quiescer) Await(r int64) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.round >= r {
+		return
+	}
+	q.arrived++
+	if r > q.maxReq {
+		q.maxReq = r
+	}
+	if q.arrived >= q.members {
+		q.release()
+		return
+	}
+	for q.round < r {
+		q.cond.Wait()
+	}
+}
+
+// Leave removes a finished driver from the barrier. If the remaining
+// arrivals were only waiting on it, the pending round releases. Nil-safe;
+// call exactly once per driver, on every exit path.
+func (q *Quiescer) Leave() {
+	if q == nil {
+		return
+	}
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.members--
+	if q.arrived > 0 && q.arrived >= q.members {
+		q.release()
+	}
+}
+
+// release opens the highest requested round and wakes the waiters. Callers
+// hold q.mu.
+func (q *Quiescer) release() {
+	q.round = q.maxReq
+	q.arrived = 0
+	q.cond.Broadcast()
+}

@@ -1,0 +1,99 @@
+package workload
+
+import (
+	"testing"
+	"time"
+)
+
+func TestQuiescerDisabled(t *testing.T) {
+	if q := NewQuiescer(0, 3); q != nil {
+		t.Fatal("syncOps=0 should disable the quiescer")
+	}
+	if q := NewQuiescer(16, 0); q != nil {
+		t.Fatal("members=0 should disable the quiescer")
+	}
+	var q *Quiescer
+	q.Tick() // nil-safe
+	q.Leave()
+	if r := q.Due(); r != 0 {
+		t.Fatalf("nil quiescer Due() = %d, want 0 (never due)", r)
+	}
+}
+
+func TestQuiescerDue(t *testing.T) {
+	q := NewQuiescer(4, 1)
+	for i := 0; i < 3; i++ {
+		q.Tick()
+	}
+	if r := q.Due(); r != 0 {
+		t.Fatalf("Due() = %d after 3 of 4 ticks, want 0", r)
+	}
+	q.Tick()
+	if r := q.Due(); r != 1 {
+		t.Fatalf("Due() = %d after 4 ticks, want 1", r)
+	}
+	for i := 0; i < 8; i++ {
+		q.Tick()
+	}
+	if r := q.Due(); r != 3 {
+		t.Fatalf("Due() = %d after 12 ticks, want 3", r)
+	}
+}
+
+// The barrier releases only when every member arrives, and the release
+// covers the highest requested round (members may observe different rounds
+// when the counter advanced between their checks).
+func TestQuiescerBarrier(t *testing.T) {
+	q := NewQuiescer(1, 2)
+	released := make(chan struct{})
+	go func() {
+		q.Await(1)
+		close(released)
+	}()
+	select {
+	case <-released:
+		t.Fatal("barrier released with one of two members arrived")
+	case <-time.After(20 * time.Millisecond):
+	}
+	q.Await(2) // second arrival, higher round: releases both
+	select {
+	case <-released:
+	case <-time.After(time.Second):
+		t.Fatal("barrier did not release after all members arrived")
+	}
+	// Round 2 covered round 1 and itself; both now return immediately.
+	done := make(chan struct{})
+	go func() {
+		q.Await(1)
+		q.Await(2)
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(time.Second):
+		t.Fatal("released rounds should not block")
+	}
+}
+
+// A finished driver leaving the barrier must release stragglers that were
+// only waiting on it — otherwise they would wait forever on a driver that
+// will never arrive.
+func TestQuiescerLeaveReleases(t *testing.T) {
+	q := NewQuiescer(1, 2)
+	released := make(chan struct{})
+	go func() {
+		q.Await(1)
+		close(released)
+	}()
+	select {
+	case <-released:
+		t.Fatal("barrier released before the other member left")
+	case <-time.After(20 * time.Millisecond):
+	}
+	q.Leave()
+	select {
+	case <-released:
+	case <-time.After(time.Second):
+		t.Fatal("Leave did not release the waiting member")
+	}
+}

@@ -144,6 +144,40 @@ func WithPipeline(depth int) Option { return session.WithPipeline(depth) }
 // CheckConsistency is unaffected.
 func WithSkipCheck() Option { return session.WithSkipCheck() }
 
+// WithOnlineCheck streams every settled operation into a windowed online
+// atomicity checker as the store runs, instead of accumulating the full
+// history for one offline check: provably-linearized prefixes are retired
+// on the fly, memory stays bounded by the window, CheckConsistency reads
+// off the standing verdict, and Metrics reports the verified frontier
+// (OpsVerified, WindowLag). Applies to interactive atomic-condition shards
+// and, through Store.RunMulti, to batch runs on the live and net backends
+// (the simulator's complete histories get the equivalent parallel windowed
+// batch check). Regular-condition shards keep the offline checker.
+func WithOnlineCheck() Option { return session.WithOnlineCheck() }
+
+// WithOnlineWindow sets the online checker's retirement window in
+// operations (0 keeps the DefaultOnlineWindow).
+func WithOnlineWindow(n int) Option { return session.WithOnlineWindow(n) }
+
+// WithHistoryCap bounds the interactive history a batch-history shard
+// retains (0 keeps DefaultHistoryCap); at the cap further operations fail
+// with ErrHistoryFull. Online-checked shards reclaim retired prefixes, so
+// the cap binds only their unretired residue.
+func WithHistoryCap(n int) Option { return session.WithHistoryCap(n) }
+
+// DefaultOnlineWindow is the online checker's retirement window when none
+// is configured.
+const DefaultOnlineWindow = consistency.DefaultWindowOps
+
+// DefaultHistoryCap is the retained interactive history bound a
+// batch-history shard gets when WithHistoryCap is not used.
+const DefaultHistoryCap = session.DefaultHistoryCap
+
+// ErrHistoryFull reports an interactive operation refused because its
+// shard's retained history reached the cap (WithHistoryCap); the operation
+// never started. Branch with errors.Is.
+var ErrHistoryFull = session.ErrHistoryFull
+
 // DefaultStepBudget is the delivery budget an interactive simulator
 // operation (or a workload run without MaxSteps) gets when no explicit
 // budget is configured.
@@ -426,6 +460,29 @@ func MakeValue(size int, seed uint64) []byte { return register.MakeValue(size, s
 
 // CheckAtomic verifies linearizability of a history (unique write values).
 func CheckAtomic(h *History, initial []byte) error { return consistency.CheckAtomic(h, initial) }
+
+// CheckAtomicWindowed verifies linearizability by the clean-cut windowed
+// decomposition the online checker uses, checking the cut segments in
+// parallel — the batch face of the streaming checker, far faster than
+// CheckAtomic on long low-concurrency histories. windowOps <= 0 selects
+// DefaultOnlineWindow.
+func CheckAtomicWindowed(h *History, initial []byte, windowOps int) error {
+	return consistency.CheckWindowed(h, initial, windowOps)
+}
+
+// OnlineChecker is the streaming linearizability checker behind
+// WithOnlineCheck: feed it operations in invocation order with Observe and
+// it retires provably-linearized prefixes as they form, keeping memory
+// bounded by the window. NewOnlineChecker builds one for direct use over
+// histories produced outside a Store.
+type OnlineChecker = consistency.OnlineChecker
+
+// NewOnlineChecker returns a streaming linearizability checker for a
+// register with the given initial value (nil for a fresh register).
+// windowOps <= 0 selects DefaultOnlineWindow.
+func NewOnlineChecker(initial []byte, windowOps int) *OnlineChecker {
+	return consistency.NewOnlineChecker(initial, consistency.WithWindowOps(windowOps))
+}
 
 // CheckRegular verifies single-writer regularity of a history.
 func CheckRegular(h *History, initial []byte) error { return consistency.CheckRegular(h, initial) }

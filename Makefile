@@ -6,7 +6,7 @@ DATE ?= $(shell date +%Y-%m-%d)
 MICRO_PKGS = ./internal/gf ./internal/erasure ./internal/ioa ./internal/consistency
 MICRO_BENCH = 'BenchmarkMulSlice|BenchmarkEncodeDecode|BenchmarkFairRunSweep|BenchmarkRandomRunSweep|BenchmarkCheckAtomicDense'
 
-.PHONY: build test race live-race chaos-smoke check-smoke liveload-smoke netload-smoke bench bench-smoke bench-micro bench-micro-smoke bench-json fuzz-smoke examples fmt fmt-check vet apicheck apicheck-update ci
+.PHONY: build test race live-race chaos-smoke check-smoke liveload-smoke netload-smoke telemetry-smoke bench bench-smoke bench-micro bench-micro-smoke bench-json fuzz-smoke examples fmt fmt-check vet apicheck apicheck-update ci
 
 build:
 	$(GO) build ./...
@@ -59,6 +59,16 @@ netload-smoke:
 	$(GO) run ./cmd/netload -clients 1 -ops 16 -shards 1 -keys 4 -faults partition@0:200 > /dev/null
 	$(GO) run ./cmd/netload -clients 4 -ops 64 -shards 1 -keys 8 -pipeline 4 > /dev/null
 	@echo netload-smoke ok
+
+# Telemetry smoke: a netload sweep with -telemetry serving live /metrics,
+# scraped repeatedly while it runs — every scrape must be a well-formed
+# Prometheus exposition with monotone counters (TestTelemetrySmoke), and the
+# storage gauges a live run publishes must never exceed the final ioa
+# watermark (TestTelemetryScrapeDuringLiveRun).
+telemetry-smoke:
+	$(GO) test -race -count=1 -run TestTelemetrySmoke ./cmd/netload
+	$(GO) test -race -count=1 -run TestTelemetryScrapeDuringLiveRun .
+	@echo telemetry-smoke ok
 
 bench:
 	$(GO) test -bench . -benchtime 1s .
@@ -130,4 +140,4 @@ apicheck-update:
 	@echo wrote API.txt
 
 # Exactly what CI runs.
-ci: build vet fmt-check apicheck race live-race chaos-smoke check-smoke liveload-smoke netload-smoke examples fuzz-smoke bench-smoke bench-micro-smoke
+ci: build vet fmt-check apicheck race live-race chaos-smoke check-smoke liveload-smoke netload-smoke telemetry-smoke examples fuzz-smoke bench-smoke bench-micro-smoke

@@ -307,20 +307,34 @@ func BenchmarkE11FaultScenarios(b *testing.B) {
 // Consistency checking is disabled (the checkers are worst-case exponential
 // in write concurrency); history well-formedness is still enforced by
 // construction. "ops/sec" is the headline metric; "lost" must stay 0 on a
-// fault-free run.
+// fault-free run. The clients=64/pipeline=4 point runs twice — telemetry off
+// and on — as the instrumentation-overhead record: the lock-free counters,
+// latency histograms and storage samplers are budgeted at under 5% of
+// throughput (DESIGN.md section 14), and this pair is the regression gate.
 func BenchmarkE12LiveThroughput(b *testing.B) {
-	for _, tc := range []struct{ clients, pipeline int }{
-		{16, 1}, {16, 4}, {64, 4}, {256, 8},
+	for _, tc := range []struct {
+		clients, pipeline int
+		telemetry         bool
+	}{
+		{16, 1, false}, {16, 4, false}, {64, 4, false}, {64, 4, true}, {256, 8, false},
 	} {
-		b.Run(fmt.Sprintf("clients=%d/pipeline=%d", tc.clients, tc.pipeline), func(b *testing.B) {
+		name := fmt.Sprintf("clients=%d/pipeline=%d", tc.clients, tc.pipeline)
+		if tc.telemetry {
+			name += "/telemetry=on"
+		}
+		b.Run(name, func(b *testing.B) {
 			var res *StoreResult
 			for i := 0; i < b.N; i++ {
+				opts := []Option{WithClients(tc.clients, tc.clients), WithPipeline(tc.pipeline), WithSkipCheck()}
+				if tc.telemetry {
+					opts = append(opts, WithTelemetry(NewTelemetry()))
+				}
 				st, err := Open(Config{
 					Algorithms: []string{"abd-mwmr"},
 					Servers:    5,
 					F:          1,
 					Backend:    "live",
-				}, WithClients(tc.clients, tc.clients), WithPipeline(tc.pipeline), WithSkipCheck())
+				}, opts...)
 				if err != nil {
 					b.Fatal(err)
 				}

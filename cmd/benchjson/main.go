@@ -85,10 +85,13 @@ func parse(r io.Reader) (*Record, error) {
 // emit) are rejected, and non-finite metric values are dropped: a custom
 // metric reported as NaN or ±Inf would otherwise reach the JSON encoder,
 // which rejects such values and would abort the whole `make bench-json`
-// conversion.
+// conversion. Metric pairs are scanned with resynchronization rather than
+// strict value/unit alternation, so a b.ReportMetric custom unit — or a
+// stray token a test framework interleaves — never silently discards the
+// rest of the line's metrics along with it.
 func parseBenchLine(line string) (Benchmark, bool) {
 	fields := strings.Fields(line)
-	if len(fields) < 4 || len(fields)%2 != 0 {
+	if len(fields) < 4 {
 		return Benchmark{}, false
 	}
 	name := fields[0]
@@ -102,15 +105,16 @@ func parseBenchLine(line string) (Benchmark, bool) {
 		return Benchmark{}, false
 	}
 	b := Benchmark{Name: name, Iterations: iters, Metrics: make(map[string]float64)}
-	for i := 2; i+1 < len(fields); i += 2 {
+	for i := 2; i < len(fields); {
 		v, err := strconv.ParseFloat(fields[i], 64)
-		if err != nil {
-			return Benchmark{}, false
-		}
-		if math.IsNaN(v) || math.IsInf(v, 0) {
+		if err != nil || i+1 >= len(fields) {
+			i++ // not a value (or a value with no unit): resync on the next token
 			continue
 		}
-		b.Metrics[fields[i+1]] = v
+		if !math.IsNaN(v) && !math.IsInf(v, 0) {
+			b.Metrics[fields[i+1]] = v
+		}
+		i += 2
 	}
 	return b, true
 }

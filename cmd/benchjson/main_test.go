@@ -114,6 +114,20 @@ func TestParseBenchLineHardening(t *testing.T) {
 			iters:   100,
 			metrics: map[string]float64{},
 		},
+		{
+			name:    "stray token resyncs instead of dropping the line",
+			line:    "BenchmarkX-8 100 12 ns/op oops 80 ops",
+			ok:      true,
+			iters:   100,
+			metrics: map[string]float64{"ns/op": 12, "ops": 80},
+		},
+		{
+			name:    "odd field count keeps every complete pair",
+			line:    "BenchmarkX-8 100 12 ns/op 3.5 widgets/op 99",
+			ok:      true,
+			iters:   100,
+			metrics: map[string]float64{"ns/op": 12, "widgets/op": 3.5},
+		},
 	}
 	for _, tc := range cases {
 		b, ok := parseBenchLine(tc.line)

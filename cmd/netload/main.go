@@ -33,6 +33,7 @@ import (
 	"time"
 
 	shmem "repro"
+	"repro/internal/telemetry"
 )
 
 func main() {
@@ -75,6 +76,8 @@ func run() error {
 	check := flag.Bool("check", true, "consistency-check every shard history (disable for high-concurrency sweeps; the checkers are exponential in write concurrency)")
 	checkOnline := flag.Bool("check-online", false, "verify atomicity with the streaming windowed checker while the run executes (memory bounded by the window; adds verified/lag columns)")
 	checkWindow := flag.Int("check-window", 0, "online checker retirement window in operations (0 = default)")
+	telemetryAddr := flag.String("telemetry", "", "serve Prometheus /metrics, /trace and pprof on this address for the run's duration (e.g. 127.0.0.1:9100; empty disables)")
+	statEvery := flag.Duration("stat-interval", 2*time.Second, "interval between telemetry stat lines on stderr (with -telemetry)")
 	flag.Parse()
 
 	clients, err := parseClients(*clientsFlag)
@@ -82,6 +85,19 @@ func run() error {
 		return err
 	}
 	cfg := shmem.NetConfig{ListenAddr: *listen, StepDur: *stepDur, OpTimeout: *opTimeout}
+
+	var reg *shmem.Telemetry
+	if *telemetryAddr != "" {
+		reg = shmem.NewTelemetry()
+		srv, err := shmem.ServeTelemetry(*telemetryAddr, reg)
+		if err != nil {
+			return err
+		}
+		defer srv.Close()
+		stopStats := telemetry.LogStats(os.Stderr, reg, *statEvery)
+		defer stopStats()
+		fmt.Printf("telemetry        : %s/metrics (traces at /trace, pprof at /debug/pprof/)\n", srv.URL())
+	}
 
 	fmt.Printf("net load         : %s, %d shards x (N=%d f=%d), %d keys, %d ops/setting, pipeline %d, seed %d\n",
 		*alg, *shards, *n, *f, *keys, *ops, *pipeline, *seed)
@@ -101,7 +117,7 @@ func run() error {
 		"clients", "shards", "completed", "pending", "lost", "ops/sec", "verified", "lag", "p50", "p99", "verdict")
 
 	for _, c := range clients {
-		pt, err := runPoint(*alg, *n, *f, *shards, c, *keys, *ops, *readFrac, *valueBytes, *seed, *faultSpec, *pipeline, *check, *checkOnline, *checkWindow, cfg)
+		pt, err := runPoint(*alg, *n, *f, *shards, c, *keys, *ops, *readFrac, *valueBytes, *seed, *faultSpec, *pipeline, *check, *checkOnline, *checkWindow, cfg, reg)
 		if err != nil {
 			return err
 		}
@@ -123,12 +139,15 @@ func run() error {
 // fresh cluster per shard — every node listening on its own socket —
 // consistency-checks every shard (unless disabled) and aggregates the
 // latency percentiles.
-func runPoint(alg string, n, f, shards, clients, keys, ops int, readFrac float64, valueBytes int, seed int64, faultSpec string, pipeline int, check, checkOnline bool, checkWindow int, cfg shmem.NetConfig) (gridPoint, error) {
+func runPoint(alg string, n, f, shards, clients, keys, ops int, readFrac float64, valueBytes int, seed int64, faultSpec string, pipeline int, check, checkOnline bool, checkWindow int, cfg shmem.NetConfig, reg *shmem.Telemetry) (gridPoint, error) {
 	var faultSpecs []string
 	if faultSpec != "" {
 		faultSpecs = []string{faultSpec}
 	}
 	opts := []shmem.Option{shmem.WithClients(clients, clients), shmem.WithPipeline(pipeline)}
+	if reg != nil {
+		opts = append(opts, shmem.WithTelemetry(reg))
+	}
 	if !check {
 		opts = append(opts, shmem.WithSkipCheck())
 	} else if checkOnline {

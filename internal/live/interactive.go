@@ -8,6 +8,7 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/faults"
 	"repro/internal/ioa"
+	"repro/internal/workload"
 )
 
 // Interactive is a running live deployment accepting one-at-a-time client
@@ -22,8 +23,9 @@ import (
 // stuck mid-protocol waiting on lost messages, so later Invokes on it fail
 // fast with ErrClientRetired rather than corrupting the protocol state.
 type Interactive struct {
-	cfg Config
-	rt  *runtime
+	cfg           Config
+	rt            *runtime
+	stopTelemetry func()
 
 	mu     sync.Mutex
 	perCl  map[ioa.NodeID]*clientGate
@@ -66,6 +68,9 @@ func OpenInteractive(cl *cluster.Cluster, plan *faults.Plan, cfg Config) (*Inter
 		}
 	}
 	rt.start()
+	// Interactive sessions have no fixed value size, so the sampler skips
+	// the paper-bound gauges and publishes the raw storage watermarks.
+	s.stopTelemetry = rt.startTelemetry(cl, workload.Spec{})
 	return s, nil
 }
 
@@ -146,5 +151,6 @@ func (s *Interactive) Close() error {
 	}
 	s.closed = true
 	s.rt.stop()
+	s.stopTelemetry()
 	return nil
 }

@@ -57,6 +57,7 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/faults"
 	"repro/internal/ioa"
+	"repro/internal/telemetry"
 )
 
 // Config tunes the live runtime. The zero value selects the defaults.
@@ -108,6 +109,12 @@ type Config struct {
 	// (store.Options.OnlineCheck) defaults it to the retirement window, and
 	// a negative value forces it off even there.
 	SyncOps int
+	// Telemetry, when it carries a registry, streams run metrics into it:
+	// per-node storage-bit gauges sampled on a ticker next to the paper's
+	// Theorem 4.1/5.1 bounds, op counters/latency histograms from the batch
+	// drivers, online-checker lag gauges, and sampled op-lifecycle spans.
+	// nil (the default) records nothing and costs nothing on the hot path.
+	Telemetry *telemetry.RunTelemetry
 }
 
 func (c Config) withDefaults() Config {
@@ -172,8 +179,9 @@ const (
 
 type invokeEvent struct {
 	inv   ioa.Invocation
-	done  chan []byte  // buffered 1; receives the response value when recorded
-	state atomic.Int32 // invQueued -> invStarted (node) | invAbandoned (driver)
+	done  chan []byte     // buffered 1; receives the response value when recorded
+	state atomic.Int32    // invQueued -> invStarted (node) | invAbandoned (driver)
+	span  *telemetry.Span // sampled lifecycle trace; nil for unsampled ops
 }
 
 // opRecord is one per-client log entry. InvokeTS/RespondTS come from the
@@ -205,8 +213,10 @@ type nodeState struct {
 	invq        []*invokeEvent // pipelined invocations awaiting their turn
 	deferred    []event        // events siphoned off mb while blocked on a peer's full mailbox
 
-	meter            ioa.StorageMeter // nil unless the node reports storage
+	meter            ioa.StorageMeter // nil unless the node reports storage; loop-owned (rewritten on recovery)
+	metered          bool             // set once at construction: the automaton type reports storage
 	curBits, maxBits atomic.Int64     // written by the node loop, readable mid-run
+	pendingSpan      *telemetry.Span  // outstanding op's trace span; loop-owned
 
 	// Crash-recovery machinery (DESIGN.md section 12). crashCh and loopDone
 	// belong to one incarnation of the node loop; the WallClock goroutine
@@ -233,6 +243,8 @@ type runtime struct {
 	clock atomic.Int64  // history timestamp source (batch mode)
 	feed  *ioa.OpFeed   // streaming-mode op pipeline; nil in batch mode
 	seq   atomic.Uint64 // global send sequence number for MessageFate
+
+	tracer *telemetry.Tracer // sampled op-lifecycle spans; nil when telemetry is off
 
 	drops, delayed, delaySteps atomic.Int64
 	overflow                   atomic.Int64 // messages dropped after SendTimeout on a full mailbox
@@ -264,6 +276,9 @@ func newRuntime(cl *cluster.Cluster, plan *faults.Plan, cfg Config) (*runtime, e
 	if cfg.Sink != nil {
 		rt.feed = ioa.NewOpFeed(cfg.Sink)
 	}
+	if cfg.Telemetry.Active() {
+		rt.tracer = cfg.Telemetry.Registry.Tracer()
+	}
 	for _, id := range cl.Sys.NodeIDs() {
 		n, err := cl.Automaton(id)
 		if err != nil {
@@ -278,6 +293,7 @@ func newRuntime(cl *cluster.Cluster, plan *faults.Plan, cfg Config) (*runtime, e
 			loopDone:   make(chan struct{}),
 		}
 		ns.meter, _ = ns.node.(ioa.StorageMeter)
+		ns.metered = ns.meter != nil
 		rt.nodes[id] = ns
 	}
 	if plan != nil {
@@ -518,6 +534,8 @@ func (rt *runtime) handle(ns *nodeState, ev event) {
 		if !ie.state.CompareAndSwap(invQueued, invStarted) {
 			continue // abandoned before it started: it never happened
 		}
+		ie.span.Mark(telemetry.StageStart)
+		ns.pendingSpan = ie.span
 		if rt.feed != nil {
 			ns.pendingTk = rt.feed.Begin(ns.id, ie.inv.Kind, ie.inv.Value)
 		} else {
@@ -554,6 +572,8 @@ func (rt *runtime) apply(ns *nodeState, eff ioa.Effects) {
 			rec.respondTS = rt.clock.Add(1)
 			ns.pendingIdx = -1
 		}
+		ns.pendingSpan.Mark(telemetry.StageEffect)
+		ns.pendingSpan = nil
 		if ns.pendingDone != nil {
 			ns.pendingDone <- out // buffered, single outstanding op: never blocks
 			ns.pendingDone = nil
@@ -692,6 +712,9 @@ type pendingOp struct {
 func (rt *runtime) invokeAsync(client ioa.NodeID, inv ioa.Invocation) *pendingOp {
 	ns := rt.nodes[client]
 	ie := &invokeEvent{inv: inv, done: make(chan []byte, 1)}
+	if rt.tracer != nil {
+		ie.span = rt.tracer.Begin(inv.Kind.String())
+	}
 	p := &pendingOp{ie: ie}
 	// Invocations get the full op timeout to enqueue, not just SendTimeout:
 	// a client mailbox saturated by protocol traffic clears as the node
@@ -700,6 +723,9 @@ func (rt *runtime) invokeAsync(client ioa.NodeID, inv ioa.Invocation) *pendingOp
 	if !rt.postFrom(nil, ns, event{inv: ie}, rt.cfg.OpTimeout) {
 		ie.state.Store(invAbandoned)
 		p.failed = true
+		ie.span.End()
+	} else {
+		ie.span.Mark(telemetry.StageQueue)
 	}
 	return p
 }
@@ -717,18 +743,24 @@ func (p *pendingOp) wait(ctx context.Context, timeout time.Duration) (out []byte
 	defer t.Stop()
 	select {
 	case out := <-p.ie.done:
+		p.ie.span.Mark(telemetry.StageComplete)
+		p.ie.span.End()
 		return out, true, true
 	case <-t.C:
 	case <-ctx.Done():
 	}
 	if p.ie.state.CompareAndSwap(invQueued, invAbandoned) {
+		p.ie.span.End()
 		return nil, false, false // never started; the node will skip it
 	}
 	// Already started — it may even have completed in the race window.
 	select {
 	case out := <-p.ie.done:
+		p.ie.span.Mark(telemetry.StageComplete)
+		p.ie.span.End()
 		return out, true, true
 	default:
+		p.ie.span.End()
 		return nil, true, false
 	}
 }
@@ -736,8 +768,21 @@ func (p *pendingOp) wait(ctx context.Context, timeout time.Duration) (out []byte
 // abandon cancels an invocation that has not started and reports whether it
 // did; a started invocation is left to run.
 func (p *pendingOp) abandon() bool {
-	return p.failed || p.ie.state.CompareAndSwap(invQueued, invAbandoned)
+	if p.failed || p.ie.state.CompareAndSwap(invQueued, invAbandoned) {
+		p.ie.span.End()
+		return true
+	}
+	return false
 }
+
+// Wait and Abandon adapt pendingOp to the shared driver's workload.Flight.
+func (p *pendingOp) Wait(timeout time.Duration) bool {
+	_, _, ok := p.wait(context.Background(), timeout)
+	return ok
+}
+
+// Abandon implements workload.Flight.
+func (p *pendingOp) Abandon() bool { return p.abandon() }
 
 // invoke injects an operation at a client and waits for its response, the
 // timeout, or the context's cancellation. It returns the response value and

@@ -8,6 +8,7 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/faults"
 	"repro/internal/ioa"
+	"repro/internal/workload"
 )
 
 // Interactive is a running net deployment accepting one-at-a-time client
@@ -23,8 +24,9 @@ import (
 // stuck mid-protocol waiting on lost frames, so later Invokes on it fail
 // fast with ErrClientRetired rather than corrupting the protocol state.
 type Interactive struct {
-	cfg Config
-	rt  *runtime
+	cfg           Config
+	rt            *runtime
+	stopTelemetry func()
 
 	mu     sync.Mutex
 	perCl  map[ioa.NodeID]*clientGate
@@ -67,6 +69,9 @@ func OpenInteractive(cl *cluster.Cluster, plan *faults.Plan, cfg Config) (*Inter
 		}
 	}
 	rt.start()
+	// Interactive sessions have no fixed value size, so the sampler skips
+	// the paper-bound gauges and publishes the raw storage watermarks.
+	s.stopTelemetry = rt.startTelemetry(cl, workload.Spec{})
 	return s, nil
 }
 
@@ -147,5 +152,6 @@ func (s *Interactive) Close() error {
 	}
 	s.closed = true
 	s.rt.stop()
+	s.stopTelemetry()
 	return nil
 }

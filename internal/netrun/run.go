@@ -1,17 +1,12 @@
 package netrun
 
 import (
-	"context"
 	"fmt"
 	"sort"
-	"sync"
-	"sync/atomic"
-	"time"
 
 	"repro/internal/cluster"
 	"repro/internal/faults"
 	"repro/internal/ioa"
-	"repro/internal/register"
 	"repro/internal/workload"
 )
 
@@ -59,140 +54,30 @@ func RunConfig(cl *cluster.Cluster, spec workload.Spec, cfg Config) (*workload.R
 		return nil, err
 	}
 	rt.start()
+	stopTelemetry := rt.startTelemetry(cl, spec)
 
-	var writesLeft, readsLeft atomic.Int64
-	writesLeft.Store(int64(spec.Writes))
-	readsLeft.Store(int64(spec.Reads))
-	var nextVal atomic.Uint64
-	var activeWrites, peakWrites atomic.Int64
-
-	// driver issues operations at one client, keeping up to cfg.Pipeline in
-	// flight (the node starts each only when its predecessor responds, so
-	// per-client program order holds and the automaton still sees one op at
-	// a time), until its budget is exhausted or an operation times out (the
-	// client automaton is then stuck mid-protocol, so the driver retires
-	// it). Latencies are collected per driver — mutex-free, like the logs —
-	// and merged after the joins; a pipelined latency includes the queue
-	// wait at the node, and PeakActiveWrites counts submitted in-flight
-	// writes (an upper bound on the protocol-level ν the history records).
-	type flight struct {
-		p       *pendingOp
-		start   time.Time
-		isWrite bool
-	}
-	var qc *workload.Quiescer
-	driver := func(client ioa.NodeID, kind ioa.OpKind, budget *atomic.Int64) []time.Duration {
-		var lats []time.Duration
-		var window []flight
-		settle := func(fl flight) bool {
-			_, _, ok := fl.p.wait(context.Background(), cfg.OpTimeout)
-			if fl.isWrite {
-				activeWrites.Add(-1)
-			}
-			if ok {
-				lats = append(lats, time.Since(fl.start))
-			}
-			return ok
-		}
-		alive := true
-		var synced int64
-		defer qc.Leave()
-		for alive {
-			// Quiescence point (cfg.SyncOps): the global issue counter
-			// crossed a sync boundary, so drain the in-flight window and
-			// meet the other drivers at the barrier; the moment it releases,
-			// nothing is in flight anywhere — a clean cut in the history.
-			if r := qc.Due(); r > synced {
-				for alive && len(window) > 0 {
-					alive = settle(window[0])
-					window = window[1:]
-				}
-				if !alive {
-					break
-				}
-				qc.Await(r)
-				synced = r
-			}
-			if budget.Add(-1) < 0 {
-				break
-			}
-			if len(window) == cfg.Pipeline {
-				alive = settle(window[0])
-				window = window[1:]
-				if !alive {
-					budget.Add(1) // this op was never submitted; return its slot
-					break
-				}
-			}
-			inv := ioa.Invocation{Kind: kind}
-			isWrite := kind == ioa.OpWrite
-			if isWrite {
-				inv.Value = register.MakeValue(spec.ValueBytes, nextVal.Add(1))
-				cur := activeWrites.Add(1)
-				for {
-					p := peakWrites.Load()
-					if cur <= p || peakWrites.CompareAndSwap(p, cur) {
-						break
-					}
-				}
-			}
-			window = append(window, flight{rt.invokeAsync(client, inv), time.Now(), isWrite})
-			qc.Tick()
-		}
-		for i, fl := range window {
-			if alive {
-				alive = settle(fl)
-				continue
-			}
-			// An earlier op at this client is stuck, so nothing behind it
-			// can start; abandon instead of waiting a full timeout each.
-			// The rare loser of the abandon race (the stuck op completed
-			// right after its timeout) is settled normally.
-			if fl.p.abandon() {
-				if fl.isWrite {
-					activeWrites.Add(-1)
-				}
-				continue
-			}
-			alive = settle(window[i])
-		}
-		return lats
-	}
-
-	nWriters := spec.TargetNu
-	if nWriters > len(cl.Writers) {
-		nWriters = len(cl.Writers)
-	}
-	nDrivers := nWriters + len(cl.Readers)
-	if cfg.SyncOps > 0 {
-		qc = workload.NewQuiescer(int64(cfg.SyncOps), nDrivers)
-	}
-	latChunks := make([][]time.Duration, nDrivers)
-	var dwg sync.WaitGroup
-	for i := 0; i < nWriters; i++ {
-		dwg.Add(1)
-		go func(slot int, id ioa.NodeID) {
-			defer dwg.Done()
-			latChunks[slot] = driver(id, ioa.OpWrite, &writesLeft)
-		}(i, cl.Writers[i])
-	}
-	for i, id := range cl.Readers {
-		dwg.Add(1)
-		go func(slot int, id ioa.NodeID) {
-			defer dwg.Done()
-			latChunks[slot] = driver(id, ioa.OpRead, &readsLeft)
-		}(nWriters+i, id)
-	}
-	dwg.Wait()
+	// The windowed flight driver is shared with the live runtime
+	// (workload.RunFlights); this runtime contributes the async invoke and
+	// the telemetry hooks.
+	onSubmit, observe := cfg.Telemetry.OpObserver()
+	fres := workload.RunFlights(cl, spec, workload.FlightConfig{
+		Pipeline:  cfg.Pipeline,
+		SyncOps:   cfg.SyncOps,
+		OpTimeout: cfg.OpTimeout,
+		Invoke: func(client ioa.NodeID, inv ioa.Invocation) workload.Flight {
+			return rt.invokeAsync(client, inv)
+		},
+		OnSubmit: onSubmit,
+		Observe:  observe,
+	})
 	rt.stop()
+	stopTelemetry()
 
 	res := &workload.Result{
-		PeakActiveWrites: int(peakWrites.Load()),
+		PeakActiveWrites: fres.PeakActiveWrites,
 		Log2V:            float64(8 * spec.ValueBytes),
 		Faults:           rt.faultStats(),
-	}
-	for _, chunk := range latChunks {
-		res.Latencies = append(res.Latencies, chunk...)
+		Latencies:        fres.Latencies,
 	}
 
 	if rt.feed != nil {
@@ -257,7 +142,7 @@ func (rt *runtime) storageReport(cl *cluster.Cluster) ioa.StorageReport {
 	rep := ioa.StorageReport{PerServerMaxBits: make(map[ioa.NodeID]int, len(cl.Servers))}
 	for _, id := range cl.Servers {
 		ns := rt.nodes[id]
-		if ns == nil || ns.meter == nil {
+		if ns == nil || !ns.metered {
 			continue
 		}
 		maxBits := int(ns.maxBits.Load())

@@ -1,0 +1,189 @@
+package netrun
+
+import (
+	"strconv"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/telemetry"
+	"repro/internal/transport"
+	"repro/internal/workload"
+)
+
+// checkerStats is the slice of an online checker the sampler reads;
+// consistency.OnlineChecker satisfies it.
+type checkerStats interface {
+	WindowLag() int
+	OpsObserved() int64
+	OpsVerified() int64
+}
+
+// nodeTransport is the per-node counter set the sampler lifts endpoint
+// stats into. Endpoint counters are absolute totals that reset when a crash
+// retires the endpoint, so the lift mirrors them with monotone Raise — the
+// registry series never move backward, at the price of undercounting while
+// a recovered endpoint's fresh totals catch up to the retired ones.
+type nodeTransport struct {
+	framesSent, framesRecv   telemetry.Counter
+	batchesSent              telemetry.Counter
+	bytesSent, bytesRecv     telemetry.Counter
+	droppedFull, droppedDead telemetry.Counter
+	requeued, malformed      telemetry.Counter
+	batchFrames              [len(transport.BatchBucketBounds)]telemetry.Counter
+}
+
+// startTelemetry publishes the paper bounds for this run's shape and starts
+// the sampling goroutine: per-node storage gauges from the same
+// curBits/maxBits watermark path storageReport folds at shutdown,
+// measured-vs-bound slack, online-checker lag, and the per-node transport
+// counters lifted from transport.Endpoint.Stats. The returned stop joins
+// the sampler after one final sample. A no-op when telemetry is off.
+func (rt *runtime) startTelemetry(cl *cluster.Cluster, spec workload.Spec) (stop func()) {
+	tel := rt.cfg.Telemetry
+	if !tel.Active() {
+		return func() {}
+	}
+	reg := tel.Registry
+	sl := telemetry.L("shard", tel.ShardLabel())
+
+	// The bounds are constants of the run's shape (N, f, log2|V|). An
+	// interactive session has no fixed value size (spec is zero), so the
+	// bound comparison is skipped there and only the raw gauges publish.
+	var slack41, slack51 telemetry.Gauge
+	var b41, b51 float64
+	hasBounds := spec.ValueBytes > 0
+	if hasBounds {
+		p := core.Params{N: len(cl.Servers), F: cl.F}
+		log2V := float64(8 * spec.ValueBytes)
+		b41 = core.Theorem41MaxBits(p, log2V)
+		b51 = core.Theorem51MaxBits(p, log2V)
+		reg.Gauge(telemetry.MetricStorageBoundBits,
+			"paper lower bound on per-node storage bits for this run's shape",
+			sl, telemetry.L("theorem", "4.1")).Set(b41)
+		reg.Gauge(telemetry.MetricStorageBoundBits,
+			"paper lower bound on per-node storage bits for this run's shape",
+			sl, telemetry.L("theorem", "5.1")).Set(b51)
+		slack41 = reg.Gauge(telemetry.MetricStorageSlackBits,
+			"measured max per-node storage minus the paper bound (negative would refute the bound)",
+			sl, telemetry.L("theorem", "4.1"))
+		slack51 = reg.Gauge(telemetry.MetricStorageSlackBits,
+			"measured max per-node storage minus the paper bound (negative would refute the bound)",
+			sl, telemetry.L("theorem", "5.1"))
+	}
+
+	type nodeGauges struct {
+		ns       *nodeState
+		cur, max telemetry.Gauge
+	}
+	var gs []nodeGauges
+	for _, id := range cl.Servers {
+		ns := rt.nodes[id]
+		if ns == nil || !ns.metered {
+			continue
+		}
+		nl := telemetry.L("node", strconv.Itoa(int(id)))
+		gs = append(gs, nodeGauges{
+			ns:  ns,
+			cur: reg.Gauge(telemetry.MetricStorageBits, "current per-node storage bits (sampled)", sl, nl),
+			max: reg.Gauge(telemetry.MetricStorageMaxBits, "per-node storage-bit watermark (sampled)", sl, nl),
+		})
+	}
+
+	// One transport counter set per node (servers and clients both own an
+	// endpoint).
+	nt := make(map[*nodeState]*nodeTransport, len(rt.nodes))
+	for _, ns := range rt.nodes {
+		nl := telemetry.L("node", strconv.Itoa(int(ns.id)))
+		t := &nodeTransport{
+			framesSent:  reg.Counter(telemetry.MetricTransportFramesSent, "frames written to peer sockets", sl, nl),
+			framesRecv:  reg.Counter(telemetry.MetricTransportFramesRecv, "frames received and handed to the node", sl, nl),
+			batchesSent: reg.Counter(telemetry.MetricTransportBatchesSent, "compound envelope flushes (frames/batches = coalescing factor)", sl, nl),
+			bytesSent:   reg.Counter(telemetry.MetricTransportBytesSent, "envelope bytes written to peer sockets", sl, nl),
+			bytesRecv:   reg.Counter(telemetry.MetricTransportBytesRecv, "envelope bytes received", sl, nl),
+			droppedFull: reg.Counter(telemetry.MetricTransportDroppedFull, "frames dropped on a full outbox past SendTimeout", sl, nl),
+			droppedDead: reg.Counter(telemetry.MetricTransportDroppedDead, "frames lost to dead connections", sl, nl),
+			requeued:    reg.Counter(telemetry.MetricTransportRequeued, "frames re-enqueued onto a redialed connection", sl, nl),
+			malformed:   reg.Counter(telemetry.MetricTransportMalformed, "inbound envelopes that failed to split", sl, nl),
+		}
+		for i, ub := range transport.BatchBucketBounds {
+			t.batchFrames[i] = reg.Counter(telemetry.MetricTransportBatchFrames,
+				"flushes by frames-per-batch bucket", sl, nl, telemetry.L("le", strconv.Itoa(ub)))
+		}
+		nt[ns] = t
+	}
+	liftTransport := func() {
+		rt.netMu.RLock()
+		defer rt.netMu.RUnlock()
+		for ns, t := range nt {
+			s := ns.ep.Stats()
+			t.framesSent.Raise(s.FramesSent)
+			t.framesRecv.Raise(s.FramesReceived)
+			t.batchesSent.Raise(s.BatchesSent)
+			t.bytesSent.Raise(s.BytesSent)
+			t.bytesRecv.Raise(s.BytesReceived)
+			t.droppedFull.Raise(s.DroppedFull)
+			t.droppedDead.Raise(s.DroppedDead)
+			t.requeued.Raise(s.Requeued)
+			t.malformed.Raise(s.Malformed)
+			for i := range s.BatchFrames {
+				t.batchFrames[i].Raise(s.BatchFrames[i])
+			}
+		}
+	}
+
+	var lagG, retainedG telemetry.Gauge
+	var observedC, verifiedC telemetry.Counter
+	chk, hasChk := rt.cfg.Sink.(checkerStats)
+	if hasChk {
+		lagG = reg.Gauge(telemetry.MetricCheckerLag, "online checker window lag (ops observed beyond the verified prefix)", sl)
+		retainedG = reg.Gauge(telemetry.MetricCheckerRetained, "ops the online checker currently retains", sl)
+		observedC = reg.Counter(telemetry.MetricCheckerObserved, "ops the online checker has observed", sl)
+		verifiedC = reg.Counter(telemetry.MetricCheckerVerified, "ops the online checker has verified", sl)
+	}
+
+	sample := func() {
+		maxSeen := int64(0)
+		for _, g := range gs {
+			g.cur.Set(float64(g.ns.curBits.Load()))
+			m := g.ns.maxBits.Load()
+			g.max.Set(float64(m))
+			if m > maxSeen {
+				maxSeen = m
+			}
+		}
+		if hasBounds && len(gs) > 0 {
+			slack41.Set(float64(maxSeen) - b41)
+			slack51.Set(float64(maxSeen) - b51)
+		}
+		liftTransport()
+		if hasChk {
+			obs, ver := chk.OpsObserved(), chk.OpsVerified()
+			lagG.Set(float64(chk.WindowLag()))
+			retainedG.Set(float64(obs - ver))
+			observedC.Raise(uint64(obs))
+			verifiedC.Raise(uint64(ver))
+		}
+	}
+
+	done := make(chan struct{})
+	finished := make(chan struct{})
+	go func() {
+		defer close(finished)
+		tick := time.NewTicker(tel.SampleInterval())
+		defer tick.Stop()
+		for {
+			select {
+			case <-done:
+				sample() // final: publish the end-of-run watermark
+				return
+			case <-tick.C:
+				sample()
+			}
+		}
+	}()
+	return func() {
+		close(done)
+		<-finished
+	}
+}

@@ -41,6 +41,7 @@ import (
 	"repro/internal/live"
 	"repro/internal/netrun"
 	"repro/internal/store"
+	"repro/internal/telemetry"
 	"repro/internal/workload"
 )
 
@@ -126,6 +127,14 @@ type Config struct {
 	// retired prefixes instead, so the cap binds only their unretired
 	// residue (pending ops plus the open window), not the total op count.
 	HistoryCap int
+	// Telemetry, when set, wires the store into the metrics registry: the
+	// live and net runtimes publish per-node storage-bit gauges against the
+	// paper bounds, op-latency histograms, transport counters and
+	// online-checker lag under a per-shard "shard" label, for batch runs
+	// (RunWorkload, RunMulti) and interactive shards alike. Serve the
+	// registry with telemetry.Serve (shmem.ServeTelemetry). Ignored on the
+	// simulator backend. Nil disables all instrumentation at zero cost.
+	Telemetry *telemetry.Registry
 }
 
 // Option mutates a Config before Open validates it — the functional-options
@@ -193,6 +202,13 @@ func WithOnlineWindow(n int) Option { return func(c *Config) { c.OnlineWindow = 
 // Config.HistoryCap and ErrHistoryFull).
 func WithHistoryCap(n int) Option { return func(c *Config) { c.HistoryCap = n } }
 
+// WithTelemetry publishes the store's runtime metrics — storage gauges vs
+// the paper bounds, latency histograms, transport counters — into reg (see
+// Config.Telemetry).
+func WithTelemetry(reg *telemetry.Registry) Option {
+	return func(c *Config) { c.Telemetry = reg }
+}
+
 func (c Config) withDefaults() Config {
 	if len(c.Algorithms) == 0 {
 		c.Algorithms = []string{store.AlgCAS}
@@ -215,6 +231,21 @@ func (c Config) withDefaults() Config {
 		}
 	}
 	return c
+}
+
+// runtimeConfigs returns the live and net runtime configs for one shard,
+// carrying the per-shard telemetry handle when a registry is configured.
+// Interactive shards get "interactive-<shard>" series labels so their
+// standing samplers never collide with batch runs reusing the same shard
+// indices.
+func (c Config) runtimeConfigs(shard int, interactive bool) (live.Config, netrun.Config) {
+	lc, nc := c.Live, c.Net
+	if c.Telemetry != nil {
+		tel := &telemetry.RunTelemetry{Registry: c.Telemetry, Shard: shard, Interactive: interactive}
+		lc.Telemetry = tel
+		nc.Telemetry = tel
+	}
+	return lc, nc
 }
 
 // interactiveClients returns the per-shard client counts interactive shards
@@ -368,11 +399,12 @@ func Open(cfg Config, opts ...Option) (*Store, error) {
 			st.Close()
 			return nil, fmt.Errorf("session: shard %d: %w", i, err)
 		}
+		shardLive, shardNet := cfg.runtimeConfigs(i, true)
 		sess, err := backend.OpenShard(cl, store.ShardOptions{
 			Plan:       plan,
 			StepBudget: cfg.StepBudget,
-			Live:       cfg.Live,
-			Net:        cfg.Net,
+			Live:       shardLive,
+			Net:        shardNet,
 		})
 		if err != nil {
 			st.Close()
@@ -775,7 +807,8 @@ func (s *Store) RunWorkload(spec workload.Spec) (*workload.Result, error) {
 		}
 		spec.FaultPlan = plan
 	}
-	return s.backend.RunShard(cl, spec, store.ShardOptions{Live: s.cfg.Live, Net: s.cfg.Net})
+	wlLive, wlNet := s.cfg.runtimeConfigs(0, false)
+	return s.backend.RunShard(cl, spec, store.ShardOptions{Live: wlLive, Net: wlNet})
 }
 
 // Condition returns the consistency condition the store's first algorithm
@@ -811,6 +844,7 @@ func (s *Store) RunMulti(m workload.MultiSpec) (*store.Result, error) {
 		SkipCheck:    s.cfg.SkipCheck,
 		OnlineCheck:  s.cfg.OnlineCheck,
 		OnlineWindow: s.cfg.OnlineWindow,
+		Telemetry:    s.cfg.Telemetry,
 		Workload:     m,
 	})
 }

@@ -18,6 +18,7 @@ import (
 	"repro/internal/ioa"
 	"repro/internal/live"
 	"repro/internal/netrun"
+	"repro/internal/telemetry"
 	"repro/internal/workload"
 )
 
@@ -83,6 +84,12 @@ type Options struct {
 	// OnlineWindow is the online checker's retirement window in operations
 	// (0 = consistency.DefaultWindowOps).
 	OnlineWindow int
+	// Telemetry, when non-nil, receives live run metrics from every shard on
+	// the concurrent backends: per-node storage gauges against the paper
+	// bounds, op counters and latency histograms, transport counters, and
+	// checker gauges, each labeled with its shard index. Ignored on the
+	// simulator backend, whose runs have no wall-clock dynamics to sample.
+	Telemetry *telemetry.Registry
 	// Workload is the multi-key workload to partition across shards.
 	Workload workload.MultiSpec
 }
@@ -423,6 +430,13 @@ func runShard(o Options, backend Backend, alg string, load workload.ShardLoad) (
 		spec.FaultPlan = plan
 	}
 	opts := ShardOptions{Live: o.Live, Net: o.Net}
+	if o.Telemetry != nil {
+		// Each shard gets its own RunTelemetry value into one shared
+		// registry; the shard label keeps the series apart.
+		shardTel := &telemetry.RunTelemetry{Registry: o.Telemetry, Shard: load.Shard}
+		opts.Live.Telemetry = shardTel
+		opts.Net.Telemetry = shardTel
+	}
 	// Online mode streams settled operations into the checker while the
 	// concurrent backends run; the verdict and the verified-frontier metrics
 	// are ready the moment the run stops. Only the atomic condition has the

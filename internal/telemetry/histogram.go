@@ -1,0 +1,139 @@
+package telemetry
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync/atomic"
+	"time"
+)
+
+// Histogram is a fixed-bucket distribution: ascending upper bounds plus an
+// implicit +Inf bucket. Observe is lock-free (one atomic add per bucket
+// touch, a CAS loop for the running sum); Snapshot reads without stopping
+// writers. Obtain one from Registry.Histogram.
+type Histogram struct {
+	bounds []float64
+	counts []atomic.Uint64 // len(bounds)+1; last is +Inf
+	sum    atomic.Uint64   // float64 bits
+}
+
+func newHistogram(bounds []float64) *Histogram {
+	bs := append([]float64(nil), bounds...)
+	if !sort.Float64sAreSorted(bs) {
+		panic("telemetry: histogram bounds must be ascending")
+	}
+	return &Histogram{bounds: bs, counts: make([]atomic.Uint64, len(bs)+1)}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	i := sort.SearchFloat64s(h.bounds, v) // first bound >= v, i.e. the le bucket
+	h.counts[i].Add(1)
+	for {
+		old := h.sum.Load()
+		if h.sum.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+v)) {
+			return
+		}
+	}
+}
+
+// ObserveDuration records a duration in seconds.
+func (h *Histogram) ObserveDuration(d time.Duration) { h.Observe(d.Seconds()) }
+
+// Snapshot returns a point-in-time copy. Concurrent observes may land
+// between bucket reads — each bucket is individually exact and Count is
+// recomputed as the sum of the captured buckets, so the snapshot is always
+// internally consistent.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	s := HistogramSnapshot{
+		Bounds: h.bounds,
+		Counts: make([]uint64, len(h.counts)),
+		Sum:    math.Float64frombits(h.sum.Load()),
+	}
+	for i := range h.counts {
+		c := h.counts[i].Load()
+		s.Counts[i] = c
+		s.Count += c
+	}
+	return s
+}
+
+// HistogramSnapshot is an immutable capture of a Histogram, mergeable with
+// snapshots taken over the same bounds (merge is commutative and
+// associative, so per-shard snapshots can be combined in any order).
+type HistogramSnapshot struct {
+	// Bounds are the bucket upper bounds, ascending.
+	Bounds []float64
+	// Counts has len(Bounds)+1 entries; the last is the +Inf bucket.
+	Counts []uint64
+	// Sum is the running total of observed values.
+	Sum float64
+	// Count is the total number of observations.
+	Count uint64
+}
+
+// Merge adds o into s. The two snapshots must share identical bounds.
+func (s *HistogramSnapshot) Merge(o HistogramSnapshot) error {
+	if len(o.Bounds) != len(s.Bounds) {
+		return fmt.Errorf("telemetry: merge of mismatched histograms (%d vs %d buckets)", len(s.Bounds), len(o.Bounds))
+	}
+	for i := range s.Bounds {
+		if s.Bounds[i] != o.Bounds[i] {
+			return fmt.Errorf("telemetry: merge of mismatched histograms (bound %d: %g vs %g)", i, s.Bounds[i], o.Bounds[i])
+		}
+	}
+	for i := range s.Counts {
+		s.Counts[i] += o.Counts[i]
+	}
+	s.Sum += o.Sum
+	s.Count += o.Count
+	return nil
+}
+
+// Quantile estimates the q-quantile (0 < q <= 1) from the buckets: it finds
+// the bucket holding the target rank and returns that bucket's upper bound
+// (midpoint of the first bucket's range; the highest finite bound for the
+// +Inf bucket). Resolution is therefore bucket-width; good enough for stat
+// lines, not for SLO math.
+func (s HistogramSnapshot) Quantile(q float64) float64 {
+	if s.Count == 0 || len(s.Bounds) == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := uint64(math.Ceil(q * float64(s.Count)))
+	if rank == 0 {
+		rank = 1
+	}
+	cum := uint64(0)
+	for i, c := range s.Counts {
+		cum += c
+		if cum >= rank {
+			if i >= len(s.Bounds) {
+				return s.Bounds[len(s.Bounds)-1]
+			}
+			if i == 0 {
+				return s.Bounds[0] / 2
+			}
+			return s.Bounds[i]
+		}
+	}
+	return s.Bounds[len(s.Bounds)-1]
+}
+
+// LatencyBuckets returns the default op-latency bucket bounds in seconds:
+// exponential-ish from 50µs to 10s, sized for the live and net runtimes
+// (sim-step ops land in the first buckets, cross-network quorum ops in the
+// milliseconds, timeouts at the tail).
+func LatencyBuckets() []float64 {
+	return []float64{
+		50e-6, 100e-6, 250e-6, 500e-6,
+		1e-3, 2.5e-3, 5e-3, 10e-3, 25e-3, 50e-3,
+		0.1, 0.25, 0.5, 1, 2.5, 5, 10,
+	}
+}

@@ -1,0 +1,66 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+func TestServeMetricsAndTrace(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("srv_total", "served").Add(7)
+	sp := reg.Tracer().Begin("write")
+	for sp == nil { // default tracer samples 1-in-64; drive until one lands
+		sp = reg.Tracer().Begin("write")
+	}
+	sp.Mark(StageComplete)
+	sp.End()
+
+	srv, err := Serve("127.0.0.1:0", reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	get := func(path string) (string, string) {
+		resp, err := http.Get(srv.URL() + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+		}
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(body), resp.Header.Get("Content-Type")
+	}
+
+	body, ctype := get("/metrics")
+	if !strings.HasPrefix(ctype, "text/plain") {
+		t.Fatalf("content-type = %q", ctype)
+	}
+	if !strings.Contains(body, "srv_total 7") || !strings.Contains(body, "# TYPE srv_total counter") {
+		t.Fatalf("metrics body:\n%s", body)
+	}
+
+	body, _ = get("/trace")
+	var tr struct {
+		Spans []SpanRecord `json:"spans"`
+	}
+	if err := json.Unmarshal([]byte(body), &tr); err != nil {
+		t.Fatalf("trace not JSON: %v\n%s", err, body)
+	}
+	if len(tr.Spans) == 0 {
+		t.Fatal("trace has no spans")
+	}
+
+	body, _ = get("/debug/pprof/cmdline")
+	if body == "" {
+		t.Fatal("pprof cmdline empty")
+	}
+}

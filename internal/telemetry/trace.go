@@ -1,0 +1,184 @@
+package telemetry
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Stage is a point in an operation's lifecycle. The runtimes mark spans at
+// each transition: the client invokes, the op is queued into the node's
+// mailbox, the node starts it (invQueued→invStarted), the effect lands in
+// apply(), and the client observes completion.
+type Stage int
+
+const (
+	// StageInvoke is the client-side submission (span start).
+	StageInvoke Stage = iota
+	// StageQueue is the successful post into the node's mailbox.
+	StageQueue
+	// StageStart is the node picking the op up (invQueued → invStarted).
+	StageStart
+	// StageEffect is the response landing in apply().
+	StageEffect
+	// StageComplete is the client observing the result.
+	StageComplete
+
+	numStages
+)
+
+func (s Stage) String() string {
+	switch s {
+	case StageInvoke:
+		return "invoke"
+	case StageQueue:
+		return "queue"
+	case StageStart:
+		return "start"
+	case StageEffect:
+		return "effect"
+	case StageComplete:
+		return "complete"
+	default:
+		return "unknown"
+	}
+}
+
+// Stages lists the lifecycle stages in order.
+func Stages() []Stage {
+	return []Stage{StageInvoke, StageQueue, StageStart, StageEffect, StageComplete}
+}
+
+// SpanRecord is one finished sampled span: nanosecond offsets from the
+// invoke point for each stage that was marked (-1 when a stage never
+// happened, e.g. an abandoned op has no effect/complete).
+type SpanRecord struct {
+	// Kind is the op kind, e.g. "write" or "read".
+	Kind string
+	// Start is the invoke wall-clock time.
+	Start time.Time
+	// StageNs[s] is the offset of stage s from Start in nanoseconds, or -1.
+	StageNs [5]int64
+	// Completed reports whether the op reached StageComplete.
+	Completed bool
+}
+
+// Tracer samples one in every N operations and records their lifecycle
+// spans into a bounded ring, with per-stage duration histograms (time from
+// the previous marked stage). All methods are safe for concurrent use; a
+// nil *Span is a valid no-op, so the unsampled hot path pays one atomic
+// increment and a nil check.
+type Tracer struct {
+	every uint64
+	n     atomic.Uint64
+
+	mu      sync.Mutex
+	ring    []SpanRecord
+	next    int
+	wrapped bool
+
+	stage [numStages]*Histogram
+}
+
+// NewTracer samples 1 in every ops (every <= 1 samples everything) into a
+// ring of cap records.
+func NewTracer(every uint64, cap int) *Tracer {
+	if every == 0 {
+		every = 1
+	}
+	if cap <= 0 {
+		cap = 1
+	}
+	t := &Tracer{every: every, ring: make([]SpanRecord, cap)}
+	for i := range t.stage {
+		t.stage[i] = newHistogram(LatencyBuckets())
+	}
+	return t
+}
+
+// Begin returns a span for this op, or nil when the op is not sampled.
+func (t *Tracer) Begin(kind string) *Span {
+	if t == nil || t.n.Add(1)%t.every != 0 {
+		return nil
+	}
+	s := &Span{t: t, kind: kind, start: time.Now()}
+	for i := range s.stageNs {
+		s.stageNs[i].Store(-1)
+	}
+	s.stageNs[StageInvoke].Store(0)
+	return s
+}
+
+// Span is one sampled op in flight. Marks may come from different
+// goroutines (driver, node loop); each stage offset is a single atomic
+// store, ordered by the runtime's own happens-before edges.
+type Span struct {
+	t       *Tracer
+	kind    string
+	start   time.Time
+	stageNs [numStages]atomic.Int64
+	ended   atomic.Bool
+}
+
+// Mark records that the op just reached stage s. Safe on a nil span.
+func (s *Span) Mark(st Stage) {
+	if s == nil || st < 0 || st >= numStages {
+		return
+	}
+	s.stageNs[st].Store(int64(time.Since(s.start)))
+}
+
+// End finishes the span and records it. Safe on a nil span and idempotent —
+// the op lifecycle has racing exit paths (completion vs timeout vs abandon)
+// and only the first End records.
+func (s *Span) End() {
+	if s == nil || !s.ended.CompareAndSwap(false, true) {
+		return
+	}
+	rec := SpanRecord{Kind: s.kind, Start: s.start}
+	for i := range rec.StageNs {
+		rec.StageNs[i] = s.stageNs[i].Load()
+	}
+	rec.Completed = rec.StageNs[StageComplete] >= 0
+	// Per-stage durations: time from the previous marked stage.
+	prev := int64(0)
+	for st := StageQueue; st < numStages; st++ {
+		ns := rec.StageNs[st]
+		if ns < 0 {
+			continue
+		}
+		s.t.stage[st].Observe(time.Duration(ns - prev).Seconds())
+		prev = ns
+	}
+	s.t.mu.Lock()
+	s.t.ring[s.t.next] = rec
+	s.t.next++
+	if s.t.next == len(s.t.ring) {
+		s.t.next = 0
+		s.t.wrapped = true
+	}
+	s.t.mu.Unlock()
+}
+
+// Records returns the retained spans, oldest first.
+func (t *Tracer) Records() []SpanRecord {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if !t.wrapped {
+		return append([]SpanRecord(nil), t.ring[:t.next]...)
+	}
+	out := make([]SpanRecord, 0, len(t.ring))
+	out = append(out, t.ring[t.next:]...)
+	out = append(out, t.ring[:t.next]...)
+	return out
+}
+
+// StageSnapshot returns the per-stage duration histograms (seconds from the
+// previous marked stage), keyed by stage name.
+func (t *Tracer) StageSnapshot() map[string]HistogramSnapshot {
+	out := make(map[string]HistogramSnapshot, numStages-1)
+	for st := StageQueue; st < numStages; st++ {
+		out[st.String()] = t.stage[st].Snapshot()
+	}
+	return out
+}

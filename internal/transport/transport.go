@@ -111,7 +111,26 @@ type Stats struct {
 	// Malformed counts inbound envelopes the reader could not split;
 	// their member frames never reach the handler.
 	Malformed uint64
+	// FramesSent / BatchesSent / BytesSent count the write side: frames
+	// successfully written to a socket, the compound envelopes (flushes)
+	// carrying them, and the envelope bytes on the wire. BatchesSent <=
+	// FramesSent; their ratio is the achieved coalescing factor.
+	FramesSent  uint64
+	BatchesSent uint64
+	BytesSent   uint64
+	// FramesReceived / BytesReceived count the read side: member frames
+	// handed to the Serve handler and the envelope bytes they arrived in.
+	FramesReceived uint64
+	BytesReceived  uint64
+	// BatchFrames histograms the frames-per-flush distribution:
+	// BatchFrames[i] counts flushes with at most BatchBucketBounds[i]
+	// frames. The last bound equals the transport's max batch, so every
+	// flush lands in a bucket.
+	BatchFrames [len(BatchBucketBounds)]uint64
 }
+
+// BatchBucketBounds are the upper bounds of the Stats.BatchFrames buckets.
+var BatchBucketBounds = [7]int{1, 2, 4, 8, 16, 32, 64}
 
 // Endpoint is one node's network identity: a TCP listener whose inbound
 // frames are delivered to the handler passed to Serve, and a pool of
@@ -129,6 +148,13 @@ type Endpoint struct {
 	droppedDead atomic.Uint64
 	requeued    atomic.Uint64
 	malformed   atomic.Uint64
+
+	framesSent  atomic.Uint64
+	batchesSent atomic.Uint64
+	bytesSent   atomic.Uint64
+	framesRecv  atomic.Uint64
+	bytesRecv   atomic.Uint64
+	batchFrames [len(BatchBucketBounds)]atomic.Uint64
 
 	done chan struct{}
 	wg   sync.WaitGroup
@@ -163,14 +189,23 @@ func Listen(addr string, cfg Config) (*Endpoint, error) {
 // Addr returns the endpoint's dialable address (with the resolved port).
 func (e *Endpoint) Addr() string { return e.listener.Addr().String() }
 
-// Stats snapshots the endpoint's frame-loss counters.
+// Stats snapshots the endpoint's frame-loss and throughput counters.
 func (e *Endpoint) Stats() Stats {
-	return Stats{
-		DroppedFull: e.droppedFull.Load(),
-		DroppedDead: e.droppedDead.Load(),
-		Requeued:    e.requeued.Load(),
-		Malformed:   e.malformed.Load(),
+	s := Stats{
+		DroppedFull:    e.droppedFull.Load(),
+		DroppedDead:    e.droppedDead.Load(),
+		Requeued:       e.requeued.Load(),
+		Malformed:      e.malformed.Load(),
+		FramesSent:     e.framesSent.Load(),
+		BatchesSent:    e.batchesSent.Load(),
+		BytesSent:      e.bytesSent.Load(),
+		FramesReceived: e.framesRecv.Load(),
+		BytesReceived:  e.bytesRecv.Load(),
 	}
+	for i := range e.batchFrames {
+		s.BatchFrames[i] = e.batchFrames[i].Load()
+	}
+	return s
 }
 
 // Serve starts the accept loop: every inbound connection gets a reader
@@ -219,6 +254,8 @@ func (e *Endpoint) Serve(handler func(frame []byte)) {
 						e.malformed.Add(1)
 						continue
 					}
+					e.framesRecv.Add(uint64(len(frames)))
+					e.bytesRecv.Add(uint64(len(payload)))
 					for _, frame := range frames {
 						// Members alias payload, which is freshly
 						// allocated per ReadFrame and never reused here,
@@ -411,7 +448,17 @@ func (e *Endpoint) writeLoop(oc *outConn) {
 		} else {
 			buf = wire.AppendCompound(buf[:0], batch)
 		}
-		if err := WriteFrame(oc.c, buf); err != nil {
+		if err := WriteFrame(oc.c, buf); err == nil {
+			e.framesSent.Add(uint64(len(batch)))
+			e.batchesSent.Add(1)
+			e.bytesSent.Add(uint64(len(buf)))
+			for i, ub := range BatchBucketBounds {
+				if len(batch) <= ub {
+					e.batchFrames[i].Add(1)
+					break
+				}
+			}
+		} else {
 			lost := uint64(len(batch))
 			if carry != nil {
 				lost++

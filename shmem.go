@@ -53,6 +53,7 @@ import (
 	"repro/internal/register"
 	"repro/internal/session"
 	"repro/internal/store"
+	"repro/internal/telemetry"
 	"repro/internal/workload"
 )
 
@@ -164,6 +165,36 @@ func WithOnlineWindow(n int) Option { return session.WithOnlineWindow(n) }
 // with ErrHistoryFull. Online-checked shards reclaim retired prefixes, so
 // the cap binds only their unretired residue.
 func WithHistoryCap(n int) Option { return session.WithHistoryCap(n) }
+
+// Telemetry is a metrics registry: lock-free counters, gauges and latency
+// histograms the store's runtimes publish into when the registry is wired
+// through WithTelemetry — per-node storage-bit gauges compared live against
+// the paper bounds (Theorems 4.1 and 5.1), op-latency histograms, transport
+// frame/batch counters and online-checker lag, each labelled by shard.
+// Scrape it over HTTP with ServeTelemetry or dump it directly with
+// WritePrometheus.
+type Telemetry = telemetry.Registry
+
+// NewTelemetry returns an empty metrics registry ready for WithTelemetry.
+func NewTelemetry() *Telemetry { return telemetry.NewRegistry() }
+
+// WithTelemetry publishes the store's runtime metrics into reg on the live
+// and net backends (the simulator is not instrumented). Nil disables
+// instrumentation at zero cost — uninstrumented runs stay on the exact
+// pre-telemetry code paths.
+func WithTelemetry(reg *Telemetry) Option { return session.WithTelemetry(reg) }
+
+// TelemetryServer is a running telemetry HTTP endpoint; Close releases it.
+type TelemetryServer = telemetry.Server
+
+// ServeTelemetry starts an HTTP server on addr exposing reg as
+// Prometheus-text /metrics, sampled op-lifecycle traces as JSON /trace, and
+// the standard pprof profiles under /debug/pprof/. Use addr ":0" (or
+// "127.0.0.1:0") for an ephemeral port; the server's Addr reports the bound
+// address.
+func ServeTelemetry(addr string, reg *Telemetry) (*TelemetryServer, error) {
+	return telemetry.Serve(addr, reg)
+}
 
 // DefaultOnlineWindow is the online checker's retirement window when none
 // is configured.

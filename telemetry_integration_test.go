@@ -1,0 +1,141 @@
+package shmem
+
+import (
+	"io"
+	"net/http"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/ioa"
+)
+
+// storageMaxRe matches one shmem_storage_max_bits sample line; labels are
+// emitted sorted by key, so node precedes shard.
+var storageMaxRe = regexp.MustCompile(`^shmem_storage_max_bits\{node="(\d+)",shard="(\d+)"\} (\S+)$`)
+
+// TestTelemetryScrapeDuringLiveRun wires a registry into a live store, runs
+// a batch workload while repeatedly scraping the HTTP endpoint, and checks
+// the central telemetry invariant: a sampled storage gauge can never exceed
+// the final ioa watermark for its node (the gauges read the same monotone
+// maxBits atomics the post-run storage report folds). It also asserts the
+// paper-bound gauges and latency histograms are present in the exposition —
+// the live bound comparison the subsystem exists for.
+func TestTelemetryScrapeDuringLiveRun(t *testing.T) {
+	reg := NewTelemetry()
+	srv, err := ServeTelemetry("127.0.0.1:0", reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	st, err := Open(Config{
+		Algorithms: []string{"cas"},
+		Servers:    5,
+		F:          1,
+		Shards:     2,
+	}, WithBackend("live"), WithTelemetry(reg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+
+	type runOut struct {
+		res *StoreResult
+		err error
+	}
+	done := make(chan runOut, 1)
+	go func() {
+		res, err := st.RunMulti(MultiWorkloadSpec{
+			Seed: 3, Keys: 16, Ops: 600, ReadFraction: 0.3, TargetNu: 2, ValueBytes: 64,
+		})
+		done <- runOut{res, err}
+	}()
+
+	// Scrape continuously while the run executes, retaining the largest
+	// gauge value ever observed per (shard, node) series.
+	observed := map[[2]int]float64{} // [shard, node] -> max gauge seen
+	var lastBody string
+	scrape := func() {
+		resp, err := http.Get(srv.URL() + "/metrics")
+		if err != nil {
+			t.Fatalf("scrape: %v", err)
+		}
+		defer resp.Body.Close()
+		if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "text/plain") {
+			t.Fatalf("scrape content-type = %q", ct)
+		}
+		b, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatalf("scrape read: %v", err)
+		}
+		lastBody = string(b)
+		for _, line := range strings.Split(lastBody, "\n") {
+			m := storageMaxRe.FindStringSubmatch(line)
+			if m == nil {
+				continue
+			}
+			node, _ := strconv.Atoi(m[1])
+			shard, _ := strconv.Atoi(m[2])
+			v, err := strconv.ParseFloat(m[3], 64)
+			if err != nil {
+				t.Fatalf("bad gauge value in %q: %v", line, err)
+			}
+			key := [2]int{shard, node}
+			if old, ok := observed[key]; !ok || v > old {
+				observed[key] = v
+			}
+		}
+	}
+
+	var out runOut
+	deadline := time.After(2 * time.Minute)
+	for running := true; running; {
+		select {
+		case out = <-done:
+			running = false
+		case <-deadline:
+			t.Fatal("RunMulti did not finish within 2 minutes")
+		default:
+			scrape()
+			time.Sleep(2 * time.Millisecond)
+		}
+	}
+	if out.err != nil {
+		t.Fatal(out.err)
+	}
+	scrape() // final: the stopped samplers have published the settled watermarks
+
+	if len(observed) == 0 {
+		t.Fatal("no shmem_storage_max_bits series ever appeared in /metrics")
+	}
+	for key, v := range observed {
+		shard, node := key[0], key[1]
+		if shard >= len(out.res.PerShard) {
+			t.Fatalf("gauge for unknown shard %d", shard)
+		}
+		watermark, ok := out.res.PerShard[shard].Storage.PerServerMaxBits[ioa.NodeID(node)]
+		if !ok {
+			t.Fatalf("gauge for shard %d node %d, but the storage report has no such server", shard, node)
+		}
+		if v > float64(watermark) {
+			t.Errorf("shard %d node %d: sampled max gauge %v exceeds the ioa watermark %d", shard, node, v, watermark)
+		}
+	}
+
+	for _, want := range []string{
+		`shmem_storage_bound_bits{shard="0",theorem="4.1"}`,
+		`shmem_storage_bound_bits{shard="0",theorem="5.1"}`,
+		`shmem_storage_bound_bits{shard="1",theorem="4.1"}`,
+		"# TYPE shmem_storage_max_bits gauge",
+		"# TYPE shmem_op_latency_seconds histogram",
+		"shmem_op_latency_seconds_bucket",
+		`shmem_ops_completed_total{kind="write",shard="0"}`,
+	} {
+		if !strings.Contains(lastBody, want) {
+			t.Errorf("final scrape is missing %q", want)
+		}
+	}
+}
